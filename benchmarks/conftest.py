@@ -1,0 +1,49 @@
+"""Benchmark plumbing: run one experiment per bench, save + print its table.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every figure/table of
+the paper in quick fidelity (3 repetitions, capped physical data).  Set
+``REPRO_BENCH_FULL=1`` for paper fidelity (10 repetitions, larger data).
+Each bench writes its rendered table to ``benchmarks/results/<id>.txt`` and
+echoes it to stdout (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.registry import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_figure(benchmark, results_dir):
+    """Benchmark one experiment and persist its report."""
+
+    def _run(experiment_id: str):
+        report = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": not FULL_FIDELITY},
+            rounds=1,
+            iterations=1,
+        )
+        text = report.print_table()
+        (results_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        (results_dir / f"{experiment_id}.csv").write_text(report.to_csv() + "\n")
+        print()
+        print(text)
+        return report
+
+    return _run

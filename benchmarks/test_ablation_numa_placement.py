@@ -1,0 +1,66 @@
+"""Ablation: NUMA placement policy sweep for the optimized RHO join.
+
+Fig. 9 measures the extremes; this ablation fills in the policy space an
+operator could actually choose between when SGX denies affinity control:
+local threads, remote threads, all cores, and half the local socket —
+quantifying what each placement costs relative to the local optimum.
+"""
+
+from repro.bench.report import ExperimentReport
+from repro.core.joins import RadixJoin
+from repro.enclave.runtime import ExecutionSetting
+from repro.exec.placement import Placement
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair
+
+
+def run_ablation() -> ExperimentReport:
+    report = ExperimentReport(
+        "ablation-numa-placement",
+        "RHO throughput across NUMA placement policies (SGX, optimized)",
+        "Sec. 4.3 (design-choice ablation)",
+    )
+    build, probe = generate_join_relation_pair(
+        100e6, 400e6, seed=41, physical_row_cap=120_000
+    )
+    policies = (
+        ("16 local threads", lambda m: Placement.on_node(m.topology, 0, 16)),
+        ("8 local threads", lambda m: Placement.on_node(m.topology, 0, 8)),
+        ("16 remote threads", lambda m: Placement.on_node(m.topology, 1, 16)),
+        ("32 threads (both sockets)", lambda m: Placement.all_cores(m.topology)),
+    )
+    for label, build_placement in policies:
+        machine = SimMachine()
+        placement = build_placement(machine)
+        with machine.context(
+            ExecutionSetting.sgx_data_in_enclave(),
+            data_node=0,
+            placement=placement,
+        ) as ctx:
+            result = RadixJoin(CodeVariant.UNROLLED).run(ctx, build, probe)
+        report.add(
+            label, "throughput",
+            result.throughput_rows_per_s(machine.frequency_hz) / 1e6,
+            "M rows/s",
+        )
+    return report
+
+
+def test_ablation_numa_placement(benchmark, results_dir):
+    report = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    (results_dir / "ablation_numa_placement.txt").write_text(
+        report.print_table() + "\n"
+    )
+    print()
+    print(report.print_table())
+    local16 = report.value("16 local threads", "throughput")
+    local8 = report.value("8 local threads", "throughput")
+    remote16 = report.value("16 remote threads", "throughput")
+    both32 = report.value("32 threads (both sockets)", "throughput")
+    # Local threads scale; remote threads lose to UPI latency/bandwidth.
+    assert local16 > local8
+    assert remote16 < local16
+    # Adding the remote socket's cores never beats staying local (Fig. 9),
+    # and 16 remote threads still beat only 8 local ones at best.
+    assert both32 < local16 * 1.05

@@ -1,0 +1,65 @@
+"""Ablation: task granularity x queue choice (the Fig. 10 design space).
+
+The mutex collapse of Fig. 10 only strikes when tasks are small.  This
+sweep shows where the cliff lies: with coarse tasks even the SDK mutex is
+harmless inside the enclave; as the fan-out grows, the mutex queue's
+throughput collapses while the lock-free queue barely moves.
+"""
+
+from repro.bench.report import ExperimentReport
+from repro.core.joins import RadixJoin
+from repro.enclave.runtime import ExecutionSetting
+from repro.enclave.sync import LockKind
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair
+
+BIT_SWEEP = (8, 11, 14, 17)
+
+
+def run_ablation() -> ExperimentReport:
+    report = ExperimentReport(
+        "ablation-task-granularity",
+        "Queue choice vs task granularity inside the enclave",
+        "Sec. 4.4 / Fig. 10 (design-choice ablation)",
+    )
+    build, probe = generate_join_relation_pair(
+        100e6, 400e6, seed=31, physical_row_cap=120_000
+    )
+    for bits in BIT_SWEEP:
+        for queue in (LockKind.LOCK_FREE, LockKind.SDK_MUTEX):
+            machine = SimMachine()
+            join = RadixJoin(
+                CodeVariant.UNROLLED, radix_bits=bits, queue_kind=queue
+            )
+            with machine.context(
+                ExecutionSetting.sgx_data_in_enclave(), threads=16
+            ) as ctx:
+                result = join.run(ctx, build, probe)
+            report.add(
+                f"SGX + {queue.value}", bits,
+                result.throughput_rows_per_s(machine.frequency_hz) / 1e6,
+                "M rows/s",
+            )
+    return report
+
+
+def test_ablation_task_granularity(benchmark, results_dir):
+    report = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    (results_dir / "ablation_task_granularity.txt").write_text(
+        report.print_table() + "\n"
+    )
+    print()
+    print(report.print_table())
+
+    def ratio(bits):
+        return report.value("SGX + sdk_mutex", bits) / report.value(
+            "SGX + lock_free", bits
+        )
+
+    # Coarse tasks: queue choice nearly irrelevant even inside the enclave.
+    assert ratio(8) > 0.9
+    # Fine tasks: the mutex collapse of Fig. 10.
+    assert ratio(17) < 0.4
+    # Monotone decline in between.
+    assert ratio(8) > ratio(11) > ratio(14) > ratio(17)

@@ -1,0 +1,22 @@
+"""Extension: the join lineup on an SGXv1-class platform (EPC paging).
+
+Regenerates the premise behind the paper: on first-generation SGX the
+cache-optimized joins collapse under EPC paging and CrkJoin wins; on SGXv2
+the ordering inverts.
+"""
+
+
+def test_ext01(run_figure):
+    report = run_figure("ext01")
+    # SGXv1: CrkJoin's paging avoidance wins.
+    crk_v1 = report.value("SGXv1 enclave", "CrkJoin")
+    assert crk_v1 > report.value("SGXv1 enclave", "RHO")
+    assert crk_v1 > report.value("SGXv1 enclave", "PHT")
+    # SGXv2: the ordering inverts decisively (Fig. 3).
+    assert report.value("SGXv2 enclave", "RHO") > 5 * report.value(
+        "SGXv2 enclave", "CrkJoin"
+    )
+    # The paper's "orders of magnitude" SGXv1 slowdowns for standard joins.
+    assert report.value("SGXv2 enclave", "PHT") > 50 * report.value(
+        "SGXv1 enclave", "PHT"
+    )

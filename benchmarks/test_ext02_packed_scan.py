@@ -1,0 +1,15 @@
+"""Extension: bit-packed SIMD scan throughput vs code width."""
+
+
+def test_ext02(run_figure):
+    report = run_figure("ext02")
+    # Narrow codes multiply the values/s rate of the bandwidth-bound scan.
+    assert report.value("SGX (Data in Enclave)", 4) > 2.5 * report.value(
+        "SGX (Data in Enclave)", 32
+    )
+    # The enclave penalty stays within a few percent at every width.
+    for bits in (4, 16, 32):
+        rel = report.value("SGX (Data in Enclave)", bits) / report.value(
+            "Plain CPU", bits
+        )
+        assert rel > 0.95

@@ -1,0 +1,14 @@
+"""Extension: hash group-by relative throughput vs group count."""
+
+
+def test_ext03(run_figure):
+    report = run_figure("ext03")
+    # Cache-resident tables: the loop-execution penalty dominates and the
+    # unroll optimization recovers most of it.
+    assert report.value("naive", 1_000) < 0.5
+    assert report.value("unrolled", 1_000) > 0.7
+    # Spilled tables: random writes push both variants down further.
+    assert report.value("naive", 10_000_000) < report.value("naive", 1_000)
+    assert report.value("unrolled", 10_000_000) > report.value(
+        "naive", 10_000_000
+    )

@@ -1,0 +1,15 @@
+"""Extension: PHT under Zipf-skewed probe keys."""
+
+
+def test_ext04(run_figure):
+    report = run_figure("ext04")
+    relatives = [
+        report.value("SGX relative to plain", theta)
+        for theta in (0.0, 0.8, 1.25)
+    ]
+    # Skew improves relative in-enclave performance monotonically.
+    assert relatives[0] <= relatives[1] <= relatives[2]
+    # Absolute throughput also rises (the hot set caches for both modes).
+    assert report.value("SGX throughput", 1.25) > report.value(
+        "SGX throughput", 0.0
+    )

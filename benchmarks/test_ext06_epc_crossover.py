@@ -1,0 +1,18 @@
+"""Extension: the EPC-capacity crossover between CrkJoin and RHO."""
+
+
+def test_ext06(run_figure):
+    report = run_figure("ext06")
+    # Tiny EPC: CrkJoin's paging avoidance wins (the SGXv1 world).
+    assert report.value("CrkJoin", 64) > 3 * report.value("RHO", 64)
+    # Ample EPC: the radix join wins decisively (the SGXv2 world).
+    assert report.value("RHO", 8192) > 2 * report.value("CrkJoin", 8192)
+    # The crossover exists and is monotone in between: RHO never falls
+    # back behind once ahead.
+    ahead = False
+    for epc in (64, 128, 256, 512, 1024, 2048, 8192):
+        if report.value("RHO", epc) > report.value("CrkJoin", epc):
+            ahead = True
+        elif ahead:
+            raise AssertionError(f"RHO fell back behind at {epc} MB")
+    assert ahead

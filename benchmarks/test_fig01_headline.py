@@ -1,0 +1,14 @@
+"""Figure 1: CrkJoin vs RHO vs optimized RHO vs native (headline).
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig01.txt``.
+"""
+
+
+def test_fig01(run_figure):
+    report = run_figure("fig01")
+    crk = report.value("CrkJoin (SGXv1-opt.) in SGX", "throughput")
+    opt = report.value("RHO SGXv2-optimized in SGX", "throughput")
+    native = report.value("RHO outside enclave", "throughput")
+    assert crk < opt < native
+    assert opt / crk > 15  # paper: ~20x

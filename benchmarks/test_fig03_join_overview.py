@@ -1,0 +1,11 @@
+"""Figure 3: five joins, plain CPU vs SGX data-in-enclave.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig03.txt``.
+"""
+
+
+def test_fig03(run_figure):
+    report = run_figure("fig03")
+    crk = report.value("SGX (Data in Enclave)", "CrkJoin")
+    assert report.value("SGX (Data in Enclave)", "RHO") / crk > 8

@@ -1,0 +1,11 @@
+"""Figure 4: single-threaded PHT vs build size + phase split.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig04.txt``.
+"""
+
+
+def test_fig04(run_figure):
+    report = run_figure("fig04")
+    series = [row.value for row in report.series("SGX relative throughput")]
+    assert series[0] > 0.9 and series[-1] < 0.5

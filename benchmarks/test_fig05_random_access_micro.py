@@ -1,0 +1,11 @@
+"""Figure 5: pointer-chase reads and LCG writes, SGX relative.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig05.txt``.
+"""
+
+
+def test_fig05(run_figure):
+    report = run_figure("fig05")
+    assert report.value("random reads (pointer chase)", 16e9) < 0.6
+    assert report.value("random writes (LCG)", 8e9) < 0.45

@@ -1,0 +1,11 @@
+"""Figure 6: RHO phase breakdown, naive vs unrolled.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig06.txt``.
+"""
+
+
+def test_fig06(run_figure):
+    report = run_figure("fig06")
+    assert report.value("naive: sgx slowdown", "hist1") > 3
+    assert report.value("unrolled: sgx slowdown", "hist1") < 1.5

@@ -1,0 +1,12 @@
+"""Figure 7: radix-histogram micro-benchmark, three settings.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig07.txt``.
+"""
+
+
+def test_fig07(run_figure):
+    report = run_figure("fig07")
+    naive = report.value("naive: SGX (Data in Enclave)", 256)
+    plain = report.value("naive: Plain CPU", 256)
+    assert 2.8 < naive / plain < 3.8  # paper: 3.25x

@@ -1,0 +1,10 @@
+"""Figure 8: RHO and PHT with/without the optimization, 16 threads.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig08.txt``.
+"""
+
+
+def test_fig08(run_figure):
+    report = run_figure("fig08")
+    assert report.value("SGX optimized", "RHO") > 1.4 * report.value("SGX naive", "RHO")

@@ -1,0 +1,12 @@
+"""Figure 9: NUMA placement extremes for the RHO join.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig09.txt``.
+"""
+
+
+def test_fig09(run_figure):
+    report = run_figure("fig09")
+    base = report.value("SGX Join Single Node", "throughput")
+    assert report.value("SGX Join Fully Remote", "throughput") < base
+    assert base < 0.5 * report.value("Native Join NUMA local", "throughput")

@@ -1,0 +1,12 @@
+"""Figure 10: SDK-mutex vs lock-free task queue under contention.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig10.txt``.
+"""
+
+
+def test_fig10(run_figure):
+    report = run_figure("fig10")
+    ratio = report.value("SGX + mutex queue", "throughput") / report.value(
+        "SGX + lock-free queue", "throughput")
+    assert ratio < 0.4  # paper: 0.25

@@ -1,0 +1,12 @@
+"""Figure 11: static vs EDMM-growing enclave under materialization.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig11.txt``.
+"""
+
+
+def test_fig11(run_figure):
+    report = run_figure("fig11")
+    ratio = report.value("dynamic enclave", "throughput") / report.value(
+        "static enclave", "throughput")
+    assert ratio < 0.1  # paper: 0.045

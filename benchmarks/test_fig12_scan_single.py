@@ -1,0 +1,11 @@
+"""Figure 12: single-threaded SIMD scan, three settings.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig12.txt``.
+"""
+
+
+def test_fig12(run_figure):
+    report = run_figure("fig12")
+    rel = report.value("SGX (Data in Enclave)", 4e9) / report.value("Plain CPU", 4e9)
+    assert 0.95 < rel < 0.99  # paper: ~3 % slowdown

@@ -1,0 +1,10 @@
+"""Figure 13: scan thread scaling to the bandwidth limit.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig13.txt``.
+"""
+
+
+def test_fig13(run_figure):
+    report = run_figure("fig13")
+    assert report.value("SGX (Data in Enclave)", 16) > 0.9 * report.value("Plain CPU", 16)

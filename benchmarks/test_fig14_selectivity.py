@@ -1,0 +1,13 @@
+"""Figure 14: row-id scan with varying selectivity (write rate).
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig14.txt``.
+"""
+
+
+def test_fig14(run_figure):
+    report = run_figure("fig14")
+    drop_sgx = report.value("SGX (Data in Enclave)", 1.0) / report.value(
+        "SGX (Data in Enclave)", 0.0)
+    drop_plain = report.value("Plain CPU", 1.0) / report.value("Plain CPU", 0.0)
+    assert abs(drop_sgx - drop_plain) < 0.05

@@ -1,0 +1,10 @@
+"""Figure 15: pmbw-style 64/512-bit linear reads and writes.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig15.txt``.
+"""
+
+
+def test_fig15(run_figure):
+    report = run_figure("fig15")
+    assert report.value("read_64", 8e9) < report.value("write_64", 8e9)

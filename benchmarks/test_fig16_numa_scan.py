@@ -1,0 +1,12 @@
+"""Figure 16: cross-NUMA scans with UPI encryption.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig16.txt``.
+"""
+
+
+def test_fig16(run_figure):
+    report = run_figure("fig16")
+    rel1 = report.value("SGX, cross-NUMA", 1) / report.value("plain, cross-NUMA", 1)
+    rel16 = report.value("SGX, cross-NUMA", 16) / report.value("plain, cross-NUMA", 16)
+    assert rel1 < rel16  # the gap closes as the UPI saturates

@@ -1,0 +1,12 @@
+"""Figure 17: TPC-H Q3/Q10/Q12/Q19, three configurations.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/fig17.txt``.
+"""
+
+
+def test_fig17(run_figure):
+    report = run_figure("fig17")
+    for query in ("Q3", "Q10", "Q12", "Q19"):
+        assert report.value("plain CPU", query) < report.value(
+            "SGX optimized", query) < report.value("SGX", query)

@@ -1,0 +1,10 @@
+"""Table 1: the simulated testbed's hardware rows.
+
+Regenerates the paper artifact; the rendered table lands in
+``benchmarks/results/tab01.txt``.
+"""
+
+
+def test_tab01(run_figure):
+    report = run_figure("tab01")
+    assert report.value("Sockets", "count") == 2

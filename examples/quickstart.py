@@ -1,0 +1,59 @@
+"""Quickstart: join two tables inside a simulated SGXv2 enclave.
+
+Runs the paper's canonical workload — a 100 MB build table joined against a
+400 MB probe table with 16 threads — under all three execution settings and
+with/without the SGXv2 unroll/reorder optimization, then prints the
+throughput comparison of Figure 1.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import CodeVariant, ExecutionSetting, SimMachine
+from repro.core.joins import CrkJoin, RadixJoin
+from repro.tables import generate_join_relation_pair
+from repro.units import format_throughput_rows
+
+
+def main() -> None:
+    machine = SimMachine()
+    build, probe = generate_join_relation_pair(
+        100e6, 400e6, seed=42, physical_row_cap=200_000
+    )
+    print(
+        f"join inputs: {build.logical_rows:,.0f} x {probe.logical_rows:,.0f} "
+        "rows (logical 100 MB x 400 MB)"
+    )
+
+    configurations = [
+        ("CrkJoin (SGXv1-optimized), in enclave", CrkJoin(),
+         ExecutionSetting.sgx_data_in_enclave()),
+        ("RHO radix join, in enclave", RadixJoin(),
+         ExecutionSetting.sgx_data_in_enclave()),
+        ("RHO + unroll/reorder optimization, in enclave",
+         RadixJoin(CodeVariant.UNROLLED),
+         ExecutionSetting.sgx_data_in_enclave()),
+        ("RHO radix join, plain CPU", RadixJoin(),
+         ExecutionSetting.plain_cpu()),
+    ]
+
+    print(f"\n{'configuration':<48} {'throughput':>16} {'matches':>12}")
+    print("-" * 78)
+    for label, join, setting in configurations:
+        with machine.context(setting, threads=16) as ctx:
+            result = join.run(ctx, build, probe)
+        throughput = result.throughput_rows_per_s(machine.frequency_hz)
+        print(
+            f"{label:<48} {format_throughput_rows(throughput):>16} "
+            f"{result.matches:>12,}"
+        )
+    print(
+        "\nTakeaway (paper Fig. 1): the SGXv1-optimized join is not "
+        "competitive on SGXv2; a state-of-the-art radix join plus the "
+        "unroll/reorder optimization runs near native speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""TPC-H dashboard: the cost of confidentiality for four analytical queries.
+
+Generates the paper's simplified TPC-H workload, runs Q3/Q10/Q12/Q19 under
+all three execution settings, verifies every count against an independent
+numpy reference, and prints the per-query "price of SGX" — the Fig. 17
+experiment as a self-checking report.
+
+Usage::
+
+    python examples/tpch_dashboard.py [scale_factor]
+"""
+
+import sys
+
+from repro import CodeVariant, ExecutionSetting, SimMachine
+from repro.core.queries import QueryExecutor, TPCH_QUERIES, reference_count
+from repro.tables import generate_tpch
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    machine = SimMachine()
+    data = generate_tpch(scale_factor, seed=42, physical_sf_cap=0.05)
+    tables = {
+        "customer": data.customer,
+        "orders": data.orders,
+        "lineitem": data.lineitem,
+        "part": data.part,
+    }
+    print(
+        f"TPC-H SF {scale_factor:g}: lineitem {data.lineitem.logical_rows:,.0f} "
+        f"rows, total {data.total_logical_bytes / 1e9:.2f} GB (integer-coded)\n"
+    )
+    configurations = [
+        ("plain CPU", ExecutionSetting.plain_cpu(), CodeVariant.NAIVE),
+        ("SGX", ExecutionSetting.sgx_data_in_enclave(), CodeVariant.NAIVE),
+        ("SGX optimized", ExecutionSetting.sgx_data_in_enclave(),
+         CodeVariant.UNROLLED),
+    ]
+    header = f"{'query':<6} {'count(*)':>12} {'check':>6}"
+    for label, _, _ in configurations:
+        header += f" {label:>14}"
+    print(header)
+    print("-" * len(header))
+    for query_name, make_plan in TPCH_QUERIES.items():
+        expected = reference_count(data, query_name)
+        runtimes = []
+        count = None
+        for _, setting, variant in configurations:
+            fresh = SimMachine()
+            with fresh.context(setting, threads=16) as ctx:
+                result = QueryExecutor(variant).run(ctx, make_plan(), tables)
+            runtimes.append(result.seconds(fresh.frequency_hz) * 1e3)
+            count = result.count
+        check = "OK" if count == expected else "FAIL"
+        line = f"{query_name:<6} {count:>12,} {check:>6}"
+        for runtime in runtimes:
+            line += f" {runtime:>11.1f} ms"
+        print(line)
+        plain, sgx, opt = runtimes
+        print(
+            f"{'':6} overhead: +{sgx / plain - 1:.0%} unoptimized, "
+            f"+{opt / plain - 1:.0%} optimized "
+            f"(optimization cuts {1 - opt / sgx:.0%})"
+        )
+    print(
+        "\nTakeaway (paper Fig. 17): with the unroll/reorder optimization, "
+        "full analytical queries inside SGXv2 run within ~15 % of native."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of *Benchmarking Analytical Query Processing in Intel SGXv2*.
+
+The package pairs real, executable OLAP operators (joins, SIMD-style column
+scans, simplified TPC-H queries) with a calibrated performance simulator of
+the paper's dual-socket SGXv2 testbed.  Operators compute correct results on
+numpy data while recording access profiles that the cost model prices under
+the paper's three execution settings (Plain CPU, SGX data-in-enclave, SGX
+data-outside-enclave).
+
+Quickstart::
+
+    from repro import SimMachine, ExecutionSetting
+    from repro.core.joins import RadixJoin
+    from repro.tables import generate_join_relation_pair
+
+    machine = SimMachine()
+    build, probe = generate_join_relation_pair(100e6, 400e6)
+    with machine.context(ExecutionSetting.sgx_data_in_enclave(), threads=16) as ctx:
+        result = RadixJoin().run(ctx, build, probe)
+        print(result.throughput_rows_per_s(machine.frequency_hz))
+"""
+
+from repro.enclave.runtime import ExecutionSetting, Mode
+from repro.machine import ExecutionContext, SimMachine
+from repro.memory.access import CodeVariant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionSetting",
+    "Mode",
+    "CodeVariant",
+    "SimMachine",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Benchmark harness: experiment registry, repetition runner, reporting."""
+
+from repro.bench.runner import RunStats, repeat_runs
+from repro.bench.report import ExperimentReport, ReportRow
+from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "RunStats",
+    "repeat_runs",
+    "ExperimentReport",
+    "ReportRow",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Terminal rendering of experiment reports as ASCII charts.
+
+The paper's artifacts are figures; the harness regenerates their data as
+tables.  This module closes the gap for terminal use: bar charts for
+categorical experiments (Fig. 1/3/8/9/10/11/17) and line-ish series charts
+for sweeps (Fig. 4/5/12-16).  Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.report import ExperimentReport
+from repro.errors import BenchmarkError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _format_x(x) -> str:
+    if isinstance(x, float) and x >= 1e4:
+        return f"{x:.0e}"
+    return str(x)
+
+
+def render_bars(
+    report: ExperimentReport, *, width: int = 78, bar_width: int = 40
+) -> str:
+    """Horizontal bar chart: one bar per (series, x) row, value-scaled."""
+    if not report.rows:
+        raise BenchmarkError(f"{report.experiment_id}: nothing to chart")
+    peak = max(row.value for row in report.rows)
+    if peak <= 0:
+        raise BenchmarkError(f"{report.experiment_id}: no positive values")
+    label_width = min(
+        40, max(len(f"{row.series} [{_format_x(row.x)}]") for row in report.rows)
+    )
+    lines = [f"{report.experiment_id}: {report.title}"]
+    for row in report.rows:
+        label = f"{row.series} [{_format_x(row.x)}]"[:label_width]
+        filled = row.value / peak * bar_width
+        whole = int(filled)
+        bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{bar_width}}| "
+            f"{row.value:.4g} {row.unit}"
+        )
+    return "\n".join(line[:width] for line in lines)
+
+
+def render_series(
+    report: ExperimentReport, *, height: int = 12, width: int = 60
+) -> str:
+    """Multi-series scatter chart over a shared x axis (sweep experiments).
+
+    X positions are rank-scaled (the paper's sweeps are log-spaced), each
+    series gets a distinct marker, and collisions show the later series.
+    """
+    names = report.series_names()
+    if not names:
+        raise BenchmarkError(f"{report.experiment_id}: nothing to chart")
+    xs: List = []
+    for row in report.rows:
+        if row.x not in xs:
+            xs.append(row.x)
+    if len(xs) < 2:
+        raise BenchmarkError(
+            f"{report.experiment_id}: need at least two x values for a "
+            "series chart; use render_bars"
+        )
+    markers = "ox+*#@%&"
+    values = [row.value for row in report.rows]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_positions: Dict = {
+        x: int(i / (len(xs) - 1) * (width - 1)) for i, x in enumerate(xs)
+    }
+    for series_index, name in enumerate(names):
+        marker = markers[series_index % len(markers)]
+        for row in report.series(name):
+            col = x_positions[row.x]
+            level = int((row.value - low) / span * (height - 1))
+            grid[height - 1 - level][col] = marker
+    lines = [f"{report.experiment_id}: {report.title}"]
+    lines.append(f"{high:.4g} {report.rows[0].unit}".rjust(14))
+    for grid_row in grid:
+        lines.append("  |" + "".join(grid_row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"{low:.4g}".rjust(14))
+    lines.append(
+        "   x: " + " .. ".join(_format_x(x) for x in (xs[0], xs[-1]))
+    )
+    for series_index, name in enumerate(names):
+        lines.append(f"   {markers[series_index % len(markers)]} = {name}")
+    return "\n".join(lines)
+
+
+def render(report: ExperimentReport, **kwargs) -> str:
+    """Choose a chart form automatically: sweeps get series, else bars."""
+    xs = {row.x for row in report.rows}
+    numeric = all(isinstance(x, (int, float)) for x in xs)
+    if numeric and len(xs) >= 3:
+        return render_series(report, **kwargs)
+    return render_bars(report, **kwargs)

@@ -1,0 +1,1 @@
+"""One module per reproduced figure/table of the paper."""

@@ -1,0 +1,77 @@
+"""Shared plumbing for the experiment modules.
+
+All experiments run against a fresh :class:`~repro.machine.SimMachine` per
+measurement (so EPC accounting starts clean) and use the paper's canonical
+workload sizes; ``quick`` mode shrinks the *physical* data and repetition
+count, never the logical sizes the cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.runner import PAPER_REPETITIONS, RunStats, repeat_runs
+from repro.enclave.runtime import ExecutionSetting
+from repro.machine import SimMachine
+
+#: The paper's canonical join inputs (Sec. 4): 100 MB build, 400 MB probe.
+BUILD_BYTES = 100e6
+PROBE_BYTES = 400e6
+
+#: Threads per socket on the testbed.
+SOCKET_THREADS = 16
+
+#: Physical row caps for the two fidelity modes.
+QUICK_ROW_CAP = 200_000
+FULL_ROW_CAP = 1_000_000
+
+QUICK_RUNS = 3
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Fidelity knobs shared by all experiments."""
+
+    quick: bool = True
+
+    @property
+    def runs(self) -> int:
+        return QUICK_RUNS if self.quick else PAPER_REPETITIONS
+
+    @property
+    def row_cap(self) -> int:
+        return QUICK_ROW_CAP if self.quick else FULL_ROW_CAP
+
+    @property
+    def tpch_sf_cap(self) -> float:
+        return 0.02 if self.quick else 0.1
+
+
+def make_machine(machine: Optional[SimMachine]) -> SimMachine:
+    """Use the provided machine's spec/params, but fresh state per call."""
+    if machine is None:
+        return SimMachine()
+    return SimMachine(machine.spec, machine.params)
+
+
+def measure_stats(
+    measure: Callable[[int], float], config: BenchConfig
+) -> RunStats:
+    """Repeat ``measure`` per the paper's protocol (mean ± std)."""
+    return repeat_runs(measure, runs=config.runs)
+
+
+def mrows(rows_per_second: float) -> float:
+    """Convert rows/s to the paper's M rows/s axis unit."""
+    return rows_per_second / 1e6
+
+
+def gb_per_s(bytes_per_second: float) -> float:
+    """Convert B/s to the paper's GB/s axis unit."""
+    return bytes_per_second / 1e9
+
+
+SETTING_PLAIN = ExecutionSetting.plain_cpu()
+SETTING_SGX_IN = ExecutionSetting.sgx_data_in_enclave()
+SETTING_SGX_OUT = ExecutionSetting.sgx_data_outside_enclave()

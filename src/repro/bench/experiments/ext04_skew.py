@@ -1,0 +1,93 @@
+"""Extension: probe-key skew as a natural enclave mitigation.
+
+The paper's join data is uniform (Sec. 4).  Real foreign keys are often
+Zipf-skewed, which concentrates hash-table probes on a hot set that stays
+cache-resident — and cache hits are the one access class SGXv2 never
+penalizes (Fig. 5 left).  This sweep runs the PHT join over increasingly
+skewed probe streams: absolute throughput rises for both settings, and the
+*relative* in-enclave performance recovers toward the in-cache 95 % of
+Fig. 4 as skew pushes the effective working set under L3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.experiments import common
+from repro.bench.report import ExperimentReport
+from repro.core.joins import ParallelHashJoin
+from repro.machine import SimMachine
+from repro.tables import generate_key_value_table
+from repro.tables.generator import skewed_probe_keys
+from repro.tables.table import Column, Table
+
+EXPERIMENT_ID = "ext04"
+TITLE = "Extension: PHT under Zipf-skewed probe keys"
+PAPER_REFERENCE = "Sec. 4.1 consequence (uniform-data assumption relaxed)"
+
+ZIPF_THETAS = (0.0, 0.5, 0.8, 1.0, 1.25)
+
+
+def _tables(seed: int, theta: float, row_cap: int):
+    rng = np.random.default_rng(seed)
+    build = generate_key_value_table(
+        "R", common.BUILD_BYTES, rng=rng, physical_row_cap=row_cap
+    )
+    probe_physical = row_cap
+    probe_scale = (common.PROBE_BYTES / 8) / probe_physical
+    indexes = skewed_probe_keys(build.num_rows, probe_physical, theta, rng)
+    probe = Table(
+        "S",
+        [
+            Column("key", build["key"][indexes]),
+            Column(
+                "payload",
+                rng.integers(0, 1 << 30, probe_physical, dtype=np.int32),
+            ),
+        ],
+        sim_scale=probe_scale,
+    )
+    return build, probe
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Relative and absolute PHT throughput per skew level."""
+    config = common.BenchConfig(quick)
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    for theta in ZIPF_THETAS:
+
+        def measure_relative(seed: int, _theta=theta) -> float:
+            build, probe = _tables(seed, _theta, config.row_cap)
+
+            def cycles(setting):
+                sim = common.make_machine(machine)
+                with sim.context(setting, threads=common.SOCKET_THREADS) as ctx:
+                    return ParallelHashJoin().run(ctx, build, probe).cycles
+
+            return cycles(common.SETTING_PLAIN) / cycles(common.SETTING_SGX_IN)
+
+        def measure_sgx(seed: int, _theta=theta) -> float:
+            build, probe = _tables(seed, _theta, config.row_cap)
+            sim = common.make_machine(machine)
+            with sim.context(
+                common.SETTING_SGX_IN, threads=common.SOCKET_THREADS
+            ) as ctx:
+                result = ParallelHashJoin().run(ctx, build, probe)
+            return common.mrows(result.throughput_rows_per_s(sim.frequency_hz))
+
+        report.add("SGX relative to plain", theta,
+                   common.measure_stats(measure_relative, config), "x of plain")
+        report.add("SGX throughput", theta,
+                   common.measure_stats(measure_sgx, config), "M rows/s")
+    uniform = report.value("SGX relative to plain", 0.0)
+    heavy = report.value("SGX relative to plain", ZIPF_THETAS[-1])
+    report.notes.append(
+        f"relative in-enclave PHT performance recovers from {uniform:.2f} "
+        f"(uniform) to {heavy:.2f} under Zipf {ZIPF_THETAS[-1]} — skew keeps "
+        "the hot table entries in cache, where SGX adds no cost"
+    )
+    return report

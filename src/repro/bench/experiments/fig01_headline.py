@@ -1,0 +1,59 @@
+"""Figure 1: the headline join comparison.
+
+Joining a 100 MB (hash) and a 400 MB (probe) table with 16 threads inside
+an SGXv2 enclave: the SGXv1-optimized CrkJoin is not competitive (blue), a
+state-of-the-art radix join is the better starting point (orange), and with
+the unroll/reorder optimization (green) it approaches the join outside the
+enclave (red).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common
+from repro.bench.report import ExperimentReport
+from repro.core.joins import CrkJoin, RadixJoin
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair
+
+EXPERIMENT_ID = "fig01"
+TITLE = "Headline join comparison (100 MB x 400 MB, 16 threads)"
+PAPER_REFERENCE = "Figure 1"
+
+_BARS = (
+    ("CrkJoin (SGXv1-opt.) in SGX", CrkJoin, CodeVariant.NAIVE, common.SETTING_SGX_IN),
+    ("RHO in SGX", RadixJoin, CodeVariant.NAIVE, common.SETTING_SGX_IN),
+    ("RHO SGXv2-optimized in SGX", RadixJoin, CodeVariant.UNROLLED, common.SETTING_SGX_IN),
+    ("RHO outside enclave", RadixJoin, CodeVariant.NAIVE, common.SETTING_PLAIN),
+)
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Measure the four Fig. 1 bars (M rows/s, mean ± std)."""
+    config = common.BenchConfig(quick)
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    for label, join_cls, variant, setting in _BARS:
+
+        def measure(seed: int, _cls=join_cls, _var=variant, _set=setting) -> float:
+            sim = common.make_machine(machine)
+            build, probe = generate_join_relation_pair(
+                common.BUILD_BYTES,
+                common.PROBE_BYTES,
+                seed=seed,
+                physical_row_cap=config.row_cap,
+            )
+            with sim.context(_set, threads=common.SOCKET_THREADS) as ctx:
+                result = _cls(_var).run(ctx, build, probe)
+            return common.mrows(result.throughput_rows_per_s(sim.frequency_hz))
+
+        report.add(label, "throughput", common.measure_stats(measure, config), "M rows/s")
+    crk = report.value("CrkJoin (SGXv1-opt.) in SGX", "throughput")
+    opt = report.value("RHO SGXv2-optimized in SGX", "throughput")
+    report.notes.append(
+        f"SGXv2-optimized RHO over CrkJoin: {opt / crk:.1f}x (paper: ~20x)"
+    )
+    return report

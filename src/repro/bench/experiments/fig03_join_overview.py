@@ -1,0 +1,62 @@
+"""Figure 3: join-algorithm overview, plain CPU vs SGX (data in enclave).
+
+Five joins on the 100 MB x 400 MB workload with all 16 threads of one
+socket.  Expected shape: CrkJoin slowest (~60 M rows/s in the enclave);
+every state-of-the-art join beats it (3x for INL up to 12x for RHO); hash
+joins (PHT, RHO) lead in absolute terms but show by far the largest
+in-enclave reduction, while MWAY/INL are nearly unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common
+from repro.bench.report import ExperimentReport
+from repro.core.joins import ALL_JOINS
+from repro.machine import SimMachine
+from repro.tables import generate_join_relation_pair
+
+EXPERIMENT_ID = "fig03"
+TITLE = "Join overview: five algorithms, plain CPU vs SGX"
+PAPER_REFERENCE = "Figure 3"
+
+_SETTINGS = (
+    ("Plain CPU", common.SETTING_PLAIN),
+    ("SGX (Data in Enclave)", common.SETTING_SGX_IN),
+)
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Measure throughput of every join under both settings."""
+    config = common.BenchConfig(quick)
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    for join_cls in ALL_JOINS:
+        for setting_label, setting in _SETTINGS:
+
+            def measure(seed: int, _cls=join_cls, _set=setting) -> float:
+                sim = common.make_machine(machine)
+                build, probe = generate_join_relation_pair(
+                    common.BUILD_BYTES,
+                    common.PROBE_BYTES,
+                    seed=seed,
+                    physical_row_cap=config.row_cap,
+                )
+                with sim.context(_set, threads=common.SOCKET_THREADS) as ctx:
+                    result = _cls().run(ctx, build, probe)
+                return common.mrows(result.throughput_rows_per_s(sim.frequency_hz))
+
+            report.add(
+                setting_label, join_cls.name, common.measure_stats(measure, config),
+                "M rows/s",
+            )
+    crk = report.value("SGX (Data in Enclave)", "CrkJoin")
+    rho = report.value("SGX (Data in Enclave)", "RHO")
+    inl = report.value("SGX (Data in Enclave)", "INL")
+    report.notes.append(
+        f"in-enclave speedup over CrkJoin: RHO {rho / crk:.1f}x (paper ~12x), "
+        f"INL {inl / crk:.1f}x (paper ~3x)"
+    )
+    return report

@@ -1,0 +1,102 @@
+"""Figure 9: RHO join throughput on the NUMA system, worst vs best cases.
+
+Because SGX offers neither NUMA-local allocation nor thread affinity,
+enclave placements can degenerate.  Cases measured (all 100 MB x 400 MB):
+
+* *SGX Join Single Node*  — enclave and 16 threads on node 0 (baseline);
+* *SGX Join Fully Remote* — enclave memory on node 0, all 16 threads on
+  node 1 (expected: ~-25 %);
+* *SGX Join Half Local*   — enclave on node 0, all 32 cores join
+  (expected: no gain over 16 local threads);
+* *Native Join NUMA local* — plain CPU, inputs pre-partitioned on both
+  nodes, 16 threads each (expected: ~2x the single-node throughput; every
+  SGX case stays below half of it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common
+from repro.bench.report import ExperimentReport
+from repro.core.joins import RadixJoin
+from repro.exec.placement import Placement
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair
+
+EXPERIMENT_ID = "fig09"
+TITLE = "RHO join under NUMA placements (SGX worst cases vs native best)"
+PAPER_REFERENCE = "Figure 9"
+
+
+def _throughput(machine, config, seed, *, setting, data_node, placement_kind):
+    sim = common.make_machine(machine)
+    if placement_kind == "numa-local-native":
+        # Both inputs pre-partitioned across the sockets: each socket joins
+        # its half with 16 local threads, concurrently.  One half-size local
+        # join provides the wall-clock; throughput counts both halves.
+        build, probe = generate_join_relation_pair(
+            common.BUILD_BYTES / 2,
+            common.PROBE_BYTES / 2,
+            seed=seed,
+            physical_row_cap=config.row_cap,
+        )
+        with sim.context(setting, threads=common.SOCKET_THREADS) as ctx:
+            result = RadixJoin(CodeVariant.UNROLLED).run(ctx, build, probe)
+        seconds = result.seconds(sim.frequency_hz)
+        return common.mrows(2 * result.input_rows / seconds)
+    build, probe = generate_join_relation_pair(
+        common.BUILD_BYTES,
+        common.PROBE_BYTES,
+        seed=seed,
+        physical_row_cap=config.row_cap,
+    )
+    if placement_kind == "local":
+        placement = Placement.on_node(sim.topology, data_node, common.SOCKET_THREADS)
+    elif placement_kind == "remote":
+        placement = Placement.on_node(
+            sim.topology, 1 - data_node, common.SOCKET_THREADS
+        )
+    elif placement_kind == "all-cores":
+        placement = Placement.all_cores(sim.topology)
+    else:
+        raise ValueError(placement_kind)
+    with sim.context(setting, data_node=data_node, placement=placement) as ctx:
+        result = RadixJoin(CodeVariant.UNROLLED).run(ctx, build, probe)
+    return common.mrows(result.throughput_rows_per_s(sim.frequency_hz))
+
+
+_CASES = (
+    ("SGX Join Single Node", common.SETTING_SGX_IN, "local"),
+    ("SGX Join Fully Remote", common.SETTING_SGX_IN, "remote"),
+    ("SGX Join Half Local", common.SETTING_SGX_IN, "all-cores"),
+    ("Native Join NUMA local", common.SETTING_PLAIN, "numa-local-native"),
+)
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Throughput of the four NUMA placement cases."""
+    config = common.BenchConfig(quick)
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    for label, setting, kind in _CASES:
+
+        def measure(seed: int, _set=setting, _kind=kind) -> float:
+            return _throughput(
+                machine, config, seed, setting=_set, data_node=0,
+                placement_kind=_kind,
+            )
+
+        report.add(label, "throughput", common.measure_stats(measure, config),
+                   "M rows/s")
+    base = report.value("SGX Join Single Node", "throughput")
+    remote = report.value("SGX Join Fully Remote", "throughput")
+    best = report.value("Native Join NUMA local", "throughput")
+    report.notes.append(
+        f"fully remote {remote / base - 1:+.0%} vs single node (paper -25 %); "
+        f"best SGX case reaches {max(base, remote) / best:.0%} of the native "
+        "NUMA-local optimum (paper: < 50 %)"
+    )
+    return report

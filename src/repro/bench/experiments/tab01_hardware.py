@@ -1,0 +1,48 @@
+"""Table 1: the benchmark hardware, as encoded in the simulator.
+
+Reports every row of the paper's hardware table from the
+:class:`~repro.hardware.spec.HardwareSpec` the simulation runs on, so any
+deviation between the simulated platform and the paper's testbed is visible
+in the harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common
+from repro.bench.report import ExperimentReport
+from repro.machine import SimMachine
+from repro.units import GiB, KiB, MiB
+
+EXPERIMENT_ID = "tab01"
+TITLE = "Benchmark hardware (simulated testbed)"
+PAPER_REFERENCE = "Table 1"
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Emit the Table 1 rows from the active hardware spec."""
+    del quick  # the table is static
+    spec = common.make_machine(machine).spec
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    report.add("Sockets", "count", spec.sockets, "")
+    report.add("Cores per socket", "count", spec.cores_per_socket, "")
+    report.add("Threads per socket", "count",
+               spec.cores_per_socket * spec.threads_per_core, "")
+    report.add("Base frequency", "GHz", spec.base_frequency_hz / 1e9, "GHz")
+    report.add("L1d per core", "KB", spec.l1d.capacity_bytes / KiB, "KiB")
+    report.add("L2 per core", "KB", spec.l2.capacity_bytes / KiB, "KiB")
+    report.add("L3 per socket", "MB", spec.l3.capacity_bytes / MiB, "MiB")
+    report.add("Memory channels per socket", "count", spec.memory.channels, "")
+    report.add("Memory per socket", "GB",
+               spec.memory.capacity_bytes / GiB, "GiB")
+    report.add("EPC per socket", "GB", spec.epc_bytes_per_socket / GiB, "GiB")
+    report.add("UPI links", "count", spec.upi_links, "")
+    report.add("UPI aggregate bandwidth", "GB/s",
+               spec.upi_total_bandwidth_bytes / 1e9, "GB/s")
+    report.notes.append(f"platform: {spec.name}")
+    for key, value in spec.notes.items():
+        report.notes.append(f"{key}: {value}")
+    return report

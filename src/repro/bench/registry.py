@@ -1,0 +1,89 @@
+"""Registry mapping experiment ids to their modules.
+
+``run_experiment("fig08")`` regenerates one figure; the CLI and the
+pytest-benchmark suite both resolve experiments through this table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.experiments import (
+    fig01_headline,
+    fig03_join_overview,
+    fig04_pht_random_access,
+    fig05_random_access_micro,
+    fig06_rho_breakdown,
+    fig07_histogram,
+    fig08_optimized_joins,
+    fig09_numa_joins,
+    fig10_queue_contention,
+    fig11_edmm,
+    fig12_scan_single,
+    fig13_scan_scaling,
+    fig14_selectivity,
+    fig15_linear_micro,
+    fig16_numa_scan,
+    fig17_tpch,
+    tab01_hardware,
+    ext01_sgxv1_legacy,
+    ext02_packed_scan,
+    ext03_aggregation,
+    ext04_skew,
+    ext05_pipelining,
+    ext06_epc_crossover,
+)
+from repro.bench.report import ExperimentReport
+from repro.errors import BenchmarkError
+from repro.machine import SimMachine
+
+EXPERIMENTS: Dict[str, object] = {
+    module.EXPERIMENT_ID: module
+    for module in (
+        fig01_headline,
+        fig03_join_overview,
+        fig04_pht_random_access,
+        fig05_random_access_micro,
+        fig06_rho_breakdown,
+        fig07_histogram,
+        fig08_optimized_joins,
+        fig09_numa_joins,
+        fig10_queue_contention,
+        fig11_edmm,
+        fig12_scan_single,
+        fig13_scan_scaling,
+        fig14_selectivity,
+        fig15_linear_micro,
+        fig16_numa_scan,
+        fig17_tpch,
+        tab01_hardware,
+        ext01_sgxv1_legacy,
+        ext02_packed_scan,
+        ext03_aggregation,
+        ext04_skew,
+        ext05_pipelining,
+        ext06_epc_crossover,
+    )
+}
+
+
+def get_experiment(experiment_id: str):
+    """The experiment module for ``experiment_id`` (or raise)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str,
+    machine: Optional[SimMachine] = None,
+    *,
+    quick: bool = True,
+) -> ExperimentReport:
+    """Run one experiment and return its report."""
+    module = get_experiment(experiment_id)
+    return module.run(machine, quick=quick)

@@ -1,0 +1,114 @@
+"""Experiment reports: the rows/series the paper's figures plot.
+
+Every experiment module produces one :class:`ExperimentReport`; its rows
+carry a series label (one bar group / line), an x value (size, threads,
+selectivity, ...), the measured value with repetition spread, and the unit.
+``print_table`` renders the same rows the paper reports; ``to_csv`` feeds
+external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.bench.runner import RunStats
+from repro.errors import BenchmarkError
+
+XValue = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One measured point of an experiment."""
+
+    series: str
+    x: XValue
+    value: float
+    unit: str
+    std: float = 0.0
+
+    def formatted(self) -> str:
+        if self.std:
+            return f"{self.value:.4g} ± {self.std:.2g} {self.unit}"
+        return f"{self.value:.4g} {self.unit}"
+
+
+@dataclass
+class ExperimentReport:
+    """All rows of one reproduced figure/table plus paper context."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    rows: List[ReportRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        series: str,
+        x: XValue,
+        value: Union[float, RunStats],
+        unit: str,
+    ) -> None:
+        """Append one row (RunStats values carry their spread along)."""
+        if isinstance(value, RunStats):
+            self.rows.append(ReportRow(series, x, value.mean, unit, value.std))
+        else:
+            self.rows.append(ReportRow(series, x, float(value), unit))
+
+    def series(self, name: str) -> List[ReportRow]:
+        """All rows of one series, in insertion order."""
+        return [row for row in self.rows if row.series == name]
+
+    def series_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.series, None)
+        return list(seen)
+
+    def value(self, series: str, x: XValue) -> float:
+        """The measured value at (series, x); raises when absent."""
+        for row in self.rows:
+            if row.series == series and row.x == x:
+                return row.value
+        raise BenchmarkError(
+            f"{self.experiment_id}: no row for series {series!r} at x={x!r}"
+        )
+
+    def ratio(self, numerator: str, denominator: str, x: XValue) -> float:
+        """Convenience: value(numerator, x) / value(denominator, x)."""
+        denom = self.value(denominator, x)
+        if denom == 0:
+            raise BenchmarkError(f"{self.experiment_id}: zero denominator at {x!r}")
+        return self.value(numerator, x) / denom
+
+    # -- rendering --------------------------------------------------------
+
+    def print_table(self, width: int = 78) -> str:
+        """Render the report as the text table the harness prints."""
+        lines = [
+            "=" * width,
+            f"{self.experiment_id}: {self.title}",
+            f"(reproduces {self.paper_reference})",
+            "-" * width,
+            f"{'series':<34} {'x':>12} {'value':>24}",
+            "-" * width,
+        ]
+        for row in self.rows:
+            lines.append(f"{row.series:<34} {str(row.x):>12} {row.formatted():>24}")
+        if self.notes:
+            lines.append("-" * width)
+            for note in self.notes:
+                lines.append(f"note: {note}")
+        lines.append("=" * width)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering: series,x,value,std,unit."""
+        lines = ["series,x,value,std,unit"]
+        for row in self.rows:
+            lines.append(
+                f"{row.series},{row.x},{row.value!r},{row.std!r},{row.unit}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Repetition runner: the paper's "ten runs, arithmetic mean ± std" protocol.
+
+Simulated costs are deterministic for a fixed input, so repetitions vary
+the data-generation seed — the residual spread reflects data-dependent
+effects (partition skew, chain lengths), which is also what repeated runs
+on the real hardware would pick up once machine noise is controlled as
+carefully as the paper controls it (fixed frequency, pinned threads).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import BenchmarkError
+
+#: The paper's repetition count (Sec. 3).
+PAPER_REPETITIONS = 10
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean and standard deviation over repeated runs."""
+
+    mean: float
+    std: float
+    samples: Sequence[float]
+
+    @property
+    def runs(self) -> int:
+        return len(self.samples)
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (0 when the mean is 0)."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3g"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def summarize(samples: Sequence[float]) -> RunStats:
+    """Arithmetic mean and population standard deviation of ``samples``."""
+    if not samples:
+        raise BenchmarkError("cannot summarize zero samples")
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return RunStats(mean=mean, std=math.sqrt(variance), samples=tuple(samples))
+
+
+def repeat_runs(
+    measure: Callable[[int], float],
+    *,
+    runs: int = PAPER_REPETITIONS,
+    base_seed: int = 42,
+) -> RunStats:
+    """Call ``measure(seed)`` ``runs`` times and summarize the results."""
+    if runs < 1:
+        raise BenchmarkError("need at least one run")
+    samples: List[float] = []
+    for i in range(runs):
+        samples.append(float(measure(base_seed + i)))
+    return summarize(samples)

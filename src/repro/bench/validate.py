@@ -1,0 +1,167 @@
+"""Calibration validator: one model, every paper anchor.
+
+DESIGN.md promises that all experiments derive from a *single* calibrated
+cost model rather than per-figure tuning.  This module makes that claim
+checkable: :func:`validate_calibration` prices the paper's anchor
+measurements directly against the cost model (no operators, no benchmark
+code in between) and reports each as pass/fail within a tolerance.
+
+Run it via ``sgxv2-bench --validate`` or programmatically; the benchmark
+suite asserts that every anchor holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.machine import SimMachine
+from repro.memory.access import AccessBatch, CodeVariant, Locality, PatternKind
+from repro.memory.cost_model import CostEnvironment
+
+#: Default acceptance band around each paper anchor.
+DEFAULT_TOLERANCE = 0.08
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One paper measurement checked against the model."""
+
+    name: str
+    source: str
+    expected: float
+    measured: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        if self.expected == 0:
+            return abs(self.measured) <= self.tolerance
+        return abs(self.measured - self.expected) <= self.tolerance * abs(
+            self.expected
+        )
+
+    def describe(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.name}: expected {self.expected:.3g}, "
+            f"model {self.measured:.3g} (±{self.tolerance:.0%}; {self.source})"
+        )
+
+
+class CalibrationValidator:
+    """Prices each anchor pattern and compares against the paper value."""
+
+    def __init__(self, machine: Optional[SimMachine] = None) -> None:
+        self.machine = machine or SimMachine()
+        self._model = self.machine.cost_model
+        self._epc = Locality(0, True)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _ratio(self, batch: AccessBatch, *, concurrency: int = 1,
+               thread_node: int = 0) -> float:
+        """SGX cycles / plain cycles for one batch."""
+        plain = self._model.batch_cycles(
+            batch, CostEnvironment(False, thread_node, concurrency)
+        )
+        sgx = self._model.batch_cycles(
+            batch, CostEnvironment(True, thread_node, concurrency)
+        )
+        return sgx / plain
+
+    def _chase(self, ws: float) -> AccessBatch:
+        return AccessBatch(
+            kind=PatternKind.DEPENDENT_READ, count=1e6, element_bytes=8,
+            working_set_bytes=ws, locality=self._epc, parallelism=1.0,
+            compute_cycles_per_item=0.0,
+        )
+
+    def _write(self, ws: float) -> AccessBatch:
+        return AccessBatch(
+            kind=PatternKind.RANDOM_WRITE, count=1e6, element_bytes=8,
+            working_set_bytes=ws, locality=self._epc, parallelism=8.0,
+            compute_cycles_per_item=0.0,
+        )
+
+    def _stream(self, kind: PatternKind, variant: CodeVariant) -> AccessBatch:
+        return AccessBatch(
+            kind=kind, count=1e6, element_bytes=8, working_set_bytes=8e9,
+            locality=self._epc, variant=variant,
+        )
+
+    def _rmw(self, variant: CodeVariant) -> AccessBatch:
+        return AccessBatch(
+            kind=PatternKind.RMW_LOOP, count=1e6, element_bytes=8,
+            working_set_bytes=4e8, locality=self._epc, variant=variant,
+            parallelism=8.0, compute_cycles_per_item=1.3,
+            table_bytes=64e3, table_locality=self._epc,
+            reorder_sensitivity=1.0,
+        )
+
+    # -- the anchor table ----------------------------------------------------
+
+    def run(self, tolerance: float = DEFAULT_TOLERANCE) -> List[AnchorCheck]:
+        """Check every anchor; returns the full list (passes and failures)."""
+        checks: List[AnchorCheck] = []
+
+        def add(name, source, expected, measured, tol=tolerance):
+            checks.append(AnchorCheck(name, source, expected, measured, tol))
+
+        # Random reads (pointer chase).
+        add("in-cache dependent reads unpenalized", "Fig. 5 left",
+            1.0, self._ratio(self._chase(1e6)))
+        add("dependent reads at 16 GB", "Fig. 5 (53 % relative)",
+            1 / 0.53, self._ratio(self._chase(16e9)))
+        # Random writes.
+        add("random writes at 256 MB", "Fig. 5 (2x)",
+            2.0, self._ratio(self._write(256e6)))
+        add("random writes at 8 GB", "Fig. 5 (~3x)",
+            2.95, self._ratio(self._write(8e9)))
+        # Sequential access.
+        add("linear 64-bit reads", "Fig. 15 (-5.5 %)",
+            1.055, self._ratio(self._stream(PatternKind.SEQ_READ,
+                                            CodeVariant.NAIVE)), 0.02)
+        add("linear 512-bit reads", "Fig. 15 (-3 %)",
+            1.03, self._ratio(self._stream(PatternKind.SEQ_READ,
+                                           CodeVariant.SIMD)), 0.02)
+        add("linear writes", "Fig. 15 (-2 %)",
+            1.02, self._ratio(self._stream(PatternKind.SEQ_WRITE,
+                                           CodeVariant.SIMD)), 0.02)
+        # Enclave-mode loop execution.
+        add("naive RMW loop", "Fig. 7 (225 % slower)",
+            3.25, self._ratio(self._rmw(CodeVariant.NAIVE)))
+        add("unrolled RMW loop", "Fig. 7 (20 % slower)",
+            1.20, self._ratio(self._rmw(CodeVariant.UNROLLED)))
+        # UPI encryption.
+        add("cross-NUMA scan, 1 thread", "Fig. 16 (77 %)",
+            1 / 0.77,
+            self._ratio(self._stream(PatternKind.SEQ_READ, CodeVariant.SIMD),
+                        thread_node=1, concurrency=1))
+        add("cross-NUMA scan, 16 threads", "Fig. 16 (96 %)",
+            1 / 0.96,
+            self._ratio(self._stream(PatternKind.SEQ_READ, CodeVariant.SIMD),
+                        thread_node=1, concurrency=16), 0.03)
+        # Hardware bounds.
+        add("UPI aggregate bandwidth (GB/s)", "Sec. 5.5 (67.2 GB/s)",
+            67.2, self.machine.spec.upi_total_bandwidth_bytes / 1e9, 0.001)
+        add("EPC per socket (GiB)", "Table 1 (64 GB)",
+            64.0, self.machine.spec.epc_bytes_per_socket / (1 << 30), 0.001)
+        return checks
+
+    def report(self, tolerance: float = DEFAULT_TOLERANCE) -> str:
+        """Human-readable validation report."""
+        checks = self.run(tolerance)
+        failed = sum(1 for c in checks if not c.passed)
+        lines = ["calibration validation: "
+                 f"{len(checks) - failed}/{len(checks)} anchors hold"]
+        lines += [check.describe() for check in checks]
+        return "\n".join(lines)
+
+
+def validate_calibration(
+    machine: Optional[SimMachine] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[AnchorCheck]:
+    """Convenience wrapper: validate the (default) machine's calibration."""
+    return CalibrationValidator(machine).run(tolerance)

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Examples::
+
+    sgxv2-bench --list
+    sgxv2-bench fig08
+    sgxv2-bench all --full --csv results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sgxv2-bench",
+        description=(
+            "Regenerate the figures/tables of 'Benchmarking Analytical "
+            "Query Processing in Intel SGXv2' on the simulated testbed."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig08 fig17), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known experiments and exit"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-fidelity mode: 10 repetitions and larger physical data",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write one CSV per experiment into DIR",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render each experiment as an ASCII chart as well",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="run the experiments and write one Markdown report to FILE",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every calibration anchor against the cost model and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        from repro.bench.validate import CalibrationValidator
+
+        validator = CalibrationValidator()
+        print(validator.report())
+        checks = validator.run()
+        return 0 if all(check.passed for check in checks) else 1
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            module = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:8s} {module.TITLE}")
+        return 0
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        requested = sorted(EXPERIMENTS)
+    if args.report:
+        from repro.bench.session import write_report
+
+        path = write_report(args.report, requested, quick=not args.full)
+        print(f"wrote {path}")
+        return 0
+    csv_dir = pathlib.Path(args.csv) if args.csv else None
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in requested:
+        report = run_experiment(experiment_id, quick=not args.full)
+        print(report.print_table())
+        if args.chart:
+            from repro.bench.charts import render
+
+            print()
+            print(render(report))
+        print()
+        if csv_dir is not None:
+            (csv_dir / f"{experiment_id}.csv").write_text(report.to_csv())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

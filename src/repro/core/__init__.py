@@ -1,0 +1,2 @@
+"""The paper's query-processing operators: joins, scans, micro-benchmarks,
+and full TPC-H queries."""

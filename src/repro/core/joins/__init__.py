@@ -1,0 +1,21 @@
+"""The five join algorithms of the paper's benchmark suite (Sec. 4)."""
+
+from repro.core.joins.base import JoinAlgorithm, JoinResult
+from repro.core.joins.pht import ParallelHashJoin
+from repro.core.joins.radix import RadixJoin
+from repro.core.joins.mway import SortMergeJoin
+from repro.core.joins.inl import IndexNestedLoopJoin
+from repro.core.joins.crkjoin import CrkJoin
+
+__all__ = [
+    "JoinAlgorithm",
+    "JoinResult",
+    "ParallelHashJoin",
+    "RadixJoin",
+    "SortMergeJoin",
+    "IndexNestedLoopJoin",
+    "CrkJoin",
+]
+
+#: The algorithms of the Fig. 3 overview, in the paper's order.
+ALL_JOINS = (CrkJoin, ParallelHashJoin, RadixJoin, SortMergeJoin, IndexNestedLoopJoin)

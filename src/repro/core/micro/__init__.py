@@ -1,0 +1,16 @@
+"""Micro-benchmarks used to isolate SGXv2 root causes (Sec. 4.1/4.2/5.4)."""
+
+from repro.core.micro.pointer_chase import PointerChaseBenchmark, build_pointer_cycle
+from repro.core.micro.random_write import Lcg, RandomWriteBenchmark
+from repro.core.micro.histogram import HistogramBenchmark
+from repro.core.micro.pmbw import LinearAccessBenchmark, LinearOp
+
+__all__ = [
+    "PointerChaseBenchmark",
+    "build_pointer_cycle",
+    "Lcg",
+    "RandomWriteBenchmark",
+    "HistogramBenchmark",
+    "LinearAccessBenchmark",
+    "LinearOp",
+]

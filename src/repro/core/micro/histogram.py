@@ -1,0 +1,111 @@
+"""Radix-histogram micro-benchmark (Sec. 4.2, Fig. 7 / Listings 1 and 2).
+
+Builds a histogram of the low key bits of a fixed-size random array for
+varying bin counts.  The *result* is identical for every code variant; the
+*cost* differs dramatically inside an enclave: the naive loop (Listing 1)
+is 225 % slower in enclave mode regardless of where the data lives, the
+manually unrolled-and-reordered loop (Listing 2) only 20 %, and the
+AVX-assisted 32x unrolling narrows the gap further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.micro.pointer_chase import MicroResult
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionContext
+from repro.memory.access import AccessBatch, AccessProfile, CodeVariant, PatternKind
+
+#: One histogram counter is a 32-bit integer.
+BIN_BYTES = 4
+
+#: Bytes of one scanned input element (the join tuple of Listing 1).
+ELEMENT_BYTES = 8
+
+
+def histogram_naive(keys: np.ndarray, bins: int) -> np.ndarray:
+    """Listing 1: scan, mask, increment — expressed over numpy."""
+    mask = bins - 1
+    return np.bincount(keys & mask, minlength=bins)
+
+
+def histogram_unrolled(keys: np.ndarray, bins: int) -> np.ndarray:
+    """Listing 2: 8x unrolled — indexes first, increments after.
+
+    The result is provably identical to the naive loop; the function exists
+    so the two code paths both run for real and can be cross-checked, as
+    the paper's variants were.
+    """
+    mask = bins - 1
+    head = (len(keys) // 8) * 8
+    counts = np.zeros(bins, dtype=np.int64)
+    if head:
+        # "Calculate 8 indexes, then issue 8 increments": the reshaped view
+        # computes all indexes of one unroll group before counting.
+        idx_groups = (keys[:head] & mask).reshape(-1, 8)
+        for lane in range(8):
+            counts += np.bincount(idx_groups[:, lane], minlength=bins)
+    counts += np.bincount(keys[head:] & mask, minlength=bins)
+    return counts
+
+
+class HistogramBenchmark:
+    """Histogram creation over a fixed array, sweeping the bin count."""
+
+    name = "radix-histogram"
+
+    def __init__(self, input_bytes: float, *, physical_cap_rows: int = 2_000_000):
+        if input_bytes < ELEMENT_BYTES:
+            raise ConfigurationError("input must hold at least one element")
+        self.input_bytes = float(input_bytes)
+        self.physical_rows = min(int(input_bytes // ELEMENT_BYTES), physical_cap_rows)
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        *,
+        bins: int,
+        variant: CodeVariant = CodeVariant.NAIVE,
+        seed: int = 21,
+    ) -> MicroResult:
+        """Build the histogram with ``bins`` bins under ``ctx``."""
+        if bins < 1 or bins & (bins - 1):
+            raise ConfigurationError("bins must be a power of two")
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 1 << 31, size=self.physical_rows, dtype=np.int64)
+        if variant is CodeVariant.NAIVE:
+            counts = histogram_naive(keys, bins)
+        else:
+            counts = histogram_unrolled(keys, bins)
+        checksum = int(counts.sum())
+
+        logical_rows = self.input_bytes / ELEMENT_BYTES
+        ctx.allocate("hist-input", int(self.input_bytes))
+        executor = ctx.executor()
+        profile = AccessProfile()
+        profile.add(
+            AccessBatch(
+                kind=PatternKind.RMW_LOOP,
+                count=logical_rows / ctx.threads,
+                element_bytes=ELEMENT_BYTES,
+                working_set_bytes=self.input_bytes,
+                locality=ctx.data_locality,
+                variant=variant,
+                parallelism=8.0,
+                compute_cycles_per_item=1.3,
+                table_bytes=max(1.0, bins * BIN_BYTES),
+                table_locality=ctx.data_locality,
+                table_writes=True,
+                reorder_sensitivity=1.0,
+                label="histogram",
+            )
+        )
+        executor.run_uniform_phase("histogram", profile)
+        return MicroResult(
+            name=self.name,
+            setting=ctx.setting.label,
+            operations=logical_rows,
+            cycles=executor.total_cycles(),
+            checksum=checksum,
+        )

@@ -1,0 +1,101 @@
+"""pmbw-style linear read/write bandwidth benchmark (Sec. 5.4, Fig. 15).
+
+The original pmbw writes its loops in assembly so compilers can neither
+vectorize the scalar variants nor delete the read loops; we mirror its four
+kernels — 64-bit and 512-bit reads and writes — as numpy reductions/fills
+with the operand width captured in the priced access batch.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.micro.pointer_chase import MicroResult
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionContext
+from repro.memory.access import AccessProfile, CodeVariant
+
+
+class LinearOp(enum.Enum):
+    """The four pmbw kernels used in Fig. 15."""
+
+    READ_64 = ("read", 8, CodeVariant.NAIVE)
+    READ_512 = ("read", 64, CodeVariant.SIMD)
+    WRITE_64 = ("write", 8, CodeVariant.NAIVE)
+    WRITE_512 = ("write", 64, CodeVariant.SIMD)
+
+    def __init__(self, direction: str, operand_bytes: int, variant: CodeVariant):
+        self.direction = direction
+        self.operand_bytes = operand_bytes
+        self.variant = variant
+
+
+class LinearAccessBenchmark:
+    """Streaming reads or writes over an array of ``array_bytes``."""
+
+    name = "pmbw-linear"
+
+    def __init__(self, array_bytes: float, *, physical_cap_bytes: int = 16_000_000):
+        if array_bytes < 8:
+            raise ConfigurationError("array must hold at least one operand")
+        self.array_bytes = float(array_bytes)
+        self.physical_bytes = min(int(array_bytes), physical_cap_bytes)
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        op: LinearOp,
+        *,
+        repeats: int = 1,
+        seed: int = 5,
+    ) -> MicroResult:
+        """Stream the array ``repeats`` times with kernel ``op``."""
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        rng = np.random.default_rng(seed)
+        elements = max(1, self.physical_bytes // 8)
+        array = rng.integers(0, 1 << 31, size=elements, dtype=np.int64)
+        if op.direction == "read":
+            checksum = int(array.sum()) & ((1 << 63) - 1)
+        else:
+            array[:] = 42
+            checksum = int(array[0] + array[-1])
+
+        ctx.allocate("pmbw-array", int(self.array_bytes))
+        executor = ctx.executor()
+        locality = ctx.data_locality
+        operations = self.array_bytes / op.operand_bytes
+        share = operations / ctx.threads
+        profile = AccessProfile()
+        for _ in range(repeats):
+            if op.direction == "read":
+                profile.seq_read(
+                    share, op.operand_bytes, locality, variant=op.variant,
+                    working_set_bytes=self.array_bytes,
+                    label=op.name.lower(),
+                )
+            else:
+                profile.seq_write(
+                    share, op.operand_bytes, locality, variant=op.variant,
+                    working_set_bytes=self.array_bytes,
+                    label=op.name.lower(),
+                )
+        executor.run_uniform_phase("stream", profile)
+        return MicroResult(
+            name=f"{self.name}-{op.name.lower()}",
+            setting=ctx.setting.label,
+            operations=operations * repeats,
+            cycles=executor.total_cycles(),
+            checksum=checksum,
+        )
+
+    def bandwidth_bytes_per_s(
+        self, result: MicroResult, op: LinearOp, frequency_hz: float
+    ) -> float:
+        """Aggregate streamed bytes per second for a finished run."""
+        seconds = result.cycles / frequency_hz
+        if seconds <= 0:
+            raise ConfigurationError("benchmark consumed no simulated time")
+        return result.operations * op.operand_bytes / seconds

@@ -1,0 +1,13 @@
+"""Additional OLAP operators beyond the paper's core join/scan set."""
+
+from repro.core.ops.aggregate import AggFunc, AggregateResult, HashAggregate
+from repro.core.ops.sort import ParallelSort, SortResult, TopK
+
+__all__ = [
+    "AggFunc",
+    "AggregateResult",
+    "HashAggregate",
+    "ParallelSort",
+    "SortResult",
+    "TopK",
+]

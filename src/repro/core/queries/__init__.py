@@ -1,0 +1,29 @@
+"""Materializing query plans and the TPC-H queries of Sec. 6."""
+
+from repro.core.queries.builder import PlanBuilder
+from repro.core.queries.plan import CountStep, FilterStep, JoinStep, QueryPlan
+from repro.core.queries.executor import QueryExecutor, QueryResult
+from repro.core.queries.tpch_queries import (
+    TPCH_QUERIES,
+    q3_plan,
+    q10_plan,
+    q12_plan,
+    q19_plan,
+    reference_count,
+)
+
+__all__ = [
+    "PlanBuilder",
+    "CountStep",
+    "FilterStep",
+    "JoinStep",
+    "QueryPlan",
+    "QueryExecutor",
+    "QueryResult",
+    "TPCH_QUERIES",
+    "q3_plan",
+    "q10_plan",
+    "q12_plan",
+    "q19_plan",
+    "reference_count",
+]

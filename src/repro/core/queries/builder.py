@@ -1,0 +1,132 @@
+"""Fluent construction of query plans.
+
+The dataclass steps in :mod:`repro.core.queries.plan` are explicit but
+verbose; :class:`PlanBuilder` offers the compact form a user exploring
+their own workload wants::
+
+    plan = (
+        PlanBuilder("my-query")
+        .filter("orders", "orders_f",
+                predicate=lambda t: t["o_orderdate"] < cutoff,
+                scan=("o_orderdate",), keep=("o_orderkey",))
+        .join(build="orders_f", probe="lineitem",
+              on=("o_orderkey", "l_orderkey"), output="ol")
+        .count("ol")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.queries.plan import (
+    CountStep,
+    FilterStep,
+    JoinStep,
+    Predicate,
+    QueryPlan,
+    Step,
+)
+from repro.errors import PlanError
+
+
+class PlanBuilder:
+    """Accumulates steps and validates the chain on ``build()``."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise PlanError("a query plan needs a name")
+        self.name = name
+        self._steps: List[Step] = []
+        self._produced: set = set()
+        self._counted = False
+
+    def _require_open(self) -> None:
+        if self._counted:
+            raise PlanError(
+                f"plan {self.name!r} already ends in count(); no further steps"
+            )
+
+    def _check_output(self, output: str) -> None:
+        if output in self._produced:
+            raise PlanError(f"output name {output!r} produced twice")
+        self._produced.add(output)
+
+    # -- steps -------------------------------------------------------------
+
+    def filter(
+        self,
+        source: str,
+        output: str,
+        *,
+        predicate: Predicate,
+        scan: Sequence[str],
+        keep: Sequence[str],
+        description: str = "",
+    ) -> "PlanBuilder":
+        """Append a materializing selection."""
+        self._require_open()
+        self._check_output(output)
+        self._steps.append(
+            FilterStep(
+                source=source,
+                output=output,
+                predicate=predicate,
+                scan_columns=tuple(scan),
+                keep=tuple(keep),
+                description=description,
+            )
+        )
+        return self
+
+    def join(
+        self,
+        *,
+        build: str,
+        probe: str,
+        on: Tuple[str, str],
+        output: str,
+        keep_build: Sequence[str] = (),
+        keep_probe: Sequence[str] = (),
+        description: str = "",
+    ) -> "PlanBuilder":
+        """Append an equi-join; ``on`` is (build_key, probe_key)."""
+        self._require_open()
+        self._check_output(output)
+        build_key, probe_key = on
+        self._steps.append(
+            JoinStep(
+                build=build,
+                probe=probe,
+                build_key=build_key,
+                probe_key=probe_key,
+                output=output,
+                keep_build=tuple(keep_build),
+                keep_probe=tuple(keep_probe),
+                description=description,
+            )
+        )
+        return self
+
+    def count(self, source: Optional[str] = None) -> "PlanBuilder":
+        """Append the final count(*); defaults to the last step's output."""
+        self._require_open()
+        if source is None:
+            if not self._steps:
+                raise PlanError("count() needs a source or a prior step")
+            last = self._steps[-1]
+            source = last.output  # type: ignore[union-attr]
+        self._steps.append(CountStep(source=source))
+        self._counted = True
+        return self
+
+    # -- finish --------------------------------------------------------------
+
+    def build(self) -> QueryPlan:
+        """Validate and return the plan."""
+        if not self._counted:
+            raise PlanError(
+                f"plan {self.name!r} must end in count() before build()"
+            )
+        return QueryPlan(self.name, tuple(self._steps))

@@ -1,0 +1,313 @@
+"""Query executor: runs materializing plans and prices every operator.
+
+Filters run as SIMD column scans with selective-store materialization;
+joins run as RHO radix joins (the paper's Sec. 6 configuration, optionally
+with the unroll/reorder optimization) over <key, row-id> pairs, followed by
+a gather that materializes the surviving columns of both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.joins.radix import RadixJoin
+from repro.core.queries.plan import CountStep, FilterStep, JoinStep, QueryPlan
+from repro.enclave.sync import LockKind
+from repro.errors import PlanError
+from repro.machine import ExecutionContext
+from repro.memory.access import AccessBatch, AccessProfile, CodeVariant, PatternKind
+from repro.tables.table import Column, Table
+
+#: Bytes per column value in the integer-coded TPC-H representation.
+_VALUE_BYTES = 4
+
+
+@dataclass
+class QueryResult:
+    """Final count plus the simulated cost of every step."""
+
+    name: str
+    setting: str
+    variant: CodeVariant
+    threads: int
+    count: int
+    count_logical: float
+    cycles: float
+    step_cycles: Dict[str, float] = field(default_factory=dict)
+
+    def seconds(self, frequency_hz: float) -> float:
+        return self.cycles / frequency_hz
+
+
+class QueryExecutor:
+    """Runs :class:`QueryPlan` objects under an execution context.
+
+    ``pipelined=True`` switches from the paper's fully materializing
+    scheme (every operator writes its output table, Sec. 6) to a fused
+    pipeline: filters stream their qualifying tuples directly into the
+    consumer and join outputs skip the intermediate write unless a
+    pipeline breaker (a join build side) needs them.  Results are
+    identical; only the priced intermediate writes/reads differ.
+    """
+
+    def __init__(
+        self,
+        variant: CodeVariant = CodeVariant.NAIVE,
+        *,
+        queue_kind: LockKind = LockKind.LOCK_FREE,
+        pipelined: bool = False,
+    ) -> None:
+        self.variant = variant
+        self.queue_kind = queue_kind
+        self.pipelined = pipelined
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        plan: QueryPlan,
+        tables: Mapping[str, Table],
+    ) -> QueryResult:
+        """Execute ``plan`` against the base ``tables``."""
+        namespace: Dict[str, Table] = dict(tables)
+        # Base tables are resident before the measured query begins (the
+        # paper's methodology); in SGX-data-in settings this reserves their
+        # EPC space from the statically committed heap.
+        for name, table in tables.items():
+            ctx.allocate(f"base-{name}", int(table.logical_bytes))
+        step_cycles: Dict[str, float] = {}
+        total = 0.0
+        count: Optional[int] = None
+        count_logical = 0.0
+        # Join build sides are pipeline breakers: their inputs must exist
+        # as tables even in pipelined mode.
+        breaker_outputs = {
+            step.build for step in plan.steps if isinstance(step, JoinStep)
+        }
+        for index, step in enumerate(plan.steps):
+            if isinstance(step, FilterStep):
+                materialized = (not self.pipelined) or (
+                    step.output in breaker_outputs
+                )
+                cycles = self._run_filter(ctx, step, namespace, materialized)
+                label = f"{index}:filter:{step.output}"
+            elif isinstance(step, JoinStep):
+                materialized = (not self.pipelined) or (
+                    step.output in breaker_outputs
+                )
+                cycles = self._run_join(ctx, step, namespace, materialized)
+                label = f"{index}:join:{step.output}"
+            elif isinstance(step, CountStep):
+                result_table = self._resolve(namespace, step.source)
+                count = result_table.num_rows
+                count_logical = result_table.logical_rows
+                cycles = 0.0
+                label = f"{index}:count"
+            else:  # pragma: no cover - plan validation prevents this
+                raise PlanError(f"unknown step type {type(step)!r}")
+            step_cycles[label] = cycles
+            total += cycles
+        assert count is not None  # guaranteed by QueryPlan validation
+        return QueryResult(
+            name=plan.name,
+            setting=ctx.setting.label,
+            variant=self.variant,
+            threads=ctx.threads,
+            count=count,
+            count_logical=count_logical,
+            cycles=total,
+            step_cycles=step_cycles,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve(namespace: Mapping[str, Table], name: str) -> Table:
+        try:
+            return namespace[name]
+        except KeyError:
+            raise PlanError(f"unknown table {name!r} in plan") from None
+
+    @staticmethod
+    def _charge_allocation(
+        ctx: ExecutionContext, name: str, size_bytes: int, profile: AccessProfile
+    ) -> None:
+        """Allocate an intermediate table and charge its paging per thread.
+
+        Static first touches parallelize across threads; EDMM page adds
+        serialize (see ``JoinAlgorithm.materialize_output``), so the
+        replicated per-thread profile carries the full dynamic count.
+        """
+        paging = AccessProfile()
+        ctx.allocate(name, size_bytes, paging)
+        threads = ctx.threads
+        profile.sync.pages_added_dynamically += paging.sync.pages_added_dynamically
+        profile.sync.pages_touched_statically += (
+            paging.sync.pages_touched_statically + threads - 1
+        ) // threads
+
+    def _run_filter(
+        self,
+        ctx: ExecutionContext,
+        step: FilterStep,
+        namespace: Dict[str, Table],
+        materialized: bool = True,
+    ) -> float:
+        source = self._resolve(namespace, step.source)
+        mask = step.predicate(source)
+        if mask.shape != (source.num_rows,):
+            raise PlanError(
+                f"predicate of filter {step.output!r} returned wrong shape"
+            )
+        result = source.select(mask, step.output)
+        result = Table(
+            step.output,
+            [result.column(name) for name in step.keep],
+            sim_scale=source.sim_scale,
+        )
+        namespace[step.output] = result
+
+        executor = ctx.executor()
+        locality = ctx.data_locality
+        share_in = source.logical_rows / ctx.threads
+        share_out = result.logical_rows / ctx.threads
+        profile = AccessProfile()
+        # SIMD scan over the predicate columns.
+        profile.seq_read(
+            share_in,
+            _VALUE_BYTES * len(step.scan_columns),
+            locality,
+            variant=CodeVariant.SIMD,
+            working_set_bytes=source.logical_rows
+            * _VALUE_BYTES
+            * len(step.scan_columns),
+            label="filter-scan",
+        )
+        # Selective store of the kept columns: the whole input of the kept
+        # columns is streamed and qualifying rows are compacted by a scalar
+        # store loop (the materializing-operator scheme of Sec. 6) — a
+        # branchy ~8 cycles/row with plenty of ILP, so only mildly exposed
+        # to the enclave loop-execution restriction.
+        profile.add(
+            AccessBatch(
+                kind=PatternKind.RMW_LOOP,
+                count=share_in,
+                element_bytes=_VALUE_BYTES * len(step.keep),
+                working_set_bytes=source.logical_rows
+                * _VALUE_BYTES
+                * len(step.keep),
+                locality=locality,
+                variant=self.variant,
+                parallelism=8.0,
+                compute_cycles_per_item=8.0,
+                table_bytes=64 * 1024.0,  # compaction write buffer
+                table_locality=locality,
+                table_writes=True,
+                reorder_sensitivity=0.08,
+                label="selective-store",
+            )
+        )
+        if materialized:
+            out_bytes = int(result.logical_rows * _VALUE_BYTES * len(step.keep))
+            self._charge_allocation(ctx, f"qtmp-{step.output}", out_bytes, profile)
+            profile.seq_write(
+                share_out,
+                _VALUE_BYTES * len(step.keep),
+                locality,
+                variant=CodeVariant.SIMD,
+                working_set_bytes=result.logical_rows
+                * _VALUE_BYTES
+                * len(step.keep),
+                label="filter-out",
+            )
+        executor.run_uniform_phase("filter", profile)
+        return executor.total_cycles()
+
+    def _run_join(
+        self,
+        ctx: ExecutionContext,
+        step: JoinStep,
+        namespace: Dict[str, Table],
+        materialized: bool = True,
+    ) -> float:
+        build = self._resolve(namespace, step.build)
+        probe = self._resolve(namespace, step.probe)
+        build_rowids = Table(
+            f"{step.build}-rowids",
+            [
+                Column("key", build[step.build_key]),
+                Column("payload", np.arange(build.num_rows, dtype=np.int64)),
+            ],
+            sim_scale=build.sim_scale,
+        )
+        probe_rowids = Table(
+            f"{step.probe}-rowids",
+            [
+                Column("key", probe[step.probe_key]),
+                Column("payload", np.arange(probe.num_rows, dtype=np.int64)),
+            ],
+            sim_scale=probe.sim_scale,
+        )
+        join = RadixJoin(self.variant, queue_kind=self.queue_kind)
+        pages_before = ctx.enclave.pages_added_total if ctx.enclave else 0
+        join_result = join.run(ctx, build_rowids, probe_rowids)
+        join_pages = (
+            ctx.enclave.pages_added_total - pages_before if ctx.enclave else 0
+        )
+        assert join_result.match_index is not None
+        hit_mask = join_result.match_index >= 0
+        probe_rows = np.flatnonzero(hit_mask)
+        build_rows = join_result.match_index[probe_rows]
+
+        columns = [
+            Column(name, build[name][build_rows]) for name in step.keep_build
+        ]
+        columns += [
+            Column(name, probe[name][probe_rows]) for name in step.keep_probe
+        ]
+        if not columns:
+            # A pure counting join still materializes the matching row ids.
+            columns = [Column("_rowid", probe_rows.astype(np.int64))]
+        result = Table(step.output, columns, sim_scale=probe.sim_scale)
+        namespace[step.output] = result
+
+        # ---- gather/materialization cost on top of the join ------------
+        executor = ctx.executor()
+        locality = ctx.data_locality
+        matches_share = result.logical_rows / ctx.threads
+        width = _VALUE_BYTES * max(1, len(step.keep_build) + len(step.keep_probe))
+        profile = AccessProfile()
+        # EDMM growth caused by the join's own inputs and scratch (only
+        # non-zero in dynamically sized enclaves); serialized, so the
+        # replicated per-thread profile carries the full count.
+        profile.sync.pages_added_dynamically += join_pages
+        if step.keep_build:
+            # Fetching build-side columns through the match index is a
+            # random gather across the build intermediate.
+            profile.add(
+                AccessBatch(
+                    kind=PatternKind.RANDOM_READ,
+                    count=matches_share * len(step.keep_build),
+                    element_bytes=_VALUE_BYTES,
+                    working_set_bytes=build.logical_bytes,
+                    locality=locality,
+                    variant=self.variant,
+                    parallelism=8.0,
+                    compute_cycles_per_item=1.0,
+                    label="gather-build",
+                )
+            )
+        if materialized:
+            out_bytes = int(result.logical_rows * width)
+            self._charge_allocation(ctx, f"qtmp-{step.output}", out_bytes, profile)
+            profile.seq_write(
+                matches_share, width, locality, variant=CodeVariant.SIMD,
+                working_set_bytes=result.logical_rows * width,
+                label="join-out",
+            )
+        executor.run_uniform_phase("materialize", profile)
+        return join_result.cycles + executor.total_cycles()

@@ -1,0 +1,114 @@
+"""Query plans: materializing filter/join/count pipelines (Sec. 6).
+
+The paper's query framework deliberately avoids pipelining: every operator
+fully materializes its output (the MonetDB execution scheme), final
+aggregations are replaced with ``count(*)``, and dates/categoricals are
+integers.  A :class:`QueryPlan` is a linear list of steps over named
+(intermediate) tables; the executor in :mod:`repro.core.queries.executor`
+runs the steps for real and prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.tables.table import Table
+
+#: A predicate maps a table to a boolean row mask.
+Predicate = Callable[[Table], np.ndarray]
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """Materializing selection: keep rows of ``source`` matching the predicate.
+
+    ``scan_columns`` are the columns the predicate reads (priced as the
+    scan input); ``keep`` are the columns materialized into ``output``.
+    """
+
+    source: str
+    output: str
+    predicate: Predicate
+    scan_columns: Sequence[str]
+    keep: Sequence[str]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scan_columns:
+            raise PlanError(f"filter {self.output!r} scans no columns")
+        if not self.keep:
+            raise PlanError(f"filter {self.output!r} keeps no columns")
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """Materializing equi-join; ``build`` must be the unique-key side.
+
+    The output holds ``keep_build`` + ``keep_probe`` columns of the
+    matching row pairs.
+    """
+
+    build: str
+    probe: str
+    build_key: str
+    probe_key: str
+    output: str
+    keep_build: Sequence[str] = field(default_factory=tuple)
+    keep_probe: Sequence[str] = field(default_factory=tuple)
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class CountStep:
+    """The final ``count(*)`` over ``source``."""
+
+    source: str
+    description: str = ""
+
+
+Step = Union[FilterStep, JoinStep, CountStep]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A named, linear sequence of steps ending in a count."""
+
+    name: str
+    steps: Sequence[Step]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise PlanError(f"query {self.name!r} has no steps")
+        if not isinstance(self.steps[-1], CountStep):
+            raise PlanError(f"query {self.name!r} must end in a CountStep")
+        produced = set()
+        for step in self.steps:
+            if isinstance(step, FilterStep):
+                produced.add(step.output)
+            elif isinstance(step, JoinStep):
+                produced.add(step.output)
+
+    @property
+    def join_count(self) -> int:
+        return sum(1 for s in self.steps if isinstance(s, JoinStep))
+
+    def describe(self) -> List[str]:
+        """Human-readable one-liner per step."""
+        lines = []
+        for step in self.steps:
+            if isinstance(step, FilterStep):
+                lines.append(
+                    f"FILTER {step.source} -> {step.output}: {step.description}"
+                )
+            elif isinstance(step, JoinStep):
+                lines.append(
+                    f"JOIN {step.build} ⋈ {step.probe} "
+                    f"on {step.build_key}={step.probe_key} -> {step.output}"
+                )
+            else:
+                lines.append(f"COUNT(*) over {step.source}")
+        return lines

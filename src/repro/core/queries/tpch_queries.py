@@ -1,0 +1,301 @@
+"""The four TPC-H queries of Sec. 6 (Fig. 17), in the paper's simplified form.
+
+Setup simplifications, mirroring the CrkJoin evaluation the paper adopts:
+dates and categorical strings are integers, every operator materializes,
+all non-scan/join operators are removed, and the final aggregate is
+``count(*)``.  Q10's tiny nation dimension is dropped (its join is
+negligible next to customer ⋈ orders ⋈ lineitem); the remaining operator
+mix — the part that Fig. 17 measures — is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.queries.plan import CountStep, FilterStep, JoinStep, QueryPlan
+from repro.errors import PlanError
+from repro.tables.table import Table
+from repro.tables.tpch import (
+    TpchData,
+    date_code,
+    returnflag_code,
+    segment_code,
+    shipinstruct_code,
+    shipmode_code,
+)
+
+_DATE_1995_03_15 = date_code(1995, 3, 15)
+_DATE_1993_10_01 = date_code(1993, 10, 1)
+_DATE_1994_01_01 = date_code(1994, 1, 1)
+_DATE_1995_01_01 = date_code(1995, 1, 1)
+
+
+def q3_plan() -> QueryPlan:
+    """Q3: shipping priority — BUILDING customers, orders before / lineitems
+    after 1995-03-15, customer ⋈ orders ⋈ lineitem."""
+    building = segment_code("BUILDING")
+    return QueryPlan(
+        "Q3",
+        (
+            FilterStep(
+                source="customer",
+                output="customer_f",
+                predicate=lambda t: t["c_mktsegment"] == building,
+                scan_columns=("c_mktsegment",),
+                keep=("c_custkey",),
+                description="c_mktsegment = 'BUILDING'",
+            ),
+            FilterStep(
+                source="orders",
+                output="orders_f",
+                predicate=lambda t: t["o_orderdate"] < _DATE_1995_03_15,
+                scan_columns=("o_orderdate",),
+                keep=("o_orderkey", "o_custkey"),
+                description="o_orderdate < 1995-03-15",
+            ),
+            FilterStep(
+                source="lineitem",
+                output="lineitem_f",
+                predicate=lambda t: t["l_shipdate"] > _DATE_1995_03_15,
+                scan_columns=("l_shipdate",),
+                keep=("l_orderkey",),
+                description="l_shipdate > 1995-03-15",
+            ),
+            JoinStep(
+                build="customer_f",
+                probe="orders_f",
+                build_key="c_custkey",
+                probe_key="o_custkey",
+                output="co",
+                keep_probe=("o_orderkey",),
+            ),
+            JoinStep(
+                build="co",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="col",
+            ),
+            CountStep(source="col"),
+        ),
+    )
+
+
+def q10_plan() -> QueryPlan:
+    """Q10: returned items — orders of 1993Q4, lineitems with returnflag R."""
+    flag_r = returnflag_code("R")
+    return QueryPlan(
+        "Q10",
+        (
+            FilterStep(
+                source="orders",
+                output="orders_f",
+                predicate=lambda t: (t["o_orderdate"] >= _DATE_1993_10_01)
+                & (t["o_orderdate"] < _DATE_1994_01_01),
+                scan_columns=("o_orderdate",),
+                keep=("o_orderkey", "o_custkey"),
+                description="o_orderdate in 1993-10 .. 1993-12",
+            ),
+            FilterStep(
+                source="lineitem",
+                output="lineitem_f",
+                predicate=lambda t: t["l_returnflag"] == flag_r,
+                scan_columns=("l_returnflag",),
+                keep=("l_orderkey",),
+                description="l_returnflag = 'R'",
+            ),
+            JoinStep(
+                build="customer",
+                probe="orders_f",
+                build_key="c_custkey",
+                probe_key="o_custkey",
+                output="co",
+                keep_probe=("o_orderkey",),
+            ),
+            JoinStep(
+                build="co",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="col",
+            ),
+            CountStep(source="col"),
+        ),
+    )
+
+
+def q12_plan() -> QueryPlan:
+    """Q12: shipping modes — late lineitems shipped by MAIL or SHIP in 1994."""
+    mail = shipmode_code("MAIL")
+    ship = shipmode_code("SHIP")
+
+    def lineitem_pred(t: Table) -> np.ndarray:
+        mode = (t["l_shipmode"] == mail) | (t["l_shipmode"] == ship)
+        late = (t["l_commitdate"] < t["l_receiptdate"]) & (
+            t["l_shipdate"] < t["l_commitdate"]
+        )
+        in_1994 = (t["l_receiptdate"] >= _DATE_1994_01_01) & (
+            t["l_receiptdate"] < _DATE_1995_01_01
+        )
+        return mode & late & in_1994
+
+    return QueryPlan(
+        "Q12",
+        (
+            FilterStep(
+                source="lineitem",
+                output="lineitem_f",
+                predicate=lineitem_pred,
+                scan_columns=(
+                    "l_shipmode",
+                    "l_commitdate",
+                    "l_receiptdate",
+                    "l_shipdate",
+                ),
+                keep=("l_orderkey",),
+                description="shipmode in (MAIL, SHIP), late, received 1994",
+            ),
+            JoinStep(
+                build="orders",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="ol",
+            ),
+            CountStep(source="ol"),
+        ),
+    )
+
+
+def q19_plan() -> QueryPlan:
+    """Q19: discounted revenue — three brand/container/quantity disjuncts."""
+    air = shipmode_code("AIR")
+    reg_air = shipmode_code("REG AIR")
+    deliver = shipinstruct_code("DELIVER IN PERSON")
+    # Brand/container constants of the TPC-H reference parameters, coded.
+    brand1, brand2, brand3 = 11, 22, 33
+    containers1 = (0, 1, 2, 3)  # SM CASE / SM BOX / SM PACK / SM PKG
+    containers2 = (10, 11, 12, 13)  # MED BAG / MED BOX / MED PKG / MED PACK
+    containers3 = (20, 21, 22, 23)  # LG CASE / LG BOX / LG PACK / LG PKG
+
+    def lineitem_pred(t: Table) -> np.ndarray:
+        mode = (t["l_shipmode"] == air) | (t["l_shipmode"] == reg_air)
+        return mode & (t["l_shipinstruct"] == deliver)
+
+    def disjunct(
+        t: Table, brand: int, containers, qty_lo: int, qty_hi: int, size_hi: int
+    ) -> np.ndarray:
+        in_containers = np.isin(t["p_container"], containers)
+        return (
+            (t["p_brand"] == brand)
+            & in_containers
+            & (t["l_quantity"] >= qty_lo)
+            & (t["l_quantity"] <= qty_hi)
+            & (t["p_size"] >= 1)
+            & (t["p_size"] <= size_hi)
+        )
+
+    def joined_pred(t: Table) -> np.ndarray:
+        return (
+            disjunct(t, brand1, containers1, 1, 11, 5)
+            | disjunct(t, brand2, containers2, 10, 20, 10)
+            | disjunct(t, brand3, containers3, 20, 30, 15)
+        )
+
+    return QueryPlan(
+        "Q19",
+        (
+            FilterStep(
+                source="lineitem",
+                output="lineitem_f",
+                predicate=lineitem_pred,
+                scan_columns=("l_shipmode", "l_shipinstruct"),
+                keep=("l_partkey", "l_quantity"),
+                description="shipmode in (AIR, REG AIR), deliver in person",
+            ),
+            JoinStep(
+                build="part",
+                probe="lineitem_f",
+                build_key="p_partkey",
+                probe_key="l_partkey",
+                output="pl",
+                keep_build=("p_brand", "p_container", "p_size"),
+                keep_probe=("l_quantity",),
+            ),
+            FilterStep(
+                source="pl",
+                output="pl_f",
+                predicate=joined_pred,
+                scan_columns=("p_brand", "p_container", "p_size", "l_quantity"),
+                keep=("l_quantity",),
+                description="three brand/container/quantity disjuncts",
+            ),
+            CountStep(source="pl_f"),
+        ),
+    )
+
+
+TPCH_QUERIES: Dict[str, Callable[[], QueryPlan]] = {
+    "Q3": q3_plan,
+    "Q10": q10_plan,
+    "Q12": q12_plan,
+    "Q19": q19_plan,
+}
+
+
+def reference_count(data: TpchData, query: str) -> int:
+    """Ground-truth count(*) computed with plain numpy (for tests)."""
+    li, orders, cust, part = data.lineitem, data.orders, data.customer, data.part
+    if query == "Q3":
+        cust_ok = cust["c_mktsegment"] == segment_code("BUILDING")
+        ord_ok = orders["o_orderdate"] < _DATE_1995_03_15
+        ord_ok &= cust_ok[orders["o_custkey"]]
+        li_ok = li["l_shipdate"] > _DATE_1995_03_15
+        li_ok &= ord_ok[li["l_orderkey"]]
+        return int(li_ok.sum())
+    if query == "Q10":
+        ord_ok = (orders["o_orderdate"] >= _DATE_1993_10_01) & (
+            orders["o_orderdate"] < _DATE_1994_01_01
+        )
+        li_ok = li["l_returnflag"] == returnflag_code("R")
+        li_ok &= ord_ok[li["l_orderkey"]]
+        return int(li_ok.sum())
+    if query == "Q12":
+        mode = (li["l_shipmode"] == shipmode_code("MAIL")) | (
+            li["l_shipmode"] == shipmode_code("SHIP")
+        )
+        late = (li["l_commitdate"] < li["l_receiptdate"]) & (
+            li["l_shipdate"] < li["l_commitdate"]
+        )
+        in_1994 = (li["l_receiptdate"] >= _DATE_1994_01_01) & (
+            li["l_receiptdate"] < _DATE_1995_01_01
+        )
+        return int((mode & late & in_1994).sum())
+    if query == "Q19":
+        mode = (li["l_shipmode"] == shipmode_code("AIR")) | (
+            li["l_shipmode"] == shipmode_code("REG AIR")
+        )
+        pre = mode & (li["l_shipinstruct"] == shipinstruct_code("DELIVER IN PERSON"))
+        brand = part["p_brand"][li["l_partkey"]]
+        container = part["p_container"][li["l_partkey"]]
+        size = part["p_size"][li["l_partkey"]]
+        qty = li["l_quantity"]
+        d1 = (
+            (brand == 11)
+            & np.isin(container, (0, 1, 2, 3))
+            & (qty >= 1) & (qty <= 11) & (size >= 1) & (size <= 5)
+        )
+        d2 = (
+            (brand == 22)
+            & np.isin(container, (10, 11, 12, 13))
+            & (qty >= 10) & (qty <= 20) & (size >= 1) & (size <= 10)
+        )
+        d3 = (
+            (brand == 33)
+            & np.isin(container, (20, 21, 22, 23))
+            & (qty >= 20) & (qty <= 30) & (size >= 1) & (size <= 15)
+        )
+        return int((pre & (d1 | d2 | d3)).sum())
+    raise PlanError(f"unknown query {query!r}")

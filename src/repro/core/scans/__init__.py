@@ -1,0 +1,7 @@
+"""Column scans (Sec. 5): SIMD bit-vector scans and row-id scans."""
+
+from repro.core.scans.predicate import RangePredicate
+from repro.core.scans.simd_scan import BitvectorScan, ScanResult
+from repro.core.scans.index_scan import RowIdScan
+
+__all__ = ["RangePredicate", "BitvectorScan", "RowIdScan", "ScanResult"]

@@ -1,0 +1,103 @@
+"""Range scan over bit-packed (dictionary-compressed) columns.
+
+The Willhalm-style SIMD scan [38] decompresses ``k``-bit codes inside
+vector registers and compares against the (dictionary-coded) range bounds.
+Relative to the plain byte-wise scan, the packed scan reads ``k/8`` as many
+bytes per value, so a bandwidth-bound scan processes ``8/k`` times more
+values per second — and, inside an enclave, a ``k``-bit column occupies
+``k/32`` of the EPC a 32-bit column would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scans.predicate import RangePredicate
+from repro.core.scans.simd_scan import ScanResult
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionContext
+from repro.memory.access import AccessProfile, CodeVariant
+from repro.tables.bitpack import BitPackedColumn
+
+#: Cycles per value for the in-register unpack + compare network.
+_UNPACK_COMPUTE_PER_VALUE = 0.25
+
+
+class PackedScan:
+    """Multi-threaded range scan over a :class:`BitPackedColumn`."""
+
+    name = "simd-packed-scan"
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        column: BitPackedColumn,
+        predicate: RangePredicate,
+        *,
+        sim_scale: float = 1.0,
+        repeats: int = 1,
+    ) -> ScanResult:
+        """Scan the packed column, producing a packed bit vector."""
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        executor = ctx.executor()
+        locality = ctx.data_locality
+        threads = ctx.threads
+
+        # ---- real computation: decode and compare -----------------------
+        decoded = column.unpack()
+        mask = predicate.evaluate(decoded)
+        bitvector = np.packbits(mask)
+        matches = int(mask.sum())
+
+        # ---- cost ---------------------------------------------------------
+        logical_values = column.num_values * sim_scale
+        logical_bytes = logical_values * column.bytes_per_value
+        ctx.allocate("packed-scan-input", max(1, int(logical_bytes)))
+        ctx.allocate("packed-scan-bitvector", max(1, int(logical_values / 8)))
+        share_values = logical_values / threads
+        profile = AccessProfile()
+        for _ in range(repeats):
+            # The packed stream is read word-wise; express the batch in
+            # 8-byte words so element counts stay integral.
+            profile.seq_read(
+                share_values * column.bytes_per_value / 8.0,
+                8,
+                locality,
+                variant=CodeVariant.SIMD,
+                working_set_bytes=logical_bytes,
+                label="packed-read",
+            )
+            profile.compute(
+                share_values * _UNPACK_COMPUTE_PER_VALUE, label="unpack"
+            )
+            profile.seq_write(
+                share_values / 8.0,
+                1,
+                locality,
+                variant=CodeVariant.SIMD,
+                working_set_bytes=logical_values / 8.0,
+                label="bitvector-write",
+            )
+        executor.run_uniform_phase("packed-scan", profile)
+
+        return ScanResult(
+            algorithm=self.name,
+            setting=ctx.setting.label,
+            threads=threads,
+            repeats=repeats,
+            input_bytes=logical_bytes,
+            matches=matches,
+            matches_logical=matches * sim_scale,
+            cycles=executor.total_cycles(),
+            bitvector=bitvector,
+            extra={"bits": float(column.bits)},
+        )
+
+    def values_per_second(
+        self, result: ScanResult, frequency_hz: float
+    ) -> float:
+        """Decoded values per second (the packed scan's natural metric)."""
+        bits = result.extra["bits"]
+        values = result.input_bytes / (bits / 8.0)
+        return values * result.repeats / result.seconds(frequency_hz)

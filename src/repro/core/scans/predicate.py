@@ -1,0 +1,59 @@
+"""Range predicates for column scans.
+
+The paper's scan kernels compare each value against a lower and an upper
+bound (a BETWEEN filter), which is the canonical predicate shape for
+SIMD-scan studies [Willhalm et al., Polychroniou et al.].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``lower <= value <= upper`` (inclusive on both ends)."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ConfigurationError(
+                f"empty range predicate: lower {self.lower} > upper {self.upper}"
+            )
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of qualifying values."""
+        return (values >= self.lower) & (values <= self.upper)
+
+    def selectivity(self, values: np.ndarray) -> float:
+        """Fraction of qualifying values (exact, from the data)."""
+        if len(values) == 0:
+            return 0.0
+        return float(self.evaluate(values).mean())
+
+    @classmethod
+    def with_selectivity(
+        cls, values: np.ndarray, selectivity: float
+    ) -> "RangePredicate":
+        """A predicate selecting approximately ``selectivity`` of ``values``.
+
+        Uses the empirical quantile of the data, so the realized selectivity
+        matches the request even for skewed inputs.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise ConfigurationError("selectivity must be within [0, 1]")
+        if len(values) == 0:
+            return cls(0, 0)
+        lo = float(np.min(values)) - 1
+        if selectivity >= 1.0:
+            return cls(lo, float(np.max(values)) + 1)
+        if selectivity <= 0.0:
+            return cls(lo, lo)
+        upper = float(np.quantile(values, selectivity))
+        return cls(lo, upper)

@@ -1,0 +1,123 @@
+"""AVX-512-style bit-vector column scan (Sec. 5.1/5.2).
+
+The kernel loads 64 byte-sized values per instruction, compares against the
+range bounds, and stores the result as a packed bit vector (1 bit per input
+value — a 1/8 write-to-read byte ratio for 8-bit columns).  The numpy
+evaluation below computes the same bit vector; the access profile prices
+one streaming read of the column plus the bit-vector write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.scans.predicate import RangePredicate
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionContext
+from repro.memory.access import AccessProfile, CodeVariant
+from repro.tables.table import Column
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a (repeated) column scan."""
+
+    algorithm: str
+    setting: str
+    threads: int
+    repeats: int
+    input_bytes: float
+    matches: int
+    matches_logical: float
+    cycles: float
+    bitvector: Optional[np.ndarray] = None
+    row_ids: Optional[np.ndarray] = None
+    extra: Dict[str, float] = None
+
+    def seconds(self, frequency_hz: float) -> float:
+        return self.cycles / frequency_hz
+
+    def read_throughput_bytes_per_s(self, frequency_hz: float) -> float:
+        """Bytes of column data read per second (the Fig. 12-16 metric)."""
+        seconds = self.seconds(frequency_hz)
+        if seconds <= 0:
+            raise ConfigurationError("scan consumed no simulated time")
+        return self.input_bytes * self.repeats / seconds
+
+
+class BitvectorScan:
+    """Multi-threaded range scan producing a packed bit vector."""
+
+    name = "simd-bitvector-scan"
+
+    def __init__(self, variant: CodeVariant = CodeVariant.SIMD) -> None:
+        self.variant = variant
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        column: Column,
+        predicate: RangePredicate,
+        *,
+        sim_scale: float = 1.0,
+        repeats: int = 1,
+        warmup: int = 0,
+    ) -> ScanResult:
+        """Scan ``column`` ``repeats`` times under ``ctx``.
+
+        ``warmup`` extra scans run before timing starts (the paper uses 10
+        to populate the caches for cache-resident sizes).  ``sim_scale``
+        scales the physical column to its logical size, as with tables.
+        """
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        executor = ctx.executor()
+        locality = ctx.data_locality
+        threads = ctx.threads
+
+        # ---- real computation -------------------------------------------
+        mask = predicate.evaluate(column.data)
+        bitvector = np.packbits(mask)
+        matches = int(mask.sum())
+
+        # ---- cost ---------------------------------------------------------
+        logical_elements = len(column) * sim_scale
+        logical_bytes = logical_elements * column.element_bytes
+        ctx.allocate("scan-input", int(logical_bytes))
+        ctx.allocate("scan-bitvector", max(1, int(logical_elements / 8)))
+        share = logical_elements / threads
+        profile = AccessProfile()
+        for _ in range(repeats):
+            profile.seq_read(
+                share,
+                column.element_bytes,
+                locality,
+                variant=self.variant,
+                working_set_bytes=logical_bytes,
+                label="scan-read",
+            )
+            # Packed bit vector: one byte written per 8 input values.
+            profile.seq_write(
+                share / 8.0,
+                1,
+                locality,
+                variant=self.variant,
+                working_set_bytes=logical_elements / 8.0,
+                label="bitvector-write",
+            )
+        executor.run_uniform_phase("scan", profile)
+
+        return ScanResult(
+            algorithm=self.name,
+            setting=ctx.setting.label,
+            threads=threads,
+            repeats=repeats,
+            input_bytes=logical_bytes,
+            matches=matches,
+            matches_logical=matches * sim_scale,
+            cycles=executor.total_cycles(),
+            bitvector=bitvector,
+        )

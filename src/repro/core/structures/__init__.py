@@ -1,0 +1,6 @@
+"""In-memory index structures the join operators build on."""
+
+from repro.core.structures.hashtable import ChainedHashTable
+from repro.core.structures.btree import BPlusTree
+
+__all__ = ["ChainedHashTable", "BPlusTree"]

@@ -1,0 +1,144 @@
+"""Bucket-chaining hash table (the PHT/RHO hash table of Blanas et al.).
+
+The table is the classical design the paper's joins use: an array of bucket
+heads plus per-tuple chain links.  Construction and probing are vectorized
+over numpy, but semantically identical to the pointer-chasing C version:
+insertion prepends to the bucket's chain under a per-bucket latch, probing
+walks the chain comparing keys.
+
+The multiplicative hash is Knuth's: ``(key * 2654435761) >> shift`` masked
+to the bucket count, matching the radix-style hashing of the paper's code.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_KNUTH_MULTIPLIER = np.uint64(2654435761)
+
+#: Bytes of one hash-table entry in the modelled C layout: key (4), payload
+#: (4), chain link (8).
+ENTRY_BYTES = 16
+#: Bytes of one bucket head pointer.
+BUCKET_BYTES = 8
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (>= 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def table_bytes_for(num_tuples: int, load_factor: float = 1.0) -> int:
+    """Modelled memory footprint of a chained hash table over ``num_tuples``.
+
+    With the default load factor 1 and the 100 MB build table of the paper
+    (12.5 M tuples) this yields ~256 MB — the size Sec. 4.1 quotes for the
+    join benchmark's hash table.
+    """
+    if num_tuples < 0:
+        raise ConfigurationError("num_tuples must be non-negative")
+    buckets = next_power_of_two(max(1, int(num_tuples / load_factor)))
+    return buckets * BUCKET_BYTES + num_tuples * ENTRY_BYTES
+
+
+class ChainedHashTable:
+    """A latch-per-bucket chained hash table over (key, payload) arrays."""
+
+    def __init__(self, keys: np.ndarray, payloads: np.ndarray, load_factor: float = 1.0):
+        if len(keys) != len(payloads):
+            raise ConfigurationError("keys and payloads must have equal length")
+        if load_factor <= 0:
+            raise ConfigurationError("load factor must be positive")
+        self.keys = np.asarray(keys)
+        self.payloads = np.asarray(payloads)
+        n = len(self.keys)
+        self.num_buckets = next_power_of_two(max(1, int(n / load_factor)))
+        self._mask = np.uint64(self.num_buckets - 1)
+        self.heads = np.full(self.num_buckets, -1, dtype=np.int64)
+        self.links = np.full(n, -1, dtype=np.int64)
+        if n:
+            self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        hashed = keys.astype(np.uint64) * _KNUTH_MULTIPLIER
+        return (hashed & self._mask).astype(np.int64)
+
+    def _build(self) -> None:
+        """Vectorized equivalent of chained insertion.
+
+        Sequential insertion prepends each tuple to its bucket, so after
+        inserting indexes 0..n-1 the chain of a bucket lists its members in
+        *descending* index order.  We reproduce exactly that linkage.
+        """
+        buckets = self._hash(self.keys)
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        # Within one bucket run (ascending index order because the sort is
+        # stable), element i is pointed to by element i+1 — the later
+        # insertion prepends and links to the earlier one.
+        same_bucket = sorted_buckets[1:] == sorted_buckets[:-1]
+        self.links[order[1:][same_bucket]] = order[:-1][same_bucket]
+        # The head of each bucket is its highest index = last of the run.
+        run_ends = np.flatnonzero(
+            np.r_[sorted_buckets[1:] != sorted_buckets[:-1], True]
+        )
+        self.heads[sorted_buckets[run_ends]] = order[run_ends]
+
+    # -- probing ----------------------------------------------------------
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest bucket chain (probe cost bound)."""
+        if len(self.keys) == 0:
+            return 0
+        buckets = self._hash(self.keys)
+        return int(np.bincount(buckets, minlength=self.num_buckets).max())
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Modelled memory footprint in the C layout."""
+        return self.num_buckets * BUCKET_BYTES + len(self.keys) * ENTRY_BYTES
+
+    def probe_count(self, probe_keys: np.ndarray) -> np.ndarray:
+        """Number of matches for each probe key (vectorized chain walk)."""
+        probe_keys = np.asarray(probe_keys)
+        counts = np.zeros(len(probe_keys), dtype=np.int64)
+        cursor = self.heads[self._hash(probe_keys)]
+        while True:
+            active = cursor >= 0
+            if not active.any():
+                break
+            idx = cursor[active]
+            counts[active] += self.keys[idx] == probe_keys[active]
+            cursor = cursor.copy()
+            cursor[active] = self.links[idx]
+        return counts
+
+    def probe_first(self, probe_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """First matching build index per probe key (or -1), plus a hit mask.
+
+        For the paper's foreign-key joins build keys are unique, so the
+        first match is the only match.
+        """
+        probe_keys = np.asarray(probe_keys)
+        result = np.full(len(probe_keys), -1, dtype=np.int64)
+        cursor = self.heads[self._hash(probe_keys)]
+        unresolved = cursor >= 0
+        while unresolved.any():
+            idx = cursor[unresolved]
+            hit = self.keys[idx] == probe_keys[unresolved]
+            targets = np.flatnonzero(unresolved)
+            result[targets[hit]] = idx[hit]
+            advance = targets[~hit]
+            cursor[advance] = self.links[cursor[advance]]
+            unresolved = np.zeros_like(unresolved)
+            unresolved[advance] = cursor[advance] >= 0
+        return result, result >= 0

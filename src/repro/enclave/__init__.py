@@ -1,0 +1,15 @@
+"""Simulated SGXv2 enclaves: lifecycle, EDMM, execution settings, sync."""
+
+from repro.enclave.enclave import Enclave, EnclaveConfig, EnclaveState
+from repro.enclave.runtime import ExecutionSetting, Mode
+from repro.enclave.sync import LockKind, record_lock_ops
+
+__all__ = [
+    "Enclave",
+    "EnclaveConfig",
+    "EnclaveState",
+    "ExecutionSetting",
+    "Mode",
+    "LockKind",
+    "record_lock_ops",
+]

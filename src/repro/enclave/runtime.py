@@ -1,0 +1,68 @@
+"""Execution settings: the paper's three benchmark configurations (Sec. 3).
+
+1. **Plain CPU** — native execution, data in untrusted memory; the baseline
+   with no protections and no overheads.
+2. **SGX (Data in Enclave)** — code runs in enclave mode and all inputs,
+   intermediate structures, and outputs live in the EPC.
+3. **SGX (Data outside Enclave)** — code runs in enclave mode but operates
+   on untrusted memory, isolating code-execution effects from memory
+   encryption effects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Mode(enum.Enum):
+    """Whether code executes natively or inside an SGX enclave."""
+
+    PLAIN = "plain"
+    SGX = "sgx"
+
+
+@dataclass(frozen=True)
+class ExecutionSetting:
+    """One of the paper's execution settings (mode x data location)."""
+
+    mode: Mode
+    data_in_enclave: bool
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.mode is Mode.PLAIN and self.data_in_enclave:
+            raise ConfigurationError(
+                "plain CPU execution cannot place data inside an enclave"
+            )
+
+    @property
+    def enclave_mode(self) -> bool:
+        """True when code executes inside an enclave."""
+        return self.mode is Mode.SGX
+
+    @classmethod
+    def plain_cpu(cls) -> "ExecutionSetting":
+        """Native execution over untrusted memory (the baseline)."""
+        return cls(Mode.PLAIN, data_in_enclave=False, label="Plain CPU")
+
+    @classmethod
+    def sgx_data_in_enclave(cls) -> "ExecutionSetting":
+        """Enclave execution over EPC-resident data."""
+        return cls(Mode.SGX, data_in_enclave=True, label="SGX (Data in Enclave)")
+
+    @classmethod
+    def sgx_data_outside_enclave(cls) -> "ExecutionSetting":
+        """Enclave execution over untrusted data (isolates code effects)."""
+        return cls(Mode.SGX, data_in_enclave=False, label="SGX (Data outside Enclave)")
+
+    @classmethod
+    def all_settings(cls) -> tuple:
+        """The three settings, in the order the paper's figures use."""
+        return (
+            cls.plain_cpu(),
+            cls.sgx_data_in_enclave(),
+            cls.sgx_data_outside_enclave(),
+        )

@@ -1,0 +1,72 @@
+"""Synchronization primitives and their SGX cost signatures (Sec. 4.4).
+
+The SGX SDK mutex parks waiting threads *outside* the enclave: a contended
+acquisition triggers an OCALL, a futex wait, and an ERESUME — tens of
+thousands of cycles for a critical section of tens of cycles.  Worse, while
+the owner is mid-transition waking the next waiter, the lock stays held, so
+late arrivals also leave the enclave (the avalanche effect).  Spin locks and
+lock-free structures never leave enclave mode and keep their native cost.
+
+Operators record lock traffic on their access profiles through
+:func:`record_lock_ops`; the pricing itself lives in
+:meth:`repro.memory.cost_model.MemoryCostModel.sync_cycles` so that the one
+cost model prices everything.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+from repro.memory.access import AccessProfile
+
+
+class LockKind(enum.Enum):
+    """The synchronization flavours compared in Fig. 10."""
+
+    #: The SGX SDK / pthread mutex (OS-assisted sleeping under contention).
+    SDK_MUTEX = "sdk_mutex"
+    #: A userspace spin lock (stays in enclave mode).
+    SPIN_LOCK = "spin_lock"
+    #: A lock-free structure (e.g. the Boost lock-free queue the paper
+    #: adopts as the RHO task queue); one atomic RMW per operation.
+    LOCK_FREE = "lock_free"
+
+
+def record_lock_ops(
+    profile: AccessProfile,
+    kind: LockKind,
+    operations: int,
+    contention_ratio: float,
+) -> None:
+    """Record ``operations`` acquisitions/queue-ops of ``kind`` on ``profile``.
+
+    ``contention_ratio`` is the fraction of operations that find the lock
+    (or the contended cache line) already taken; 0 means uncontended.
+    """
+    if operations < 0:
+        raise ConfigurationError("operations must be non-negative")
+    if not 0.0 <= contention_ratio <= 1.0:
+        raise ConfigurationError("contention_ratio must be within [0, 1]")
+    if kind is LockKind.SDK_MUTEX:
+        previous = profile.sync.mutex_acquisitions
+        total = previous + operations
+        if total > 0:
+            profile.sync.mutex_contention_ratio = (
+                profile.sync.mutex_contention_ratio * previous
+                + contention_ratio * operations
+            ) / total
+        profile.sync.mutex_acquisitions = total
+    elif kind is LockKind.SPIN_LOCK:
+        profile.sync.spinlock_acquisitions += operations
+        # Spinning costs scale with contention through the spin-wait term
+        # in the cost model; reuse the mutex contention field is wrong, so
+        # fold contention into extra atomic traffic instead.
+        profile.sync.atomic_ops += int(operations * contention_ratio * 4)
+    elif kind is LockKind.LOCK_FREE:
+        # One CAS per operation, plus retries proportional to contention.
+        profile.sync.atomic_ops += operations + int(
+            operations * contention_ratio * 2
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ConfigurationError(f"unknown lock kind {kind}")

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the SGXv2 OLAP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or combined with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A simulated hardware capacity (EPC, DRAM, cache) would be exceeded."""
+
+
+class EnclaveError(ReproError):
+    """Enclave lifecycle violation (wrong state, missing measurement, ...)."""
+
+
+class EnclaveStateError(EnclaveError):
+    """An enclave operation was attempted in an invalid lifecycle state."""
+
+
+class EpcExhaustedError(CapacityError, EnclaveError):
+    """The Enclave Page Cache on the requested NUMA node is full."""
+
+
+class AllocationError(ReproError):
+    """A simulated memory allocation could not be satisfied."""
+
+
+class AccessViolationError(ReproError):
+    """Untrusted code touched enclave memory, or an enclave touched a freed
+    region.  The real hardware would raise a page fault / abort; we raise."""
+
+
+class ExecutionError(ReproError):
+    """A simulated parallel execution could not be scheduled or completed."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed (unknown column, type mismatch, ...)."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was configured or invoked incorrectly."""

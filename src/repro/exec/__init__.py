@@ -1,0 +1,14 @@
+"""Simulated parallel execution: placement, phases, task queues, clock."""
+
+from repro.exec.simclock import SimClock
+from repro.exec.placement import Placement
+from repro.exec.queue import TaskQueueModel
+from repro.exec.executor import ParallelExecutor, PhaseResult
+
+__all__ = [
+    "SimClock",
+    "Placement",
+    "TaskQueueModel",
+    "ParallelExecutor",
+    "PhaseResult",
+]

@@ -1,0 +1,94 @@
+"""Task-queue contention model (Fig. 10, Sec. 4.4).
+
+Parallel joins distribute partition/join tasks through a shared queue.  The
+queue flavour barely matters outside an enclave, but inside one an SDK-mutex
+queue collapses under contention: a contended acquisition costs an enclave
+transition, and while the owner is mid-transition the lock stays held, so
+ever more threads arrive at a locked mutex (the avalanche).  The model below
+computes a self-consistent contention ratio from the task granularity and
+the (state-dependent) cost of one queue operation, which operators then
+record on their profiles via :func:`repro.enclave.sync.record_lock_ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.enclave.sync import LockKind
+from repro.hardware.calibration import CostParameters
+
+#: Queue operations per task: one push by the producer, one pop by a worker.
+OPS_PER_TASK = 2
+
+_MAX_CONTENTION = 0.95
+_FIXED_POINT_ROUNDS = 25
+
+
+@dataclass(frozen=True)
+class QueueUsage:
+    """Resolved queue behaviour for one parallel run."""
+
+    kind: LockKind
+    operations_per_thread: int
+    contention_ratio: float
+    lock_cycles: float
+
+
+class TaskQueueModel:
+    """Computes contention for a shared task queue under a given load."""
+
+    def __init__(self, kind: LockKind, params: CostParameters) -> None:
+        self.kind = kind
+        self._params = params
+
+    def _lock_cycles(self, contention: float, enclave_mode: bool) -> float:
+        """Cost of one queue operation at a given contention level."""
+        params = self._params
+        if self.kind is LockKind.SDK_MUTEX:
+            if enclave_mode:
+                return params.atomic_op_cycles + (
+                    contention * params.transition_cycles * params.mutex_avalanche_factor
+                )
+            return params.atomic_op_cycles + contention * params.futex_syscall_cycles * 0.5
+        if self.kind is LockKind.SPIN_LOCK:
+            return params.atomic_op_cycles * (1.0 + 5.0 * contention)
+        # Lock-free: one CAS, retried under contention.
+        return params.atomic_op_cycles * (1.0 + 2.0 * contention)
+
+    def resolve(
+        self, *, tasks: int, threads: int, task_cycles: float, enclave_mode: bool
+    ) -> QueueUsage:
+        """Fixed-point solve for the contention ratio of this workload.
+
+        ``task_cycles`` is the average work per task; small tasks relative
+        to the queue-operation cost force contention toward saturation.
+        """
+        if tasks < 0:
+            raise ConfigurationError("tasks must be non-negative")
+        if threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+        if task_cycles < 0:
+            raise ConfigurationError("task_cycles must be non-negative")
+        contention = 0.0
+        lock_cycles = self._lock_cycles(contention, enclave_mode)
+        if threads > 1 and tasks > 0:
+            for _ in range(_FIXED_POINT_ROUNDS):
+                lock_cycles = self._lock_cycles(contention, enclave_mode)
+                # Probability that another thread holds the queue when one
+                # arrives: the fraction of a task period the queue is busy,
+                # summed over the other threads.
+                busy_fraction = (
+                    (threads - 1)
+                    * OPS_PER_TASK
+                    * lock_cycles
+                    / max(task_cycles + OPS_PER_TASK * lock_cycles, 1.0)
+                )
+                contention = min(_MAX_CONTENTION, busy_fraction)
+        ops_per_thread = (tasks * OPS_PER_TASK + threads - 1) // threads
+        return QueueUsage(
+            kind=self.kind,
+            operations_per_thread=ops_per_thread,
+            contention_ratio=contention,
+            lock_cycles=lock_cycles,
+        )

@@ -1,0 +1,17 @@
+"""Simulated hardware: the paper's testbed (Table 1) and cost calibration."""
+
+from repro.hardware.spec import CacheSpec, HardwareSpec, MemorySpec, paper_testbed
+from repro.hardware.topology import Core, NumaNode, Topology
+from repro.hardware.calibration import CostParameters, paper_calibration
+
+__all__ = [
+    "CacheSpec",
+    "HardwareSpec",
+    "MemorySpec",
+    "paper_testbed",
+    "Core",
+    "NumaNode",
+    "Topology",
+    "CostParameters",
+    "paper_calibration",
+]

@@ -1,0 +1,110 @@
+"""NUMA/core topology derived from a :class:`~repro.hardware.spec.HardwareSpec`.
+
+The paper pins threads to physical cores from outside the enclave (trusted
+OS) and stresses that SGXv2 itself offers no NUMA-aware placement.  The
+topology object is what both the simulated thread pool (placement of threads)
+and the allocator (placement of memory regions) consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.spec import HardwareSpec
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core; ``core_id`` is global, ``local_id`` per socket."""
+
+    core_id: int
+    node_id: int
+    local_id: int
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One socket: its cores plus local DRAM and EPC capacity."""
+
+    node_id: int
+    cores: Sequence[Core]
+    dram_bytes: int
+    epc_bytes: int
+
+    @property
+    def core_ids(self) -> List[int]:
+        return [core.core_id for core in self.cores]
+
+
+class Topology:
+    """All NUMA nodes of the machine with helpers for placement queries."""
+
+    def __init__(self, spec: HardwareSpec) -> None:
+        self.spec = spec
+        nodes = []
+        for node_id in range(spec.sockets):
+            cores = tuple(
+                Core(
+                    core_id=node_id * spec.cores_per_socket + local_id,
+                    node_id=node_id,
+                    local_id=local_id,
+                )
+                for local_id in range(spec.cores_per_socket)
+            )
+            nodes.append(
+                NumaNode(
+                    node_id=node_id,
+                    cores=cores,
+                    dram_bytes=spec.memory.capacity_bytes,
+                    epc_bytes=spec.epc_bytes_per_socket,
+                )
+            )
+        self.nodes: Sequence[NumaNode] = tuple(nodes)
+
+    def node(self, node_id: int) -> NumaNode:
+        """Return the node with ``node_id`` or raise ``ConfigurationError``."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(
+                f"NUMA node {node_id} does not exist (have {len(self.nodes)})"
+            )
+        return self.nodes[node_id]
+
+    def core(self, core_id: int) -> Core:
+        """Return the core with global id ``core_id``."""
+        if not 0 <= core_id < self.spec.total_cores:
+            raise ConfigurationError(
+                f"core {core_id} does not exist (have {self.spec.total_cores})"
+            )
+        node_id, local_id = divmod(core_id, self.spec.cores_per_socket)
+        return self.nodes[node_id].cores[local_id]
+
+    def node_of_core(self, core_id: int) -> int:
+        """NUMA node id that ``core_id`` belongs to."""
+        return self.core(core_id).node_id
+
+    def cores_on_node(self, node_id: int, count: int) -> List[int]:
+        """First ``count`` core ids on ``node_id`` (paper-style pinning)."""
+        node = self.node(node_id)
+        if count > len(node.cores):
+            raise ConfigurationError(
+                f"node {node_id} has {len(node.cores)} cores, requested {count}"
+            )
+        return node.core_ids[:count]
+
+    def interleaved_cores(self, count: int) -> List[int]:
+        """``count`` cores taken round-robin across nodes (32-thread cases)."""
+        if count > self.spec.total_cores:
+            raise ConfigurationError(
+                f"requested {count} cores, machine has {self.spec.total_cores}"
+            )
+        order: List[int] = []
+        for local_id in range(self.spec.cores_per_socket):
+            for node in self.nodes:
+                order.append(node.cores[local_id].core_id)
+        return order[:count]
+
+    def is_cross_numa(self, core_id: int, memory_node: int) -> bool:
+        """True when ``core_id`` accesses memory homed on another node."""
+        return self.node_of_core(core_id) != self.node(memory_node).node_id

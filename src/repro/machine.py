@@ -1,0 +1,183 @@
+"""The simulated machine and per-experiment execution contexts.
+
+:class:`SimMachine` wires together the hardware spec (Table 1), the
+calibrated cost parameters, the topology, the allocator, and the cost model.
+:class:`ExecutionContext` binds one of the paper's execution settings to a
+concrete placement (which cores run, where data lives) and — for SGX
+settings — to a live enclave, exposing exactly the operations operators
+need: allocate memory, build an executor, convert cycles to time.
+
+Typical use::
+
+    machine = SimMachine()
+    ctx = machine.context(ExecutionSetting.sgx_data_in_enclave(), threads=16)
+    result = RadixJoin(variant=CodeVariant.UNROLLED).run(ctx, r_table, s_table)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.exec.executor import ParallelExecutor
+from repro.exec.placement import Placement
+from repro.hardware.calibration import CostParameters, paper_calibration
+from repro.hardware.spec import HardwareSpec, paper_testbed
+from repro.hardware.topology import Topology
+from repro.memory.access import AccessProfile, Locality
+from repro.memory.allocator import MemoryAllocator, Region
+from repro.memory.cost_model import MemoryCostModel
+from repro.units import GiB, PAGE_BYTES
+
+#: Default statically committed enclave heap: large enough for every
+#: experiment in the paper that is *not* about dynamic sizing (Fig. 11).
+DEFAULT_ENCLAVE_HEAP_BYTES = 48 * GiB
+
+
+class SimMachine:
+    """The simulated dual-socket SGXv2 server."""
+
+    def __init__(
+        self,
+        spec: Optional[HardwareSpec] = None,
+        params: Optional[CostParameters] = None,
+    ) -> None:
+        self.spec = spec or paper_testbed()
+        self.params = params or paper_calibration()
+        self.topology = Topology(self.spec)
+        self.allocator = MemoryAllocator(
+            self.topology,
+            # Legacy (paging) platforms allow enclaves beyond the EPC; the
+            # cost model charges the faults.
+            allow_epc_oversubscription=self.params.epc_paging_enabled,
+        )
+        self.cost_model = MemoryCostModel(self.spec, self.params)
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.spec.base_frequency_hz
+
+    def seconds(self, cycles: float) -> float:
+        """Convert simulated cycles to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+    def context(
+        self,
+        setting: ExecutionSetting,
+        *,
+        threads: int = 1,
+        data_node: int = 0,
+        exec_node: Optional[int] = None,
+        placement: Optional[Placement] = None,
+        enclave_config: Optional[EnclaveConfig] = None,
+    ) -> "ExecutionContext":
+        """Create a context for one experiment run.
+
+        ``data_node`` is where memory (and the enclave) is homed;
+        ``exec_node`` (default: same as data) is where threads are pinned,
+        unless an explicit ``placement`` overrides both.
+        """
+        if placement is None:
+            node = data_node if exec_node is None else exec_node
+            placement = Placement.on_node(self.topology, node, threads)
+        enclave = None
+        if setting.enclave_mode:
+            config = enclave_config or EnclaveConfig(
+                heap_bytes=DEFAULT_ENCLAVE_HEAP_BYTES, node=data_node
+            )
+            if config.node != data_node:
+                raise ConfigurationError(
+                    "enclave node must match data_node (EPC pages are "
+                    "allocated on the enclave's node)"
+                )
+            enclave = Enclave(config, self.allocator)
+            enclave.initialize()
+        return ExecutionContext(
+            machine=self,
+            setting=setting,
+            placement=placement,
+            data_node=data_node,
+            enclave=enclave,
+        )
+
+
+class ExecutionContext:
+    """One experiment configuration: setting + placement + data home."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        setting: ExecutionSetting,
+        placement: Placement,
+        data_node: int,
+        enclave: Optional[Enclave],
+    ) -> None:
+        if setting.enclave_mode and enclave is None:
+            raise ConfigurationError("SGX settings require an enclave")
+        self.machine = machine
+        self.setting = setting
+        self.placement = placement
+        self.data_node = data_node
+        self.enclave = enclave
+        self._regions = []
+
+    @property
+    def threads(self) -> int:
+        return self.placement.threads
+
+    @property
+    def data_locality(self) -> Locality:
+        """Where operator data lives under this context's setting."""
+        return Locality(node=self.data_node, in_enclave=self.setting.data_in_enclave)
+
+    def allocate(
+        self, name: str, size_bytes: int, profile: Optional[AccessProfile] = None
+    ) -> Region:
+        """Allocate operator memory according to the execution setting.
+
+        Data-in-enclave settings allocate from the enclave (EPC; may invoke
+        EDMM when the enclave is dynamically sized); the others allocate
+        untrusted DRAM on ``data_node``.  When ``profile`` is given, paging
+        costs are charged to it.
+        """
+        if self.setting.data_in_enclave:
+            if self.enclave is None:
+                from repro.errors import EnclaveStateError
+
+                raise EnclaveStateError(
+                    "context is closed: its enclave has been destroyed"
+                )
+            region = self.enclave.allocate(name, size_bytes, profile)
+        else:
+            region = self.machine.allocator.allocate(
+                name, size_bytes, node=self.data_node, in_enclave=False
+            )
+            self._regions.append(region)
+            if profile is not None:
+                profile.sync.pages_touched_statically += -(-size_bytes // PAGE_BYTES)
+        return region
+
+    def executor(self) -> ParallelExecutor:
+        """A fresh phase executor for this context."""
+        return ParallelExecutor(self.machine.cost_model, self.setting, self.placement)
+
+    def close(self) -> None:
+        """Release everything the context allocated."""
+        for region in self._regions:
+            if not region.freed:
+                self.machine.allocator.free(region)
+        self._regions = []
+        if self.enclave is not None:
+            from repro.enclave.enclave import EnclaveState
+
+            if self.enclave.state is not EnclaveState.DESTROYED:
+                self.enclave.destroy()
+            self.enclave = None
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

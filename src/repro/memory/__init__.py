@@ -1,0 +1,27 @@
+"""Simulated memory subsystem: access profiles, residency, costs, allocation."""
+
+from repro.memory.access import (
+    AccessBatch,
+    AccessProfile,
+    CodeVariant,
+    Locality,
+    PatternKind,
+)
+from repro.memory.residency import CacheResidency
+from repro.memory.cost_model import CostEnvironment, MemoryCostModel
+from repro.memory.allocator import MemoryAllocator, Region
+from repro.memory.encryption import MemoryEncryptionEngine
+
+__all__ = [
+    "AccessBatch",
+    "AccessProfile",
+    "CodeVariant",
+    "Locality",
+    "PatternKind",
+    "CacheResidency",
+    "CostEnvironment",
+    "MemoryCostModel",
+    "MemoryAllocator",
+    "Region",
+    "MemoryEncryptionEngine",
+]

@@ -1,0 +1,152 @@
+"""Simulated memory allocation with NUMA and EPC placement.
+
+A :class:`Region` stands for one allocation (a table column, a hash table,
+a partition buffer).  The allocator enforces the capacities of the simulated
+machine: per-node DRAM and — for enclave allocations — per-node EPC, whose
+exhaustion is exactly the failure mode that made SGXv1 impractical and that
+SGXv2's 64 GB/socket EPC lifts (Sec. 2).
+
+The allocator also keeps the usage counters that the benchmark harness
+reports, and hands each region the :class:`~repro.memory.access.Locality`
+the cost model needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AccessViolationError, AllocationError, EpcExhaustedError
+from repro.hardware.topology import Topology
+from repro.memory.access import Locality
+
+
+@dataclass
+class Region:
+    """One simulated allocation.  Freed regions must not be used again."""
+
+    region_id: int
+    name: str
+    size_bytes: int
+    node: int
+    in_enclave: bool
+    freed: bool = field(default=False, compare=False)
+
+    @property
+    def locality(self) -> Locality:
+        """Placement descriptor for the cost model."""
+        if self.freed:
+            raise AccessViolationError(
+                f"use-after-free of region {self.name!r} ({self.size_bytes} B)"
+            )
+        return Locality(node=self.node, in_enclave=self.in_enclave)
+
+
+class MemoryAllocator:
+    """Tracks DRAM and EPC usage per NUMA node and hands out regions.
+
+    ``allow_epc_oversubscription`` reflects the platform generation: SGXv1
+    enclaves may be (much) larger than the physical EPC — the kernel pages
+    EPC contents in and out, and the *cost model* charges those faults —
+    whereas on SGXv2 the paper's methodology keeps every working set
+    EPC-resident, so exceeding it is an error here.
+    """
+
+    def __init__(
+        self, topology: Topology, *, allow_epc_oversubscription: bool = False
+    ) -> None:
+        self._topology = topology
+        self.allow_epc_oversubscription = allow_epc_oversubscription
+        self._ids = itertools.count(1)
+        self._dram_used: Dict[int, int] = {n.node_id: 0 for n in topology.nodes}
+        self._epc_used: Dict[int, int] = {n.node_id: 0 for n in topology.nodes}
+        self._live: Dict[int, Region] = {}
+        self.peak_epc_bytes = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def dram_used(self, node: int) -> int:
+        """Bytes of DRAM currently allocated on ``node`` (incl. EPC)."""
+        self._topology.node(node)
+        return self._dram_used[node]
+
+    def epc_used(self, node: int) -> int:
+        """Bytes of EPC currently allocated on ``node``."""
+        self._topology.node(node)
+        return self._epc_used[node]
+
+    def epc_free(self, node: int) -> int:
+        """Remaining EPC capacity on ``node``."""
+        return self._topology.node(node).epc_bytes - self.epc_used(node)
+
+    @property
+    def live_regions(self) -> int:
+        return len(self._live)
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(
+        self,
+        name: str,
+        size_bytes: int,
+        *,
+        node: int = 0,
+        in_enclave: bool = False,
+    ) -> Region:
+        """Allocate ``size_bytes`` on ``node``; EPC-backed if ``in_enclave``.
+
+        Raises :class:`EpcExhaustedError` when an enclave allocation exceeds
+        the node's EPC (on real SGXv2 this would trigger enclave paging,
+        which the paper's benchmarks explicitly avoid), and
+        :class:`AllocationError` when DRAM itself is exhausted.
+        """
+        if size_bytes < 0:
+            raise AllocationError(f"negative allocation size for {name!r}")
+        numa_node = self._topology.node(node)
+        if (
+            in_enclave
+            and not self.allow_epc_oversubscription
+            and self._epc_used[node] + size_bytes > numa_node.epc_bytes
+        ):
+            raise EpcExhaustedError(
+                f"EPC on node {node} exhausted: {self._epc_used[node]} used, "
+                f"{size_bytes} requested, {numa_node.epc_bytes} capacity"
+            )
+        if self._dram_used[node] + size_bytes > numa_node.dram_bytes:
+            raise AllocationError(
+                f"DRAM on node {node} exhausted: {self._dram_used[node]} used, "
+                f"{size_bytes} requested, {numa_node.dram_bytes} capacity"
+            )
+        region = Region(
+            region_id=next(self._ids),
+            name=name,
+            size_bytes=size_bytes,
+            node=node,
+            in_enclave=in_enclave,
+        )
+        self._dram_used[node] += size_bytes
+        if in_enclave:
+            self._epc_used[node] += size_bytes
+            self.peak_epc_bytes = max(self.peak_epc_bytes, sum(self._epc_used.values()))
+        self._live[region.region_id] = region
+        return region
+
+    def free(self, region: Region) -> None:
+        """Release ``region``; double frees raise."""
+        if region.freed or region.region_id not in self._live:
+            raise AccessViolationError(f"double free of region {region.name!r}")
+        region.freed = True
+        del self._live[region.region_id]
+        self._dram_used[region.node] -= region.size_bytes
+        if region.in_enclave:
+            self._epc_used[region.node] -= region.size_bytes
+
+    def free_all(self) -> None:
+        """Release every live region (benchmark teardown)."""
+        for region in list(self._live.values()):
+            self.free(region)
+
+    def resolve(self, region_id: int) -> Optional[Region]:
+        """Look up a live region by id, or ``None``."""
+        return self._live.get(region_id)

@@ -1,0 +1,396 @@
+"""The SGXv2 cost model: prices access batches in simulated CPU cycles.
+
+This is the single component that turns *what an operator did to memory*
+(an :class:`~repro.memory.access.AccessProfile`) into *how long the paper's
+C++ implementation would have taken* under a given execution environment
+(plain CPU vs. enclave mode, NUMA placement, phase concurrency).
+
+Modelled effects, with their calibration sources:
+
+============================  =========================================
+sequential bandwidth domains   Table 1 (channels), Fig. 13/15/16
+cache residency                Table 1 cache sizes, Fig. 4/5/12 (flat
+                               in-cache segments)
+random access latency + MLP    Fig. 4/5
+SGX linear penalties           Fig. 12/15 (2-5.5 %)
+SGX random penalties           Fig. 5 (read 1.9x, write 2-3x)
+enclave-mode loop execution    Fig. 6/7 (3.25x naive, 1.2x unrolled)
+UPI bandwidth + encryption     Fig. 9/16 (67.2 GB/s cap; 77 %->96 %)
+transitions / mutexes / EDMM   Fig. 10/11 (Sec. 4.4)
+============================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CostParameters
+from repro.hardware.spec import HardwareSpec
+from repro.memory.access import (
+    AccessBatch,
+    AccessProfile,
+    CodeVariant,
+    PatternKind,
+    SyncCosts,
+)
+from repro.memory.encryption import MemoryEncryptionEngine
+from repro.memory.residency import CacheResidency
+from repro.units import nanoseconds_to_cycles
+
+#: Cycles of an ordinary (non-enclave) function call standing in for what
+#: would be an enclave transition when the same code runs without SGX.
+_PLAIN_CALL_CYCLES = 50.0
+
+#: Cycles a plain process pays per freshly faulted-in heap page.
+_PLAIN_PAGE_FAULT_CYCLES = 2_000.0
+
+#: Out-of-order windows overlap at most this many cache hits of an RMW
+#: table access stream.
+_CACHE_HIT_OVERLAP = 4.0
+
+#: A core streaming from the remote socket loses part of its request
+#: concurrency to the longer round trip.
+_CROSS_NUMA_CORE_EFFICIENCY = 0.8
+
+
+@dataclass(frozen=True)
+class CostEnvironment:
+    """Execution environment a batch is priced under.
+
+    ``concurrency`` is the number of threads simultaneously executing the
+    same phase (they share bandwidth domains); ``thread_node`` is the NUMA
+    node of the core running this thread.
+    """
+
+    enclave_mode: bool
+    thread_node: int = 0
+    concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        if self.thread_node < 0:
+            raise ConfigurationError("thread_node must be >= 0")
+
+
+class MemoryCostModel:
+    """Prices :class:`AccessBatch`/:class:`AccessProfile` objects in cycles."""
+
+    def __init__(self, spec: HardwareSpec, params: CostParameters) -> None:
+        self.spec = spec
+        self.params = params
+        self.residency = CacheResidency(spec)
+        self.mee = MemoryEncryptionEngine(params, spec.l3.capacity_bytes)
+        freq = spec.base_frequency_hz
+        self._dram_latency = nanoseconds_to_cycles(
+            spec.memory.random_read_latency_ns, freq
+        )
+        self._cross_extra = nanoseconds_to_cycles(
+            spec.memory.cross_numa_extra_latency_ns, freq
+        )
+        self._core_stream_bpc = spec.single_core_stream_bandwidth_bytes() / freq
+        self._socket_stream_bpc = spec.socket_stream_bandwidth_bytes() / freq
+        self._upi_bpc = spec.upi_total_bandwidth_bytes / freq
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def batch_cycles(self, batch: AccessBatch, env: CostEnvironment) -> float:
+        """Simulated cycles one thread spends executing ``batch``."""
+        kind = batch.kind
+        if kind is PatternKind.COMPUTE:
+            return batch.count
+        if kind in (PatternKind.SEQ_READ, PatternKind.SEQ_WRITE):
+            return self._sequential_cycles(batch, env)
+        if kind in (
+            PatternKind.RANDOM_READ,
+            PatternKind.RANDOM_WRITE,
+            PatternKind.DEPENDENT_READ,
+        ):
+            return self._random_cycles(batch, env)
+        if kind is PatternKind.RMW_LOOP:
+            return self._rmw_loop_cycles(batch, env)
+        raise ConfigurationError(f"unknown pattern kind: {kind}")
+
+    def sync_cycles(self, sync: SyncCosts, env: CostEnvironment) -> float:
+        """Cycles spent on synchronization, transitions, and paging."""
+        params = self.params
+        cycles = 0.0
+        if env.enclave_mode:
+            cycles += sync.transitions * params.transition_cycles
+            # SDK mutex: a contended acquisition parks the thread via an
+            # OCALL; the avalanche factor models the pile-up described in
+            # Sec. 4.4 (waiters arriving while the owner is mid-transition).
+            per_mutex = params.atomic_op_cycles + (
+                sync.mutex_contention_ratio
+                * params.transition_cycles
+                * params.mutex_avalanche_factor
+            )
+            cycles += sync.pages_added_dynamically * params.edmm_page_add_cycles
+        else:
+            cycles += sync.transitions * _PLAIN_CALL_CYCLES
+            # A contended pthread mutex mostly resolves via brief kernel
+            # futex waits; only part of the contended acquisitions pay the
+            # full syscall.
+            per_mutex = params.atomic_op_cycles + (
+                sync.mutex_contention_ratio * params.futex_syscall_cycles * 0.5
+            )
+            cycles += sync.pages_added_dynamically * _PLAIN_PAGE_FAULT_CYCLES
+        cycles += sync.mutex_acquisitions * per_mutex
+        spin_wait = sync.mutex_contention_ratio * 5.0 * params.atomic_op_cycles
+        cycles += sync.spinlock_acquisitions * (params.atomic_op_cycles + spin_wait)
+        cycles += sync.atomic_ops * params.atomic_op_cycles
+        cycles += sync.pages_touched_statically * params.static_page_touch_cycles
+        cycles += sync.barriers * (200.0 + 30.0 * env.concurrency)
+        return cycles
+
+    def profile_cycles(self, profile: AccessProfile, env: CostEnvironment) -> float:
+        """Total cycles for all batches plus synchronization costs."""
+        total = sum(self.batch_cycles(batch, env) for batch in profile)
+        return total + self.sync_cycles(profile.sync, env)
+
+    # ------------------------------------------------------------------
+    # legacy EPC paging (SGXv1 platform models; disabled on SGXv2)
+    # ------------------------------------------------------------------
+
+    def _epc_overflow_fraction(self, working_set_bytes: float) -> float:
+        """Share of an enclave working set that does not fit the EPC."""
+        params = self.params
+        if not params.epc_paging_enabled or working_set_bytes <= 0:
+            return 0.0
+        return max(
+            0.0, (working_set_bytes - params.epc_effective_bytes) / working_set_bytes
+        )
+
+    def _paging_sequential_cycles(
+        self, bytes_streamed: float, working_set_bytes: float,
+        locality, env: CostEnvironment,
+    ) -> float:
+        """Page-fault cycles for streaming through an oversubscribed EPC.
+
+        Each 4 KiB page of the overflowing share is evicted (re-encrypted)
+        and re-loaded once per streaming pass.
+        """
+        if not (env.enclave_mode and locality.in_enclave):
+            return 0.0
+        overflow = self._epc_overflow_fraction(working_set_bytes)
+        if overflow == 0.0:
+            return 0.0
+        pages = bytes_streamed * overflow / 4096.0
+        return pages * self.params.epc_page_fault_cycles
+
+    def _paging_random_cycles(
+        self, accesses: float, working_set_bytes: float,
+        locality, env: CostEnvironment,
+    ) -> float:
+        """Page-fault cycles for random access into an oversubscribed EPC.
+
+        In steady state a random access misses the resident EPC set with
+        probability equal to the overflow share — this is the
+        orders-of-magnitude collapse that made SGXv1 joins impractical.
+        """
+        if not (env.enclave_mode and locality.in_enclave):
+            return 0.0
+        overflow = self._epc_overflow_fraction(working_set_bytes)
+        if overflow == 0.0:
+            return 0.0
+        return accesses * overflow * self.params.epc_page_fault_cycles
+
+    # ------------------------------------------------------------------
+    # sequential access
+    # ------------------------------------------------------------------
+
+    def _cache_seq_bpc(self, working_set: float, variant: CodeVariant) -> float:
+        """Bytes per cycle for a cache-resident stream."""
+        scalar = variant is not CodeVariant.SIMD
+        if working_set <= self.spec.l2.capacity_bytes:
+            return 8.0 if scalar else 64.0
+        return 8.0 if scalar else 32.0
+
+    def _dram_seq_bpc(
+        self, cross_numa: bool, concurrency: int, variant: CodeVariant
+    ) -> float:
+        """Per-thread bytes per cycle when streaming from DRAM."""
+        core = self._core_stream_bpc
+        if variant is not CodeVariant.SIMD:
+            core = min(core, 8.0)
+        if cross_numa:
+            core *= _CROSS_NUMA_CORE_EFFICIENCY
+            domain = self._upi_bpc
+        else:
+            domain = self._socket_stream_bpc
+        return min(core, domain / max(concurrency, 1))
+
+    def _upi_sgx_relative(self, concurrency: int) -> float:
+        """Fig. 16 curve: relative SGX cross-NUMA scan throughput."""
+        single = self.params.upi_seq_single_thread_relative
+        saturated = self.params.upi_seq_saturated_relative
+        return saturated - (saturated - single) / max(concurrency, 1)
+
+    def _sequential_cycles(self, batch: AccessBatch, env: CostEnvironment) -> float:
+        total_bytes = batch.bytes_touched
+        if total_bytes <= 0:
+            return 0.0
+        in_cache = self.residency.fits_in_cache(batch.working_set_bytes)
+        if in_cache:
+            # Plaintext in cache: identical inside and outside SGX.
+            return total_bytes / self._cache_seq_bpc(
+                batch.working_set_bytes, batch.variant
+            )
+        cross = env.thread_node != batch.locality.node
+        bpc = self._dram_seq_bpc(cross, env.concurrency, batch.variant)
+        cycles = total_bytes / bpc
+        if env.enclave_mode and batch.locality.in_enclave:
+            if cross:
+                # UPI Crypto Engine: latency-bound penalty for few threads,
+                # amortized once the UPI links themselves saturate.
+                cycles /= self._upi_sgx_relative(env.concurrency)
+            else:
+                cycles *= self.mee.sequential_factor(batch.kind, batch.variant)
+        cycles += self._paging_sequential_cycles(
+            total_bytes, batch.working_set_bytes, batch.locality, env
+        )
+        return cycles
+
+    # ------------------------------------------------------------------
+    # random access
+    # ------------------------------------------------------------------
+
+    def _random_cycles(self, batch: AccessBatch, env: CostEnvironment) -> float:
+        if batch.count <= 0:
+            return 0.0
+        cross = env.thread_node != batch.locality.node
+        dram_latency = self._dram_latency + (self._cross_extra if cross else 0.0)
+        sgx_data = env.enclave_mode and batch.locality.in_enclave
+        if sgx_data:
+            if batch.kind is PatternKind.RANDOM_WRITE:
+                dram_latency *= self.mee.random_write_factor(
+                    batch.working_set_bytes, batch.variant
+                )
+            else:
+                dram_latency *= self.mee.random_read_factor(batch.working_set_bytes)
+            if cross:
+                dram_latency *= self.params.upi_random_latency_factor
+        shares = self.residency.shares(batch.working_set_bytes, dram_latency)
+        mlp = 1.0 if batch.kind is PatternKind.DEPENDENT_READ else batch.parallelism
+        per_access = 0.0
+        for share in shares:
+            if share.name == "DRAM":
+                per_access += share.fraction * share.latency_cycles / mlp
+            else:
+                overlap = min(mlp, _CACHE_HIT_OVERLAP)
+                per_access += max(
+                    share.fraction * share.latency_cycles / overlap,
+                    share.fraction * 1.0,
+                )
+        per_access += batch.compute_cycles_per_item
+        paging = self._paging_random_cycles(
+            batch.count, batch.working_set_bytes, batch.locality, env
+        )
+        return batch.count * per_access + paging
+
+    # ------------------------------------------------------------------
+    # fused read-modify-write loops (Sec. 4.2)
+    # ------------------------------------------------------------------
+
+    def _loop_penalty(self, variant: CodeVariant) -> float:
+        """Enclave-mode code-execution penalty for a fused loop body."""
+        if variant is CodeVariant.NAIVE:
+            return self.params.rmw_loop_penalty_naive
+        if variant is CodeVariant.UNROLLED:
+            return self.params.rmw_loop_penalty_unrolled
+        return self.params.rmw_loop_penalty_simd
+
+    def _rmw_loop_cycles(self, batch: AccessBatch, env: CostEnvironment) -> float:
+        """Cost of a loop that scans an input and updates a table.
+
+        The loop-execution penalty (restricted instruction reordering in
+        enclave mode, Sec. 4.2) applies to the *whole loop body* — input
+        scan, index computation, and cache-resident table accesses — which
+        is why the histogram slowdown is independent of data location
+        (Fig. 7).  DRAM-resident table accesses additionally pay the memory
+        encryption penalties with a correspondingly reduced memory-level
+        parallelism.
+        """
+        if batch.count <= 0:
+            return 0.0
+        assert batch.table_locality is not None  # enforced in __post_init__
+        # -- input scan component (sequential) ---------------------------
+        seq_bytes = batch.bytes_touched
+        in_cache_input = self.residency.fits_in_cache(batch.working_set_bytes)
+        if in_cache_input:
+            seq = seq_bytes / self._cache_seq_bpc(
+                batch.working_set_bytes, batch.variant
+            )
+            seq_sgx_factor = 1.0
+        else:
+            cross_in = env.thread_node != batch.locality.node
+            seq = seq_bytes / self._dram_seq_bpc(
+                cross_in, env.concurrency, batch.variant
+            )
+            seq_sgx_factor = 1.0
+            if env.enclave_mode and batch.locality.in_enclave:
+                if cross_in:
+                    seq_sgx_factor = 1.0 / self._upi_sgx_relative(env.concurrency)
+                else:
+                    seq_sgx_factor = self.mee.sequential_factor(
+                        PatternKind.SEQ_READ, batch.variant
+                    )
+        # -- loop body compute --------------------------------------------
+        body = batch.count * batch.compute_cycles_per_item
+        # -- table access component ---------------------------------------
+        cross_tab = env.thread_node != batch.table_locality.node
+        dram_latency = self._dram_latency + (self._cross_extra if cross_tab else 0.0)
+        sgx_table = env.enclave_mode and batch.table_locality.in_enclave
+        if sgx_table:
+            if batch.table_writes:
+                dram_latency *= self.mee.random_write_factor(
+                    batch.table_bytes, batch.variant
+                )
+            else:
+                dram_latency *= self.mee.random_read_factor(batch.table_bytes)
+            if cross_tab:
+                dram_latency *= self.params.upi_random_latency_factor
+        shares = self.residency.shares(batch.table_bytes, dram_latency)
+        cache_hits = 0.0
+        dram_fraction = 0.0
+        dram_per_access = 0.0
+        for share in shares:
+            if share.name == "DRAM":
+                dram_fraction = share.fraction
+                dram_per_access = share.latency_cycles
+            else:
+                overlap = min(batch.parallelism, _CACHE_HIT_OVERLAP)
+                cache_hits += max(
+                    share.fraction * share.latency_cycles / overlap,
+                    share.fraction * 1.0,
+                )
+        cache_component = batch.count * cache_hits
+        mlp = batch.parallelism
+        dram_component = batch.count * dram_fraction * dram_per_access / mlp
+        # Legacy EPC paging on both sides of the fused loop.
+        paging = self._paging_sequential_cycles(
+            seq_bytes, batch.working_set_bytes, batch.locality, env
+        )
+        paging += self._paging_random_cycles(
+            batch.count * dram_fraction,
+            batch.table_bytes,
+            batch.table_locality,
+            env,
+        )
+        if not env.enclave_mode:
+            return seq + body + cache_component + dram_component + paging
+        raw_penalty = self._loop_penalty(batch.variant)
+        body_penalty = 1.0 + (raw_penalty - 1.0) * batch.reorder_sensitivity
+        mlp_sensitivity = (
+            batch.reorder_sensitivity
+            if batch.mlp_sensitivity is None
+            else batch.mlp_sensitivity
+        )
+        mlp_penalty = 1.0 + (raw_penalty - 1.0) * mlp_sensitivity
+        loop_part = (seq * seq_sgx_factor + body + cache_component) * body_penalty
+        mlp_restricted = max(1.0, mlp / mlp_penalty)
+        dram_part = batch.count * dram_fraction * dram_per_access / mlp_restricted
+        return loop_part + dram_part + paging

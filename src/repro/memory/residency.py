@@ -1,0 +1,90 @@
+"""Cache residency model.
+
+Random accesses that stay within a cache level pay that level's latency and
+— crucially for this paper — incur *no* SGX penalty, because EPC data is
+held decrypted in the cache hierarchy (Sec. 2).  The model below estimates,
+for a uniformly random access stream over a working set of ``ws`` bytes,
+what fraction of accesses is served by each level.
+
+The estimate assumes steady state with LRU-like behaviour: a level of
+capacity ``c`` holds a ``c / ws`` fraction of a uniformly accessed working
+set (capped at 1).  This matches the qualitative curves of Fig. 4/5: flat at
+100 % relative performance while ``ws`` fits L3, then falling as the DRAM
+fraction grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.spec import HardwareSpec
+
+
+@dataclass(frozen=True)
+class LevelShare:
+    """Fraction of accesses served by one level of the hierarchy."""
+
+    name: str
+    fraction: float
+    latency_cycles: float
+
+
+class CacheResidency:
+    """Distributes random accesses over L1/L2/L3/DRAM for a working set."""
+
+    def __init__(self, spec: HardwareSpec) -> None:
+        self._spec = spec
+        self._levels: List[Tuple[str, float, float]] = [
+            (spec.l1d.name, float(spec.l1d.capacity_bytes), spec.l1d.latency_cycles),
+            (spec.l2.name, float(spec.l2.capacity_bytes), spec.l2.latency_cycles),
+            (spec.l3.name, float(spec.l3.capacity_bytes), spec.l3.latency_cycles),
+        ]
+
+    @property
+    def l3_bytes(self) -> float:
+        return float(self._spec.l3.capacity_bytes)
+
+    def fits_in_cache(self, working_set_bytes: float) -> bool:
+        """True when the working set is fully L3-resident."""
+        return working_set_bytes <= self.l3_bytes
+
+    def shares(
+        self, working_set_bytes: float, dram_latency_cycles: float
+    ) -> List[LevelShare]:
+        """Level-by-level access fractions for a uniform random stream.
+
+        The returned fractions sum to 1; the last entry is DRAM.
+        """
+        if working_set_bytes < 0:
+            raise ConfigurationError("working set must be non-negative")
+        shares: List[LevelShare] = []
+        covered = 0.0
+        ws = max(working_set_bytes, 1.0)
+        for name, capacity, latency in self._levels:
+            reachable = min(capacity, ws)
+            fraction = max(0.0, (reachable - covered) / ws)
+            if fraction > 0:
+                shares.append(LevelShare(name, fraction, latency))
+            covered = max(covered, reachable)
+            if covered >= ws:
+                break
+        dram_fraction = max(0.0, (ws - covered) / ws)
+        if dram_fraction > 0:
+            shares.append(LevelShare("DRAM", dram_fraction, dram_latency_cycles))
+        return shares
+
+    def dram_fraction(self, working_set_bytes: float) -> float:
+        """Fraction of random accesses that miss all caches."""
+        ws = max(working_set_bytes, 1.0)
+        return max(0.0, (ws - self.l3_bytes) / ws)
+
+    def avg_random_latency(
+        self, working_set_bytes: float, dram_latency_cycles: float
+    ) -> float:
+        """Expected per-access latency for a uniform random stream."""
+        return sum(
+            share.fraction * share.latency_cycles
+            for share in self.shares(working_set_bytes, dram_latency_cycles)
+        )

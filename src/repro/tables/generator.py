@@ -1,0 +1,114 @@
+"""Join-input generators (the TEEBench-style workload of Sec. 4).
+
+The paper's join inputs are rows of a 32-bit key and a 32-bit payload
+(8 bytes per tuple); all joins are foreign-key joins with uniformly
+distributed keys.  The default experiment joins a 100 MB build table
+(12.5 M rows) against a 400 MB probe table (50 M rows) — the "cache-exceed"
+setting of TEEBench, similar to TPC-H join sizes at scale factor 100.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tables.table import Column, Table
+
+#: 32-bit key + 32-bit payload, as in the paper (Sec. 4, "Join data").
+JOIN_TUPLE_BYTES = 8
+
+#: Physical rows above which generated tables are scaled down via
+#: ``sim_scale`` to keep wall-clock benchmark time reasonable.
+DEFAULT_PHYSICAL_ROW_CAP = 2_000_000
+
+
+def rows_for_bytes(size_bytes: float, tuple_bytes: int = JOIN_TUPLE_BYTES) -> int:
+    """Logical row count of a relation of ``size_bytes``."""
+    if size_bytes < 0:
+        raise ConfigurationError("size must be non-negative")
+    return int(size_bytes // tuple_bytes)
+
+
+def _scaled_rows(logical_rows: int, cap: Optional[int]) -> Tuple[int, float]:
+    """Physical rows and the sim_scale that restores the logical count."""
+    if logical_rows <= 0:
+        raise ConfigurationError("relation must have at least one row")
+    if cap is None or logical_rows <= cap:
+        return logical_rows, 1.0
+    return cap, logical_rows / cap
+
+
+def generate_key_value_table(
+    name: str,
+    size_bytes: float,
+    *,
+    rng: np.random.Generator,
+    physical_row_cap: Optional[int] = DEFAULT_PHYSICAL_ROW_CAP,
+) -> Table:
+    """A primary-key relation: keys are a dense permutation, payloads random."""
+    logical_rows = rows_for_bytes(size_bytes)
+    physical_rows, scale = _scaled_rows(logical_rows, physical_row_cap)
+    keys = rng.permutation(physical_rows).astype(np.int32)
+    payload = rng.integers(0, 2**31 - 1, size=physical_rows, dtype=np.int32)
+    return Table(
+        name,
+        [Column("key", keys), Column("payload", payload)],
+        sim_scale=scale,
+    )
+
+
+def generate_join_relation_pair(
+    build_bytes: float,
+    probe_bytes: float,
+    *,
+    seed: int = 42,
+    physical_row_cap: Optional[int] = DEFAULT_PHYSICAL_ROW_CAP,
+) -> Tuple[Table, Table]:
+    """The paper's foreign-key join inputs.
+
+    The build (primary-key) relation has unique keys; every probe tuple's
+    key references some build key uniformly at random, so every probe row
+    finds exactly one match.  Both relations report 8-byte logical tuples
+    regardless of the physical (int64) representation numpy needs.
+    """
+    rng = np.random.default_rng(seed)
+    build = generate_key_value_table(
+        "R", build_bytes, rng=rng, physical_row_cap=physical_row_cap
+    )
+    probe_logical = rows_for_bytes(probe_bytes)
+    probe_physical, probe_scale = _scaled_rows(probe_logical, physical_row_cap)
+    probe_keys = rng.integers(0, build.num_rows, size=probe_physical, dtype=np.int32)
+    # Map through the build permutation so foreign keys hit actual PK values.
+    probe_keys = build["key"][probe_keys]
+    payload = rng.integers(0, 2**31 - 1, size=probe_physical, dtype=np.int32)
+    probe = Table(
+        "S",
+        [Column("key", probe_keys), Column("payload", payload)],
+        sim_scale=probe_scale,
+    )
+    return build, probe
+
+
+def skewed_probe_keys(
+    build_rows: int,
+    probe_rows: int,
+    zipf_theta: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Zipf-skewed foreign keys (extension beyond the paper's uniform data).
+
+    ``zipf_theta`` = 0 degenerates to uniform; larger values concentrate
+    probes on few build keys, which stresses latch contention in PHT.
+    """
+    if build_rows <= 0 or probe_rows < 0:
+        raise ConfigurationError("row counts must be positive")
+    if zipf_theta < 0:
+        raise ConfigurationError("zipf_theta must be non-negative")
+    if zipf_theta == 0:
+        return rng.integers(0, build_rows, size=probe_rows, dtype=np.int64)
+    ranks = np.arange(1, build_rows + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_theta)
+    weights /= weights.sum()
+    return rng.choice(build_rows, size=probe_rows, p=weights).astype(np.int64)

@@ -1,0 +1,111 @@
+"""Table persistence: CSV interchange and binary save/load.
+
+Benchmark inputs are normally generated, but a downstream user evaluating
+their own workload needs to get data in and out: CSV for interchange with
+other tools, and an ``.npz``-based binary format that round-trips dtypes
+and the ``sim_scale`` exactly (CSV is header + rows; scale travels in a
+header comment).
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tables.table import Column, Table
+
+PathLike = Union[str, pathlib.Path]
+
+_SCALE_COMMENT = "# sim_scale="
+
+
+def table_to_csv(table: Table) -> str:
+    """Render a table as CSV (with a sim_scale header comment)."""
+    out = io.StringIO()
+    if table.sim_scale != 1.0:
+        out.write(f"{_SCALE_COMMENT}{table.sim_scale!r}\n")
+    out.write(",".join(table.column_names) + "\n")
+    columns = [table[name] for name in table.column_names]
+    for row in range(table.num_rows):
+        out.write(",".join(str(col[row]) for col in columns) + "\n")
+    return out.getvalue()
+
+
+def table_from_csv(text: str, name: str = "table") -> Table:
+    """Parse a table from CSV produced by :func:`table_to_csv`.
+
+    Values are parsed as integers when every entry of a column is
+    integral, else as floats.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    sim_scale = 1.0
+    if lines and lines[0].startswith(_SCALE_COMMENT):
+        sim_scale = float(lines[0][len(_SCALE_COMMENT):])
+        lines = lines[1:]
+    if not lines:
+        raise ConfigurationError("CSV has no header line")
+    header = [part.strip() for part in lines[0].split(",")]
+    if not header or any(not part for part in header):
+        raise ConfigurationError("CSV header has empty column names")
+    raw: List[List[str]] = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != len(header):
+            raise ConfigurationError(
+                f"CSV line {line_no} has {len(parts)} fields, "
+                f"expected {len(header)}"
+            )
+        raw.append(parts)
+    columns = []
+    for index, column_name in enumerate(header):
+        values = [row[index] for row in raw]
+        try:
+            data = np.array([int(v) for v in values], dtype=np.int64)
+        except ValueError:
+            try:
+                data = np.array([float(v) for v in values])
+            except ValueError:
+                raise ConfigurationError(
+                    f"column {column_name!r} holds non-numeric data"
+                ) from None
+        columns.append(Column(column_name, data))
+    if not raw:
+        columns = [
+            Column(column_name, np.empty(0, dtype=np.int64))
+            for column_name in header
+        ]
+    return Table(name, columns, sim_scale=sim_scale)
+
+
+def save_table(table: Table, path: PathLike) -> None:
+    """Save a table (dtypes and sim_scale preserved) to ``path`` (.npz)."""
+    arrays = {name: table[name] for name in table.column_names}
+    np.savez_compressed(
+        pathlib.Path(path),
+        __order__=np.array(table.column_names),
+        __sim_scale__=np.array([table.sim_scale]),
+        __name__=np.array([table.name]),
+        **arrays,
+    )
+
+
+def load_table(path: PathLike) -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no table file at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            order = [str(name) for name in archive["__order__"]]
+            sim_scale = float(archive["__sim_scale__"][0])
+            name = str(archive["__name__"][0])
+        except KeyError:
+            raise ConfigurationError(
+                f"{path} is not a saved table (missing metadata)"
+            ) from None
+        columns = [Column(column, archive[column]) for column in order]
+    return Table(name, columns, sim_scale=sim_scale)

@@ -1,0 +1,99 @@
+"""Unit helpers: byte sizes, cycles, times, and human-readable formatting.
+
+The paper reports throughput in M rows/s and GB/s and sizes in MB/GB using
+decimal prefixes for table sizes (100 MB hash table) but binary prefixes for
+hardware capacities (48 KB L1d).  We keep both families explicit to avoid the
+classic factor-1.048 confusion:
+
+* ``KB``/``MB``/``GB`` are decimal (10**3 based) — used for table sizes and
+  bandwidths, matching the paper's figures.
+* ``KiB``/``MiB``/``GiB`` are binary (2**10 based) — used for cache and EPC
+  capacities.
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+CACHE_LINE_BYTES = 64
+PAGE_BYTES = 4 * KiB
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count into wall-clock seconds at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert wall-clock seconds into cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def nanoseconds_to_cycles(nanoseconds: float, frequency_hz: float) -> float:
+    """Convert a latency in nanoseconds into cycles at ``frequency_hz``."""
+    return seconds_to_cycles(nanoseconds * 1e-9, frequency_hz)
+
+
+def bandwidth_cycles_per_byte(bytes_per_second: float, frequency_hz: float) -> float:
+    """Cycles spent per byte when limited by ``bytes_per_second`` bandwidth."""
+    if bytes_per_second <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bytes_per_second}")
+    return frequency_hz / bytes_per_second
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a decimal prefix, e.g. ``400 MB``.
+
+    Sizes in this library follow the paper's decimal convention; values below
+    1 KB are printed as plain bytes.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    for unit, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= factor:
+            value = num_bytes / factor
+            if value >= 100:
+                return f"{value:.0f} {unit}"
+            return f"{value:.3g} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_throughput_rows(rows_per_second: float) -> str:
+    """Format a row throughput the way the paper does, e.g. ``723 M rows/s``."""
+    if rows_per_second < 0:
+        raise ValueError("throughput must be non-negative")
+    if rows_per_second >= 1e9:
+        return f"{rows_per_second / 1e9:.2f} B rows/s"
+    if rows_per_second >= 1e6:
+        return f"{rows_per_second / 1e6:.0f} M rows/s"
+    if rows_per_second >= 1e3:
+        return f"{rows_per_second / 1e3:.0f} K rows/s"
+    return f"{rows_per_second:.0f} rows/s"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth, e.g. ``67.2 GB/s``."""
+    return f"{format_bytes(bytes_per_second)}/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with an appropriate sub-second unit."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds >= 1:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"

@@ -1,0 +1,35 @@
+"""Shared fixtures: a fresh simulated machine and small canonical inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.enclave.runtime import ExecutionSetting
+from repro.machine import SimMachine
+from repro.tables import generate_join_relation_pair
+
+
+@pytest.fixture
+def machine() -> SimMachine:
+    """A fresh paper-testbed machine (clean allocator state)."""
+    return SimMachine()
+
+
+@pytest.fixture
+def settings():
+    """The three execution settings in paper order."""
+    return ExecutionSetting.all_settings()
+
+
+@pytest.fixture
+def small_join_tables():
+    """A small but paper-shaped join input pair (logical 100 MB x 400 MB)."""
+    return generate_join_relation_pair(
+        100e6, 400e6, seed=7, physical_row_cap=40_000
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

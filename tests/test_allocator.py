@@ -1,0 +1,100 @@
+"""Memory allocator: NUMA placement, EPC capacity, free semantics."""
+
+import pytest
+
+from repro.errors import AccessViolationError, AllocationError, EpcExhaustedError
+from repro.hardware import Topology, paper_testbed
+from repro.memory.allocator import MemoryAllocator
+from repro.units import GiB
+
+
+@pytest.fixture
+def allocator():
+    return MemoryAllocator(Topology(paper_testbed()))
+
+
+class TestAllocation:
+    def test_untrusted_allocation_counts_dram_only(self, allocator):
+        allocator.allocate("buf", 1 * GiB, node=0)
+        assert allocator.dram_used(0) == 1 * GiB
+        assert allocator.epc_used(0) == 0
+
+    def test_enclave_allocation_counts_epc(self, allocator):
+        allocator.allocate("heap", 2 * GiB, node=1, in_enclave=True)
+        assert allocator.epc_used(1) == 2 * GiB
+        assert allocator.dram_used(1) == 2 * GiB
+        assert allocator.epc_used(0) == 0
+
+    def test_epc_is_per_node(self, allocator):
+        allocator.allocate("a", 60 * GiB, node=0, in_enclave=True)
+        # Node 1 still has its full 64 GiB.
+        assert allocator.epc_free(1) == 64 * GiB
+
+    def test_epc_exhaustion_raises(self, allocator):
+        allocator.allocate("a", 60 * GiB, node=0, in_enclave=True)
+        with pytest.raises(EpcExhaustedError):
+            allocator.allocate("b", 8 * GiB, node=0, in_enclave=True)
+
+    def test_epc_exhaustion_is_also_capacity_error(self, allocator):
+        from repro.errors import CapacityError
+
+        allocator.allocate("a", 64 * GiB, node=0, in_enclave=True)
+        with pytest.raises(CapacityError):
+            allocator.allocate("b", 1, node=0, in_enclave=True)
+
+    def test_dram_exhaustion_raises(self, allocator):
+        allocator.allocate("a", 255 * GiB, node=0)
+        with pytest.raises(AllocationError):
+            allocator.allocate("b", 2 * GiB, node=0)
+
+    def test_negative_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.allocate("bad", -1)
+
+    def test_peak_epc_tracked(self, allocator):
+        a = allocator.allocate("a", 4 * GiB, node=0, in_enclave=True)
+        allocator.free(a)
+        allocator.allocate("b", 1 * GiB, node=0, in_enclave=True)
+        assert allocator.peak_epc_bytes == 4 * GiB
+
+
+class TestFree:
+    def test_free_returns_capacity(self, allocator):
+        region = allocator.allocate("a", 1 * GiB, node=0, in_enclave=True)
+        allocator.free(region)
+        assert allocator.epc_used(0) == 0
+        assert allocator.dram_used(0) == 0
+
+    def test_double_free_raises(self, allocator):
+        region = allocator.allocate("a", 1024)
+        allocator.free(region)
+        with pytest.raises(AccessViolationError):
+            allocator.free(region)
+
+    def test_use_after_free_raises(self, allocator):
+        region = allocator.allocate("a", 1024)
+        allocator.free(region)
+        with pytest.raises(AccessViolationError):
+            _ = region.locality
+
+    def test_free_all(self, allocator):
+        allocator.allocate("a", 1024)
+        allocator.allocate("b", 2048, node=1, in_enclave=True)
+        allocator.free_all()
+        assert allocator.live_regions == 0
+        assert allocator.dram_used(0) == 0
+        assert allocator.epc_used(1) == 0
+
+    def test_resolve_live_and_dead(self, allocator):
+        region = allocator.allocate("a", 1024)
+        assert allocator.resolve(region.region_id) is region
+        allocator.free(region)
+        assert allocator.resolve(region.region_id) is None
+
+
+class TestLocality:
+    def test_region_locality_matches_placement(self, allocator):
+        region = allocator.allocate("a", 1024, node=1, in_enclave=True)
+        locality = region.locality
+        assert locality.node == 1
+        assert locality.in_enclave

@@ -1,0 +1,83 @@
+"""ASCII chart rendering of experiment reports."""
+
+import pytest
+
+from repro.bench.charts import render, render_bars, render_series
+from repro.bench.report import ExperimentReport
+from repro.errors import BenchmarkError
+
+
+def bar_report():
+    report = ExperimentReport("figX", "bars", "Figure X")
+    report.add("alpha", "throughput", 100.0, "M rows/s")
+    report.add("beta", "throughput", 50.0, "M rows/s")
+    report.add("gamma", "throughput", 25.0, "M rows/s")
+    return report
+
+
+def sweep_report():
+    report = ExperimentReport("figY", "sweep", "Figure Y")
+    for series, scale in (("plain", 1.0), ("sgx", 0.5)):
+        for x in (1, 10, 100, 1000):
+            report.add(series, x, scale * x, "GB/s")
+    return report
+
+
+class TestBars:
+    def test_largest_bar_is_full_width(self):
+        chart = render_bars(bar_report(), bar_width=20)
+        lines = chart.splitlines()
+        assert "█" * 20 in lines[1]  # alpha = peak
+        assert "█" * 10 in lines[2]  # beta = half
+
+    def test_values_printed(self):
+        chart = render_bars(bar_report())
+        assert "100" in chart and "M rows/s" in chart
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(BenchmarkError):
+            render_bars(ExperimentReport("x", "t", "r"))
+
+    def test_non_positive_rejected(self):
+        report = ExperimentReport("x", "t", "r")
+        report.add("a", 1, 0.0, "")
+        with pytest.raises(BenchmarkError):
+            render_bars(report)
+
+
+class TestSeries:
+    def test_contains_markers_and_legend(self):
+        chart = render_series(sweep_report())
+        assert "o = plain" in chart
+        assert "x = sgx" in chart
+        assert chart.count("o") > 2
+
+    def test_axis_extents(self):
+        chart = render_series(sweep_report())
+        assert "1000" in chart  # max value
+        assert "0.5" in chart  # min value
+
+    def test_single_x_rejected(self):
+        report = ExperimentReport("x", "t", "r")
+        report.add("a", 1, 1.0, "")
+        report.add("b", 1, 2.0, "")
+        with pytest.raises(BenchmarkError):
+            render_series(report)
+
+
+class TestAutoRender:
+    def test_sweep_becomes_series(self):
+        assert "+" + "-" * 10 in render(sweep_report()) or "o = plain" in render(
+            sweep_report()
+        )
+
+    def test_categorical_becomes_bars(self):
+        assert "█" in render(bar_report())
+
+    def test_every_registered_experiment_renders(self):
+        # Charts must handle the shape of every real experiment; tab01's
+        # static rows and all sweeps included.
+        from repro.bench.registry import run_experiment
+
+        report = run_experiment("tab01")
+        assert render(report)

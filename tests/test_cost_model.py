@@ -1,0 +1,284 @@
+"""The cost model: every paper-anchored behaviour, pattern by pattern."""
+
+import pytest
+
+from repro.hardware import paper_calibration, paper_testbed
+from repro.memory.access import (
+    AccessBatch,
+    AccessProfile,
+    CodeVariant,
+    Locality,
+    PatternKind,
+    SyncCosts,
+)
+from repro.memory.cost_model import CostEnvironment, MemoryCostModel
+
+EPC = Locality(0, True)
+UNTRUSTED = Locality(0, False)
+PLAIN = CostEnvironment(enclave_mode=False)
+SGX = CostEnvironment(enclave_mode=True)
+
+
+@pytest.fixture
+def model():
+    return MemoryCostModel(paper_testbed(), paper_calibration())
+
+
+def chase(ws, locality=EPC, count=1e6):
+    return AccessBatch(
+        kind=PatternKind.DEPENDENT_READ,
+        count=count,
+        element_bytes=8,
+        working_set_bytes=ws,
+        locality=locality,
+        parallelism=1.0,
+    )
+
+
+def stream(kind, ws, locality=EPC, variant=CodeVariant.SIMD, count=1e6):
+    return AccessBatch(
+        kind=kind,
+        count=count,
+        element_bytes=8,
+        working_set_bytes=ws,
+        locality=locality,
+        variant=variant,
+    )
+
+
+def rmw(table_bytes, variant=CodeVariant.NAIVE, locality=EPC, sens=1.0, mlp=None):
+    return AccessBatch(
+        kind=PatternKind.RMW_LOOP,
+        count=1e6,
+        element_bytes=8,
+        working_set_bytes=4e8,
+        locality=locality,
+        variant=variant,
+        parallelism=8.0,
+        compute_cycles_per_item=1.3,
+        table_bytes=table_bytes,
+        table_locality=locality,
+        reorder_sensitivity=sens,
+        mlp_sensitivity=mlp,
+    )
+
+
+class TestEnvironment:
+    def test_invalid_concurrency_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CostEnvironment(False, concurrency=0)
+
+    def test_invalid_node_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CostEnvironment(False, thread_node=-1)
+
+
+class TestCompute:
+    def test_compute_is_identity(self, model):
+        batch = AccessBatch(
+            kind=PatternKind.COMPUTE,
+            count=1234.0,
+            element_bytes=1,
+            working_set_bytes=0,
+            locality=UNTRUSTED,
+        )
+        assert model.batch_cycles(batch, PLAIN) == 1234.0
+        assert model.batch_cycles(batch, SGX) == 1234.0
+
+
+class TestSequential:
+    def test_in_cache_equal_across_modes(self, model):
+        batch = stream(PatternKind.SEQ_READ, 1e6, count=1e5)
+        assert model.batch_cycles(batch, PLAIN) == model.batch_cycles(batch, SGX)
+
+    def test_dram_read_penalty_small(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9)
+        ratio = model.batch_cycles(batch, SGX) / model.batch_cycles(batch, PLAIN)
+        assert ratio == pytest.approx(1.03, rel=0.01)  # Fig. 12/15
+
+    def test_scalar_read_penalty_larger(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9, variant=CodeVariant.NAIVE)
+        ratio = model.batch_cycles(batch, SGX) / model.batch_cycles(batch, PLAIN)
+        assert ratio == pytest.approx(1.055, rel=0.01)  # Fig. 15
+
+    def test_write_penalty_two_percent(self, model):
+        batch = stream(PatternKind.SEQ_WRITE, 4e9)
+        ratio = model.batch_cycles(batch, SGX) / model.batch_cycles(batch, PLAIN)
+        assert ratio == pytest.approx(1.02, rel=0.01)
+
+    def test_untrusted_data_no_penalty(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9, locality=UNTRUSTED)
+        assert model.batch_cycles(batch, SGX) == model.batch_cycles(batch, PLAIN)
+
+    def test_bandwidth_shared_across_threads(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9)
+        one = model.batch_cycles(batch, CostEnvironment(False, concurrency=1))
+        sixteen = model.batch_cycles(batch, CostEnvironment(False, concurrency=16))
+        # Same per-thread byte count, but 16 threads share the socket:
+        # per-thread time grows.
+        assert sixteen > one
+
+    def test_cross_numa_slower(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9)
+        local = model.batch_cycles(batch, CostEnvironment(False, thread_node=0))
+        cross = model.batch_cycles(batch, CostEnvironment(False, thread_node=1))
+        assert cross > local
+
+    def test_cross_numa_sgx_matches_fig16_curve(self, model):
+        batch = stream(PatternKind.SEQ_READ, 4e9)
+        for threads, expected in ((1, 0.77), (16, 0.95)):
+            env_plain = CostEnvironment(False, thread_node=1, concurrency=threads)
+            env_sgx = CostEnvironment(True, thread_node=1, concurrency=threads)
+            rel = model.batch_cycles(batch, env_plain) / model.batch_cycles(
+                batch, env_sgx
+            )
+            assert rel == pytest.approx(expected, abs=0.02)
+
+
+class TestRandom:
+    def test_pointer_chase_53_percent_at_16gb(self, model):
+        batch = chase(16e9)
+        rel = model.batch_cycles(batch, PLAIN) / model.batch_cycles(batch, SGX)
+        assert rel == pytest.approx(0.53, abs=0.02)
+
+    def test_pointer_chase_in_cache_no_penalty(self, model):
+        batch = chase(1e6)
+        assert model.batch_cycles(batch, PLAIN) == pytest.approx(
+            model.batch_cycles(batch, SGX)
+        )
+
+    def test_dependent_ignores_parallelism(self, model):
+        dependent = chase(8e9)
+        independent = AccessBatch(
+            kind=PatternKind.RANDOM_READ,
+            count=1e6,
+            element_bytes=8,
+            working_set_bytes=8e9,
+            locality=EPC,
+            parallelism=8.0,
+        )
+        assert model.batch_cycles(dependent, PLAIN) > model.batch_cycles(
+            independent, PLAIN
+        )
+
+    def test_random_write_worse_than_read(self, model):
+        read = AccessBatch(
+            kind=PatternKind.RANDOM_READ, count=1e6, element_bytes=8,
+            working_set_bytes=8e9, locality=EPC, parallelism=8.0,
+            compute_cycles_per_item=0.0,
+        )
+        write = AccessBatch(
+            kind=PatternKind.RANDOM_WRITE, count=1e6, element_bytes=8,
+            working_set_bytes=8e9, locality=EPC, parallelism=8.0,
+            compute_cycles_per_item=0.0,
+        )
+        read_ratio = model.batch_cycles(read, SGX) / model.batch_cycles(read, PLAIN)
+        write_ratio = model.batch_cycles(write, SGX) / model.batch_cycles(
+            write, PLAIN
+        )
+        assert write_ratio > read_ratio > 1.0
+
+    def test_untrusted_random_access_unpenalized(self, model):
+        batch = AccessBatch(
+            kind=PatternKind.RANDOM_WRITE, count=1e6, element_bytes=8,
+            working_set_bytes=8e9, locality=UNTRUSTED, parallelism=8.0,
+        )
+        assert model.batch_cycles(batch, SGX) == model.batch_cycles(batch, PLAIN)
+
+
+class TestRmwLoop:
+    def test_fig7_naive_penalty(self, model):
+        batch = rmw(64e3, CodeVariant.NAIVE)
+        ratio = model.batch_cycles(batch, SGX) / model.batch_cycles(batch, PLAIN)
+        assert ratio == pytest.approx(3.3, rel=0.05)
+
+    def test_fig7_unrolled_penalty(self, model):
+        batch = rmw(64e3, CodeVariant.UNROLLED)
+        ratio = model.batch_cycles(batch, SGX) / model.batch_cycles(batch, PLAIN)
+        assert ratio == pytest.approx(1.22, rel=0.05)
+
+    def test_fig7_simd_even_smaller(self, model):
+        unrolled = rmw(64e3, CodeVariant.UNROLLED)
+        simd = rmw(64e3, CodeVariant.SIMD)
+        assert model.batch_cycles(simd, SGX) < model.batch_cycles(unrolled, SGX)
+
+    def test_penalty_independent_of_data_location(self, model):
+        # Fig. 7: the slowdown does not depend on where the data lives.
+        in_epc = rmw(64e3, locality=EPC)
+        outside = rmw(64e3, locality=UNTRUSTED)
+        ratio_in = model.batch_cycles(in_epc, SGX) / model.batch_cycles(
+            in_epc, PLAIN
+        )
+        ratio_out = model.batch_cycles(outside, SGX) / model.batch_cycles(
+            outside, PLAIN
+        )
+        assert ratio_in == pytest.approx(ratio_out, rel=0.06)
+
+    def test_sensitivity_scales_penalty(self, model):
+        exposed = rmw(64e3, sens=1.0)
+        shielded = rmw(64e3, sens=0.1)
+        ratio_exposed = model.batch_cycles(exposed, SGX) / model.batch_cycles(
+            exposed, PLAIN
+        )
+        ratio_shielded = model.batch_cycles(shielded, SGX) / model.batch_cycles(
+            shielded, PLAIN
+        )
+        assert ratio_shielded < ratio_exposed
+
+    def test_mlp_sensitivity_separate_from_body(self, model):
+        # PHT-style loop: cheap body, but DRAM overlap fully restricted.
+        pht_like = rmw(256e6, sens=0.05, mlp=1.0)
+        ratio = model.batch_cycles(pht_like, SGX) / model.batch_cycles(
+            pht_like, PLAIN
+        )
+        cache_like = rmw(64e3, sens=0.05, mlp=1.0)
+        cache_ratio = model.batch_cycles(cache_like, SGX) / model.batch_cycles(
+            cache_like, PLAIN
+        )
+        # Near-zero penalty in cache, large penalty once the table misses.
+        assert cache_ratio < 1.2
+        assert ratio > 2.0
+
+    def test_read_only_table_cheaper_than_writing(self, model):
+        write = rmw(256e6)
+        read = AccessBatch(
+            kind=PatternKind.RMW_LOOP, count=1e6, element_bytes=8,
+            working_set_bytes=4e8, locality=EPC, parallelism=8.0,
+            compute_cycles_per_item=1.3, table_bytes=256e6,
+            table_locality=EPC, table_writes=False, reorder_sensitivity=1.0,
+        )
+        assert model.batch_cycles(read, SGX) < model.batch_cycles(write, SGX)
+
+
+class TestSyncCosts:
+    def test_transitions_expensive_only_in_enclave(self, model):
+        sync = SyncCosts(transitions=100)
+        assert model.sync_cycles(sync, SGX) > 50 * model.sync_cycles(sync, PLAIN)
+
+    def test_contended_mutex_explodes_in_enclave(self, model):
+        contended = SyncCosts(mutex_acquisitions=1000, mutex_contention_ratio=0.9)
+        uncontended = SyncCosts(mutex_acquisitions=1000, mutex_contention_ratio=0.0)
+        assert model.sync_cycles(contended, SGX) > 100 * model.sync_cycles(
+            uncontended, SGX
+        )
+
+    def test_spinlock_stays_cheap_in_enclave(self, model):
+        mutex = SyncCosts(mutex_acquisitions=1000, mutex_contention_ratio=0.9)
+        spin = SyncCosts(spinlock_acquisitions=1000, mutex_contention_ratio=0.9)
+        assert model.sync_cycles(spin, SGX) < model.sync_cycles(mutex, SGX) / 10
+
+    def test_edmm_pages_cost_more_than_static(self, model):
+        dynamic = SyncCosts(pages_added_dynamically=1000)
+        static = SyncCosts(pages_touched_statically=1000)
+        assert model.sync_cycles(dynamic, SGX) > 10 * model.sync_cycles(static, SGX)
+
+    def test_profile_cycles_includes_sync(self, model):
+        profile = AccessProfile()
+        profile.compute(1000)
+        profile.sync.transitions = 10
+        total = model.profile_cycles(profile, SGX)
+        assert total > 1000 + 10 * 7000

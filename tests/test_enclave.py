@@ -1,0 +1,128 @@
+"""Enclave lifecycle, heap accounting, EDMM growth, execution settings."""
+
+import pytest
+
+from repro.enclave.enclave import Enclave, EnclaveConfig, EnclaveState
+from repro.enclave.runtime import ExecutionSetting, Mode
+from repro.errors import CapacityError, ConfigurationError, EnclaveStateError
+from repro.hardware import Topology, paper_testbed
+from repro.memory.access import AccessProfile
+from repro.memory.allocator import MemoryAllocator
+from repro.units import GiB, MiB, PAGE_BYTES
+
+
+@pytest.fixture
+def allocator():
+    return MemoryAllocator(Topology(paper_testbed()))
+
+
+def make_enclave(allocator, heap=1 * GiB, dynamic=False, max_bytes=0):
+    config = EnclaveConfig(
+        heap_bytes=heap, node=0, dynamic=dynamic,
+        max_bytes=max_bytes or (heap if not dynamic else 4 * GiB),
+    )
+    enclave = Enclave(config, allocator)
+    enclave.initialize()
+    return enclave
+
+
+class TestLifecycle:
+    def test_create_reserves_epc(self, allocator):
+        Enclave(EnclaveConfig(heap_bytes=1 * GiB), allocator)
+        assert allocator.epc_used(0) == 1 * GiB
+
+    def test_allocate_before_init_rejected(self, allocator):
+        enclave = Enclave(EnclaveConfig(heap_bytes=1 * MiB), allocator)
+        with pytest.raises(EnclaveStateError):
+            enclave.allocate("x", 100)
+
+    def test_double_initialize_rejected(self, allocator):
+        enclave = make_enclave(allocator)
+        with pytest.raises(EnclaveStateError):
+            enclave.initialize()
+
+    def test_destroy_releases_epc(self, allocator):
+        enclave = make_enclave(allocator)
+        enclave.destroy()
+        assert enclave.state is EnclaveState.DESTROYED
+        assert allocator.epc_used(0) == 0
+
+    def test_double_destroy_rejected(self, allocator):
+        enclave = make_enclave(allocator)
+        enclave.destroy()
+        with pytest.raises(EnclaveStateError):
+            enclave.destroy()
+
+
+class TestStaticHeap:
+    def test_heap_allocation_within_budget(self, allocator):
+        enclave = make_enclave(allocator, heap=10 * MiB)
+        profile = AccessProfile()
+        enclave.allocate("table", 4 * MiB, profile)
+        assert enclave.heap_free_bytes == 6 * MiB
+        assert profile.sync.pages_touched_statically == 4 * MiB // PAGE_BYTES
+        assert profile.sync.pages_added_dynamically == 0
+
+    def test_static_overflow_rejected(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB)
+        with pytest.raises(CapacityError):
+            enclave.allocate("big", 2 * MiB)
+
+    def test_release_heap(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB)
+        enclave.allocate("a", 512 * 1024)
+        enclave.release_heap(512 * 1024)
+        enclave.allocate("b", 1 * MiB)  # fits again
+
+    def test_release_more_than_used_rejected(self, allocator):
+        enclave = make_enclave(allocator)
+        with pytest.raises(ConfigurationError):
+            enclave.release_heap(1)
+
+
+class TestEdmm:
+    def test_dynamic_growth_charges_pages(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB, dynamic=True)
+        profile = AccessProfile()
+        enclave.allocate("big", 3 * MiB, profile)
+        # 1 MiB from the heap, 2 MiB via EDMM.
+        assert profile.sync.pages_added_dynamically == 2 * MiB // PAGE_BYTES
+        assert enclave.pages_added_total == 2 * MiB // PAGE_BYTES
+        assert enclave.total_bytes == 3 * MiB
+
+    def test_dynamic_growth_occupies_epc(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB, dynamic=True)
+        enclave.allocate("big", 3 * MiB)
+        assert allocator.epc_used(0) == 3 * MiB
+
+    def test_growth_beyond_max_rejected(self, allocator):
+        enclave = make_enclave(
+            allocator, heap=1 * MiB, dynamic=True, max_bytes=2 * MiB
+        )
+        with pytest.raises(CapacityError):
+            enclave.allocate("big", 4 * MiB)
+
+    def test_config_requires_max_for_dynamic(self):
+        with pytest.raises(ConfigurationError):
+            EnclaveConfig(heap_bytes=2 * MiB, dynamic=True, max_bytes=1 * MiB)
+
+
+class TestExecutionSettings:
+    def test_three_paper_settings(self):
+        settings = ExecutionSetting.all_settings()
+        labels = [s.label for s in settings]
+        assert labels == [
+            "Plain CPU",
+            "SGX (Data in Enclave)",
+            "SGX (Data outside Enclave)",
+        ]
+
+    def test_enclave_mode_flags(self):
+        plain, sgx_in, sgx_out = ExecutionSetting.all_settings()
+        assert not plain.enclave_mode
+        assert sgx_in.enclave_mode and sgx_in.data_in_enclave
+        assert sgx_out.enclave_mode and not sgx_out.data_in_enclave
+
+    def test_plain_with_enclave_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionSetting(Mode.PLAIN, data_in_enclave=True, label="bad")

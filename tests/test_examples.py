@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example runs and prints its takeaway."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, a string its output must contain)
+EXAMPLES = [
+    ("quickstart.py", "Takeaway"),
+    ("custom_workload.py", "mean reading per station"),
+    ("numa_placement.py", "fully remote"),
+    ("operator_advisor.py", "recommendation:"),
+    ("tpch_dashboard.py", "OK"),
+    ("generations_tour.py", "Act 5"),
+]
+
+
+@pytest.mark.parametrize("script,marker", EXAMPLES)
+def test_example_runs(script, marker):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout
+    # Examples must not leak tracebacks to stderr even on success.
+    assert "Traceback" not in completed.stderr

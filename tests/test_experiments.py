@@ -1,0 +1,370 @@
+"""End-to-end experiment shape checks: the paper's claims must reproduce.
+
+Each experiment module runs once (quick fidelity) and the resulting report
+is asserted against the qualitative shape of the corresponding paper figure
+— who wins, by roughly what factor, where crossovers fall.
+"""
+
+import pytest
+
+from repro.bench.registry import run_experiment
+
+# Quick-mode experiment results are deterministic per seed; cache one run
+# of each so the module's tests share it.
+_cache = {}
+
+
+def report_for(experiment_id):
+    if experiment_id not in _cache:
+        _cache[experiment_id] = run_experiment(experiment_id, quick=True)
+    return _cache[experiment_id]
+
+
+class TestFig01:
+    def test_bar_ordering(self):
+        report = report_for("fig01")
+        crk = report.value("CrkJoin (SGXv1-opt.) in SGX", "throughput")
+        rho = report.value("RHO in SGX", "throughput")
+        opt = report.value("RHO SGXv2-optimized in SGX", "throughput")
+        native = report.value("RHO outside enclave", "throughput")
+        assert crk < rho < opt < native
+
+    def test_optimized_vs_crk_factor(self):
+        report = report_for("fig01")
+        factor = report.value(
+            "RHO SGXv2-optimized in SGX", "throughput"
+        ) / report.value("CrkJoin (SGXv1-opt.) in SGX", "throughput")
+        assert 15 < factor < 30  # paper: ~20x
+
+
+class TestFig03:
+    def test_crk_slowest_and_near_60m(self):
+        report = report_for("fig03")
+        crk = report.value("SGX (Data in Enclave)", "CrkJoin")
+        assert 40 < crk < 90  # paper: ~60 M rows/s
+        for name in ("PHT", "RHO", "MWAY", "INL"):
+            assert report.value("SGX (Data in Enclave)", name) > crk
+
+    def test_hash_joins_have_largest_overhead(self):
+        report = report_for("fig03")
+
+        def rel(name):
+            return report.value("SGX (Data in Enclave)", name) / report.value(
+                "Plain CPU", name
+            )
+
+        assert rel("PHT") < 0.5
+        assert rel("RHO") < 0.6
+        assert rel("MWAY") > 0.9
+        assert rel("INL") > 0.7
+
+
+class TestFig04:
+    def test_relative_throughput_declines(self):
+        report = report_for("fig04")
+        series = report.series("SGX relative throughput")
+        values = [row.value for row in series]
+        assert values[0] > 0.9  # ~95 % at 1 MB
+        assert values[-1] < 0.5
+        assert values[0] > values[-1]
+
+    def test_build_worse_than_probe(self):
+        report = report_for("fig04")
+        assert report.value("SGX phase slowdown", "build") > report.value(
+            "SGX phase slowdown", "probe"
+        )
+
+
+class TestFig05:
+    def test_in_cache_unpenalized(self):
+        report = report_for("fig05")
+        assert report.value("random reads (pointer chase)", 1e6) == pytest.approx(
+            1.0, abs=0.01
+        )
+        assert report.value("random writes (LCG)", 1e6) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_read_floor_53_percent(self):
+        report = report_for("fig05")
+        assert report.value(
+            "random reads (pointer chase)", 16e9
+        ) == pytest.approx(0.53, abs=0.03)
+
+    def test_writes_below_reads(self):
+        report = report_for("fig05")
+        for size in (256e6, 8e9):
+            assert report.value("random writes (LCG)", size) < report.value(
+                "random reads (pointer chase)", size
+            )
+
+
+class TestFig06:
+    def test_histograms_slowest_naive_phase(self):
+        report = report_for("fig06")
+        hist = report.value("naive: sgx slowdown", "hist1")
+        join = report.value("naive: sgx slowdown", "join")
+        assert hist > 3  # paper: up to ~4x
+        assert join < 1.6  # probe barely affected
+        for phase in ("copy1", "copy2", "build"):
+            assert 1.3 < report.value("naive: sgx slowdown", phase) < hist
+
+    def test_unrolling_improves_slow_phases(self):
+        report = report_for("fig06")
+        for phase in ("hist1", "hist2", "copy1", "copy2", "build"):
+            assert report.value("unrolled: sgx slowdown", phase) < report.value(
+                "naive: sgx slowdown", phase
+            )
+
+
+class TestFig07:
+    def test_slowdowns_match_paper(self):
+        report = report_for("fig07")
+        bins = 256
+        naive = report.value("naive: SGX (Data in Enclave)", bins) / report.value(
+            "naive: Plain CPU", bins
+        )
+        unrolled = report.value(
+            "unrolled: SGX (Data in Enclave)", bins
+        ) / report.value("unrolled: Plain CPU", bins)
+        assert naive == pytest.approx(3.3, rel=0.1)
+        assert unrolled == pytest.approx(1.22, rel=0.1)
+
+    def test_location_independence(self):
+        report = report_for("fig07")
+        bins = 1024
+        inside = report.value("naive: SGX (Data in Enclave)", bins)
+        outside = report.value("naive: SGX (Data outside Enclave)", bins)
+        assert inside == pytest.approx(outside, rel=0.06)
+
+
+class TestFig08:
+    def test_optimization_gains(self):
+        report = report_for("fig08")
+        for name in ("RHO", "PHT"):
+            naive = report.value("SGX naive", name)
+            opt = report.value("SGX optimized", name)
+            plain = report.value("plain CPU", name)
+            assert opt > 1.4 * naive  # paper: +53 % / +94 %
+            assert opt < plain
+
+    def test_relative_levels(self):
+        report = report_for("fig08")
+        rho_rel = report.value("SGX optimized", "RHO") / report.value(
+            "plain CPU", "RHO"
+        )
+        pht_rel = report.value("SGX optimized", "PHT") / report.value(
+            "plain CPU", "PHT"
+        )
+        assert rho_rel == pytest.approx(0.85, abs=0.07)  # paper 0.83
+        assert pht_rel == pytest.approx(0.68, abs=0.07)  # paper 0.68
+        assert pht_rel < rho_rel
+
+
+class TestFig09:
+    def test_remote_penalty(self):
+        report = report_for("fig09")
+        base = report.value("SGX Join Single Node", "throughput")
+        remote = report.value("SGX Join Fully Remote", "throughput")
+        assert 0.55 < remote / base < 0.85  # paper: -25 %
+
+    def test_doubling_cores_does_not_help(self):
+        report = report_for("fig09")
+        base = report.value("SGX Join Single Node", "throughput")
+        half_local = report.value("SGX Join Half Local", "throughput")
+        assert half_local < base * 1.05
+
+    def test_all_sgx_below_half_optimal(self):
+        report = report_for("fig09")
+        best = report.value("Native Join NUMA local", "throughput")
+        for case in ("SGX Join Single Node", "SGX Join Fully Remote",
+                     "SGX Join Half Local"):
+            assert report.value(case, "throughput") < 0.5 * best
+
+
+class TestFig10:
+    def test_queue_choice_irrelevant_outside(self):
+        report = report_for("fig10")
+        ratio = report.value("plain + mutex queue", "throughput") / report.value(
+            "plain + lock-free queue", "throughput"
+        )
+        assert ratio == pytest.approx(1.0, abs=0.07)
+
+    def test_mutex_collapses_inside(self):
+        report = report_for("fig10")
+        ratio = report.value("SGX + mutex queue", "throughput") / report.value(
+            "SGX + lock-free queue", "throughput"
+        )
+        assert ratio == pytest.approx(0.25, abs=0.08)  # paper: -75 %
+
+    def test_lock_free_near_native_inside(self):
+        report = report_for("fig10")
+        ratio = report.value("SGX + lock-free queue", "throughput") / report.value(
+            "plain + lock-free queue", "throughput"
+        )
+        assert ratio > 0.8  # paper: ~90 %
+
+
+class TestFig11:
+    def test_dynamic_collapse(self):
+        report = report_for("fig11")
+        ratio = report.value("dynamic enclave", "throughput") / report.value(
+            "static enclave", "throughput"
+        )
+        assert ratio == pytest.approx(0.045, abs=0.02)  # paper: 4.5 %
+
+
+class TestFig12:
+    def test_in_cache_equal(self):
+        report = report_for("fig12")
+        for size in (1e6, 8e6):
+            plain = report.value("Plain CPU", size)
+            sgx = report.value("SGX (Data in Enclave)", size)
+            assert sgx == pytest.approx(plain, rel=0.01)
+
+    def test_out_of_cache_three_percent(self):
+        report = report_for("fig12")
+        rel = report.value("SGX (Data in Enclave)", 4e9) / report.value(
+            "Plain CPU", 4e9
+        )
+        assert rel == pytest.approx(0.97, abs=0.01)
+
+    def test_data_outside_matches_plain(self):
+        report = report_for("fig12")
+        assert report.value(
+            "SGX (Data outside Enclave)", 4e9
+        ) == pytest.approx(report.value("Plain CPU", 4e9), rel=0.005)
+
+
+class TestFig13:
+    def test_scaling_equal_inside_and_outside(self):
+        report = report_for("fig13")
+        for threads in (1, 4, 16):
+            plain = report.value("Plain CPU", threads)
+            sgx = report.value("SGX (Data in Enclave)", threads)
+            assert sgx == pytest.approx(plain, rel=0.05)
+
+    def test_bandwidth_saturation(self):
+        report = report_for("fig13")
+        assert report.value("Plain CPU", 16) > 3 * report.value("Plain CPU", 1)
+        assert report.value("Plain CPU", 16) < 180  # below theoretical peak
+
+
+class TestFig14:
+    def test_equal_degradation(self):
+        report = report_for("fig14")
+        for selectivity in (0.5, 1.0):
+            plain_rel = report.value("Plain CPU", selectivity) / report.value(
+                "Plain CPU", 0.0
+            )
+            sgx_rel = report.value(
+                "SGX (Data in Enclave)", selectivity
+            ) / report.value("SGX (Data in Enclave)", 0.0)
+            assert sgx_rel == pytest.approx(plain_rel, abs=0.03)
+
+
+class TestFig15:
+    def test_out_of_cache_penalties(self):
+        report = report_for("fig15")
+        assert report.value("read_64", 8e9) == pytest.approx(0.948, abs=0.01)
+        assert report.value("read_512", 8e9) == pytest.approx(0.971, abs=0.01)
+        assert report.value("write_64", 8e9) == pytest.approx(0.98, abs=0.01)
+
+    def test_in_cache_unpenalized(self):
+        report = report_for("fig15")
+        for op in ("read_64", "read_512", "write_64", "write_512"):
+            assert report.value(op, 1e6) == pytest.approx(1.0)
+
+
+class TestFig16:
+    def test_upi_curve(self):
+        report = report_for("fig16")
+        rel1 = report.value("SGX, cross-NUMA", 1) / report.value(
+            "plain, cross-NUMA", 1
+        )
+        rel16 = report.value("SGX, cross-NUMA", 16) / report.value(
+            "plain, cross-NUMA", 16
+        )
+        assert rel1 == pytest.approx(0.77, abs=0.03)
+        assert rel16 == pytest.approx(0.96, abs=0.03)
+        assert rel16 > rel1
+
+    def test_cross_numa_capped_by_upi(self):
+        report = report_for("fig16")
+        assert report.value("plain, cross-NUMA", 16) <= 67.2
+        assert report.value("plain, NUMA-local", 16) > report.value(
+            "plain, cross-NUMA", 16
+        )
+
+
+class TestFig17:
+    def test_overheads(self):
+        report = report_for("fig17")
+        for query in ("Q3", "Q10", "Q12", "Q19"):
+            plain = report.value("plain CPU", query)
+            naive = report.value("SGX", query)
+            opt = report.value("SGX optimized", query)
+            assert plain < opt < naive
+
+    def test_q12_gains_most_q19_least(self):
+        report = report_for("fig17")
+
+        def gain(query):
+            return 1 - report.value("SGX optimized", query) / report.value(
+                "SGX", query
+            )
+
+        assert gain("Q12") > gain("Q19")  # paper: 30 % vs 7 %
+
+
+class TestTab01:
+    def test_key_rows(self):
+        report = report_for("tab01")
+        assert report.value("Sockets", "count") == 2
+        assert report.value("EPC per socket", "GB") == 64
+        assert report.value("UPI aggregate bandwidth", "GB/s") == pytest.approx(
+            67.2
+        )
+
+
+class TestGoldenValues:
+    """Regression snapshots: every reported row within 15 % of its golden.
+
+    The goldens (tests/goldens.json) were produced by the same quick-mode
+    configuration these tests run; drifting outside the band means a model
+    or operator change altered results and either the change or the
+    goldens need a conscious update (regenerate with
+    ``python - <<'PY' ... PY`` per the comment in the JSON's git history).
+    """
+
+    TOLERANCE = 0.15
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        import json
+        import pathlib
+
+        path = pathlib.Path(__file__).parent / "goldens.json"
+        return json.loads(path.read_text())
+
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["fig01", "fig03", "fig05", "fig07", "fig08", "fig10", "fig11",
+         "fig12", "fig13", "fig15", "fig16", "tab01", "ext01"],
+    )
+    def test_rows_match_goldens(self, goldens, experiment_id):
+        report = report_for(experiment_id)
+        drifted = []
+        for entry in goldens[experiment_id]:
+            measured = report.value(entry["series"], entry["x"])
+            expected = entry["value"]
+            if expected == 0:
+                ok = abs(measured) < 1e-9
+            else:
+                ok = abs(measured - expected) <= self.TOLERANCE * abs(expected)
+            if not ok:
+                drifted.append(
+                    f"{entry['series']} @ {entry['x']}: "
+                    f"golden {expected:.4g}, measured {measured:.4g}"
+                )
+        assert not drifted, "\n".join(drifted)

@@ -1,0 +1,154 @@
+"""Hardware spec, topology, and calibration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    CacheSpec,
+    CostParameters,
+    MemorySpec,
+    Topology,
+    paper_calibration,
+    paper_testbed,
+)
+from repro.units import GiB, KiB, MiB
+
+
+class TestPaperTestbed:
+    """The default spec must encode Table 1 exactly."""
+
+    def test_table1_values(self):
+        spec = paper_testbed()
+        assert spec.sockets == 2
+        assert spec.cores_per_socket == 16
+        assert spec.threads_per_core == 2
+        assert spec.base_frequency_hz == 2.9e9
+        assert spec.l1d.capacity_bytes == 48 * KiB
+        assert spec.l2.capacity_bytes == 1280 * KiB
+        assert spec.l3.capacity_bytes == 24 * MiB
+        assert spec.memory.channels == 8
+        assert spec.epc_bytes_per_socket == 64 * GiB
+        assert spec.memory.capacity_bytes == 256 * GiB
+
+    def test_derived_totals(self):
+        spec = paper_testbed()
+        assert spec.total_cores == 32
+        assert spec.total_threads == 64
+
+    def test_upi_bound_is_fig16_limit(self):
+        # Sec. 5.5: "the theoretical upper bound ... is 67.2 GB/s".
+        spec = paper_testbed()
+        assert spec.upi_total_bandwidth_bytes == pytest.approx(67.2e9)
+
+    def test_socket_bandwidth_below_theoretical_peak(self):
+        spec = paper_testbed()
+        assert spec.socket_stream_bandwidth_bytes() < spec.memory.peak_bandwidth_bytes
+
+    def test_single_core_below_socket_bandwidth(self):
+        spec = paper_testbed()
+        assert (
+            spec.single_core_stream_bandwidth_bytes()
+            < spec.socket_stream_bandwidth_bytes()
+        )
+
+    def test_notes_record_microcode(self):
+        assert "20231114" in paper_testbed().notes["microcode"]
+
+
+class TestSpecValidation:
+    def test_cache_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheSpec("L1", 0, shared_by=1, latency_cycles=4)
+
+    def test_memory_rejects_zero_channels(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(0, 25.6e9, 1 * GiB, 90, 50)
+
+    def test_spec_rejects_zero_sockets(self):
+        spec = paper_testbed()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(spec, sockets=0)
+
+
+class TestTopology:
+    def test_core_count_and_node_assignment(self):
+        topo = Topology(paper_testbed())
+        assert len(topo.nodes) == 2
+        assert topo.node_of_core(0) == 0
+        assert topo.node_of_core(15) == 0
+        assert topo.node_of_core(16) == 1
+        assert topo.node_of_core(31) == 1
+
+    def test_cores_on_node(self):
+        topo = Topology(paper_testbed())
+        assert topo.cores_on_node(1, 4) == [16, 17, 18, 19]
+
+    def test_cores_on_node_over_capacity_rejected(self):
+        topo = Topology(paper_testbed())
+        with pytest.raises(ConfigurationError):
+            topo.cores_on_node(0, 17)
+
+    def test_unknown_node_rejected(self):
+        topo = Topology(paper_testbed())
+        with pytest.raises(ConfigurationError):
+            topo.node(2)
+
+    def test_unknown_core_rejected(self):
+        topo = Topology(paper_testbed())
+        with pytest.raises(ConfigurationError):
+            topo.core(64)
+
+    def test_interleaved_cores_alternate_nodes(self):
+        topo = Topology(paper_testbed())
+        cores = topo.interleaved_cores(4)
+        nodes = [topo.node_of_core(c) for c in cores]
+        assert nodes == [0, 1, 0, 1]
+
+    def test_is_cross_numa(self):
+        topo = Topology(paper_testbed())
+        assert not topo.is_cross_numa(0, 0)
+        assert topo.is_cross_numa(0, 1)
+        assert topo.is_cross_numa(16, 0)
+
+
+class TestCalibration:
+    def test_paper_anchors(self):
+        params = paper_calibration()
+        # Fig. 5: 53 % relative reads at 16 GB.
+        assert params.random_read_penalty_max == pytest.approx(1 / 0.53)
+        # Fig. 5: writes 2x at 256 MB, ~3x at 8 GB.
+        assert params.random_write_penalty_at_256mb == pytest.approx(2.0)
+        assert params.random_write_penalty_max == pytest.approx(2.95)
+        # Fig. 7: 225 % naive, 20 % unrolled.
+        assert params.rmw_loop_penalty_naive == pytest.approx(3.25)
+        assert params.rmw_loop_penalty_unrolled == pytest.approx(1.20)
+        # Fig. 16: 77 % -> 96 %.
+        assert params.upi_seq_single_thread_relative == pytest.approx(0.77)
+        assert params.upi_seq_saturated_relative == pytest.approx(0.96)
+
+    def test_rejects_speedup_factors(self):
+        params = paper_calibration()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(params, rmw_loop_penalty_naive=0.9)
+
+    def test_rejects_misordered_rmw_penalties(self):
+        params = paper_calibration()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(params, rmw_loop_penalty_simd=2.0)
+
+    def test_rejects_inverted_upi_curve(self):
+        params = paper_calibration()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(params, upi_seq_single_thread_relative=0.99)
+
+    def test_rejects_out_of_range_linear_penalty(self):
+        params = paper_calibration()
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(params, linear_write_penalty=1.5)
+
+    def test_is_frozen(self):
+        params = paper_calibration()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.transition_cycles = 0

@@ -1,0 +1,176 @@
+"""All five joins produce the exact reference match count and pairs."""
+
+import numpy as np
+import pytest
+
+from repro.core.joins import (
+    ALL_JOINS,
+    CrkJoin,
+    IndexNestedLoopJoin,
+    JoinAlgorithm,
+    ParallelHashJoin,
+    RadixJoin,
+    SortMergeJoin,
+)
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.tables import Table, generate_join_relation_pair
+from repro.tables.table import Column
+
+
+@pytest.fixture(params=ALL_JOINS, ids=lambda cls: cls.name)
+def join_cls(request):
+    return request.param
+
+
+def run_join(machine, join, build, probe, setting=None, threads=4, **kw):
+    setting = setting or ExecutionSetting.plain_cpu()
+    with machine.context(setting, threads=threads) as ctx:
+        return join.run(ctx, build, probe, **kw)
+
+
+class TestMatchCounts:
+    def test_full_fk_join(self, machine, join_cls, small_join_tables):
+        build, probe = small_join_tables
+        result = run_join(machine, join_cls(), build, probe)
+        # Every probe tuple references an existing build key.
+        assert result.matches == probe.num_rows
+
+    def test_partial_matches(self, machine, join_cls, rng):
+        build = Table.from_arrays(
+            "R",
+            key=np.arange(0, 2000, 2, dtype=np.int64),  # even keys only
+            payload=rng.integers(0, 100, 1000),
+        )
+        probe_keys = rng.integers(0, 2000, 5000)
+        probe = Table.from_arrays(
+            "S", key=probe_keys, payload=rng.integers(0, 100, 5000)
+        )
+        expected = int((probe_keys % 2 == 0).sum())
+        result = run_join(machine, join_cls(), build, probe)
+        assert result.matches == expected
+        assert result.matches == JoinAlgorithm.reference_match_count(build, probe)
+
+    def test_no_matches(self, machine, join_cls, rng):
+        build = Table.from_arrays(
+            "R", key=np.arange(100, dtype=np.int64), payload=np.zeros(100)
+        )
+        probe = Table.from_arrays(
+            "S",
+            key=np.arange(1000, 1100, dtype=np.int64),
+            payload=np.zeros(100),
+        )
+        result = run_join(machine, join_cls(), build, probe)
+        assert result.matches == 0
+
+    def test_match_index_points_to_matching_rows(
+        self, machine, join_cls, small_join_tables
+    ):
+        build, probe = small_join_tables
+        result = run_join(machine, join_cls(), build, probe)
+        index = result.match_index
+        hits = index >= 0
+        assert (build["key"][index[hits]] == probe["key"][hits]).all()
+
+    def test_agreement_across_settings(self, machine, join_cls, small_join_tables):
+        build, probe = small_join_tables
+        counts = set()
+        for setting in ExecutionSetting.all_settings():
+            result = run_join(machine, join_cls(), build, probe, setting)
+            counts.add(result.matches)
+        assert len(counts) == 1
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("join_cls", ALL_JOINS, ids=lambda c: c.name)
+    def test_output_pairs_correct(self, machine, join_cls, rng):
+        build = Table.from_arrays(
+            "R",
+            key=rng.permutation(500).astype(np.int64),
+            payload=rng.integers(0, 1 << 20, 500),
+        )
+        probe_idx = rng.integers(0, 500, 2000)
+        probe = Table.from_arrays(
+            "S",
+            key=build["key"][probe_idx],
+            payload=rng.integers(0, 1 << 20, 2000),
+        )
+        result = run_join(machine, join_cls(), build, probe, materialize=True)
+        output = result.output
+        assert output is not None
+        assert output.num_rows == result.matches == 2000
+        # The r_payload of each output row must be the payload of the build
+        # tuple whose key equals the output key.
+        key_to_payload = dict(zip(build["key"].tolist(), build["payload"].tolist()))
+        for key, r_payload in zip(
+            output["key"][:50].tolist(), output["r_payload"][:50].tolist()
+        ):
+            assert key_to_payload[key] == r_payload
+
+    def test_materialization_costs_time(self, machine, small_join_tables):
+        build, probe = small_join_tables
+        bare = run_join(machine, RadixJoin(), build, probe)
+        fresh = type(machine)(machine.spec, machine.params)
+        mat = run_join(fresh, RadixJoin(), build, probe, materialize=True)
+        assert mat.cycles > bare.cycles
+
+
+class TestValidation:
+    def test_missing_key_column_rejected(self, machine):
+        bad = Table.from_arrays("R", notkey=np.arange(3))
+        good = Table.from_arrays(
+            "S", key=np.arange(3, dtype=np.int64), payload=np.arange(3)
+        )
+        with machine.context(ExecutionSetting.plain_cpu()) as ctx:
+            with pytest.raises(ConfigurationError):
+                RadixJoin().run(ctx, bad, good)
+
+    def test_throughput_metric_counts_both_inputs(self, machine, small_join_tables):
+        build, probe = small_join_tables
+        result = run_join(machine, SortMergeJoin(), build, probe)
+        assert result.input_rows == pytest.approx(
+            build.logical_rows + probe.logical_rows
+        )
+        assert result.throughput_rows_per_s(machine.frequency_hz) > 0
+
+
+class TestAlgorithmSpecifics:
+    def test_rho_radix_bits_auto_scale(self, small_join_tables):
+        build, _ = small_join_tables
+        bits = RadixJoin().choose_radix_bits(build)
+        # 100 MB build at 640 KB targets -> 2^8 partitions.
+        assert bits == 8
+
+    def test_rho_explicit_bits_respected(self, small_join_tables):
+        build, _ = small_join_tables
+        assert RadixJoin(radix_bits=4).choose_radix_bits(build) == 4
+
+    def test_crkjoin_cracks_deeper_than_rho(self, small_join_tables):
+        build, _ = small_join_tables
+        assert CrkJoin().choose_radix_bits(build) > RadixJoin().choose_radix_bits(
+            build
+        )
+
+    def test_rho_phases_present(self, machine, small_join_tables):
+        build, probe = small_join_tables
+        result = run_join(machine, RadixJoin(), build, probe)
+        for phase in ("hist1", "copy1", "hist2", "copy2", "build", "join"):
+            assert phase in result.phase_cycles
+
+    def test_pht_phases_present(self, machine, small_join_tables):
+        build, probe = small_join_tables
+        result = run_join(machine, ParallelHashJoin(), build, probe)
+        assert set(result.phase_cycles) == {"build", "probe"}
+
+    def test_inl_uses_btree_semantics(self, machine, rng):
+        # INL must behave like an index lookup: duplicate probe keys all hit.
+        build = Table.from_arrays(
+            "R", key=np.arange(100, dtype=np.int64), payload=np.arange(100)
+        )
+        probe = Table.from_arrays(
+            "S",
+            key=np.full(50, 7, dtype=np.int64),
+            payload=np.zeros(50),
+        )
+        result = run_join(machine, IndexNestedLoopJoin(), build, probe)
+        assert result.matches == 50

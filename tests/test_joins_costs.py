@@ -1,0 +1,158 @@
+"""Join cost behaviour: the paper's qualitative claims, as assertions.
+
+These are integration tests of operators + cost model + executor: each
+test pins one claim from Sec. 4 of the paper (who is slower, by roughly
+what factor, in which setting).
+"""
+
+import pytest
+
+from repro.core.joins import (
+    CrkJoin,
+    IndexNestedLoopJoin,
+    ParallelHashJoin,
+    RadixJoin,
+    SortMergeJoin,
+)
+from repro.enclave.runtime import ExecutionSetting
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair
+
+PLAIN = ExecutionSetting.plain_cpu()
+SGX = ExecutionSetting.sgx_data_in_enclave()
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_join_relation_pair(100e6, 400e6, seed=3, physical_row_cap=60_000)
+
+
+def throughput(tables, join, setting, threads=16):
+    machine = SimMachine()
+    build, probe = tables
+    with machine.context(setting, threads=threads) as ctx:
+        result = join.run(ctx, build, probe)
+    return result.throughput_rows_per_s(machine.frequency_hz)
+
+
+class TestFig3Shapes:
+    def test_crkjoin_slowest_in_enclave(self, tables):
+        crk = throughput(tables, CrkJoin(), SGX)
+        for other in (ParallelHashJoin(), RadixJoin(), SortMergeJoin(),
+                      IndexNestedLoopJoin()):
+            assert throughput(tables, other, SGX) > crk
+
+    def test_rho_speedup_over_crk_near_12x(self, tables):
+        ratio = throughput(tables, RadixJoin(), SGX) / throughput(
+            tables, CrkJoin(), SGX
+        )
+        assert 8 < ratio < 16  # paper: ~12x
+
+    def test_inl_speedup_over_crk_near_3x(self, tables):
+        ratio = throughput(tables, IndexNestedLoopJoin(), SGX) / throughput(
+            tables, CrkJoin(), SGX
+        )
+        assert 2 < ratio < 5  # paper: ~3x
+
+    def test_hash_joins_lose_most_in_enclave(self, tables):
+        def relative(join):
+            return throughput(tables, join, SGX) / throughput(tables, join, PLAIN)
+
+        rel_pht = relative(ParallelHashJoin())
+        rel_rho = relative(RadixJoin())
+        rel_mway = relative(SortMergeJoin())
+        rel_inl = relative(IndexNestedLoopJoin())
+        assert rel_pht < rel_rho < rel_inl
+        assert rel_mway > 0.9  # "perform similarly inside"
+        assert rel_pht < 0.5
+
+    def test_every_join_slower_inside(self, tables):
+        for join in (CrkJoin(), ParallelHashJoin(), RadixJoin(),
+                     SortMergeJoin(), IndexNestedLoopJoin()):
+            assert throughput(tables, join, SGX) <= throughput(
+                tables, join, PLAIN
+            ) * 1.001
+
+
+class TestUnrollOptimization:
+    def test_rho_optimized_near_native(self, tables):
+        opt = throughput(tables, RadixJoin(CodeVariant.UNROLLED), SGX)
+        plain = throughput(tables, RadixJoin(CodeVariant.UNROLLED), PLAIN)
+        assert 0.78 < opt / plain < 0.95  # paper: 83 %
+
+    def test_pht_optimized_still_memory_bound(self, tables):
+        opt = throughput(tables, ParallelHashJoin(CodeVariant.UNROLLED), SGX)
+        plain = throughput(tables, ParallelHashJoin(CodeVariant.UNROLLED), PLAIN)
+        assert 0.55 < opt / plain < 0.8  # paper: 68 %
+
+    def test_optimization_irrelevant_outside_enclave(self, tables):
+        naive = throughput(tables, RadixJoin(CodeVariant.NAIVE), PLAIN)
+        opt = throughput(tables, RadixJoin(CodeVariant.UNROLLED), PLAIN)
+        assert opt == pytest.approx(naive, rel=0.02)
+
+    def test_simd_variant_at_least_as_good(self, tables):
+        unrolled = throughput(tables, RadixJoin(CodeVariant.UNROLLED), SGX)
+        simd = throughput(tables, RadixJoin(CodeVariant.SIMD), SGX)
+        assert simd >= unrolled * 0.99
+
+    def test_crkjoin_gains_little_from_unrolling(self, tables):
+        naive = throughput(tables, CrkJoin(CodeVariant.NAIVE), SGX)
+        opt = throughput(tables, CrkJoin(CodeVariant.UNROLLED), SGX)
+        rho_gain = throughput(tables, RadixJoin(CodeVariant.UNROLLED), SGX) / \
+            throughput(tables, RadixJoin(CodeVariant.NAIVE), SGX)
+        assert opt / naive < rho_gain
+
+    def test_fig1_ordering(self, tables):
+        crk_sgx = throughput(tables, CrkJoin(), SGX)
+        rho_sgx = throughput(tables, RadixJoin(), SGX)
+        rho_opt = throughput(tables, RadixJoin(CodeVariant.UNROLLED), SGX)
+        rho_plain = throughput(tables, RadixJoin(), PLAIN)
+        assert crk_sgx < rho_sgx < rho_opt < rho_plain
+        assert rho_opt / crk_sgx > 15  # paper: ~20x
+
+
+class TestFig4SizeSweep:
+    def _relative(self, build_mb):
+        build, probe = generate_join_relation_pair(
+            build_mb * 1e6, 400e6, seed=5, physical_row_cap=30_000
+        )
+        plain_machine, sgx_machine = SimMachine(), SimMachine()
+        with plain_machine.context(PLAIN, threads=1) as ctx:
+            plain = ParallelHashJoin().run(ctx, build, probe)
+        with sgx_machine.context(SGX, threads=1) as ctx:
+            sgx = ParallelHashJoin().run(ctx, build, probe)
+        return plain.cycles / sgx.cycles, plain, sgx
+
+    def test_cache_resident_near_native(self):
+        relative, _, _ = self._relative(1)
+        assert relative > 0.9  # paper: 95 %
+
+    def test_relative_falls_with_size(self):
+        rel_small, _, _ = self._relative(1)
+        rel_mid, _, _ = self._relative(25)
+        rel_large, _, _ = self._relative(100)
+        assert rel_small > rel_mid > rel_large
+
+    def test_build_phase_degrades_more_than_probe(self):
+        _, plain, sgx = self._relative(100)
+        build_slowdown = sgx.phase_cycles["build"] / plain.phase_cycles["build"]
+        probe_slowdown = sgx.phase_cycles["probe"] / plain.phase_cycles["probe"]
+        assert build_slowdown > probe_slowdown
+        assert build_slowdown > 3  # paper: up to ~9x
+
+
+class TestThreadScaling:
+    def test_joins_scale_with_threads(self, tables):
+        single = throughput(tables, RadixJoin(), PLAIN, threads=1)
+        sixteen = throughput(tables, RadixJoin(), PLAIN, threads=16)
+        assert sixteen > 6 * single
+
+    def test_crkjoin_scales_worse_than_rho(self, tables):
+        # The one-bit cracking passes cap early-phase parallelism.
+        def scaling(join_factory):
+            single = throughput(tables, join_factory(), PLAIN, threads=1)
+            sixteen = throughput(tables, join_factory(), PLAIN, threads=16)
+            return sixteen / single
+
+        assert scaling(CrkJoin) < scaling(RadixJoin)

@@ -1,0 +1,118 @@
+"""SimMachine and ExecutionContext: wiring, allocation routing, cleanup."""
+
+import pytest
+
+from repro.enclave.enclave import EnclaveConfig
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import CapacityError, ConfigurationError
+from repro.exec.placement import Placement
+from repro.machine import SimMachine
+from repro.memory.access import AccessProfile
+from repro.units import GiB, MiB
+
+
+class TestSimMachine:
+    def test_defaults_to_paper_platform(self, machine):
+        assert machine.spec.sockets == 2
+        assert machine.frequency_hz == 2.9e9
+
+    def test_seconds_conversion(self, machine):
+        assert machine.seconds(2.9e9) == pytest.approx(1.0)
+
+    def test_custom_spec_passthrough(self, machine):
+        clone = SimMachine(machine.spec, machine.params)
+        assert clone.spec is machine.spec
+
+
+class TestContextCreation:
+    def test_plain_context_has_no_enclave(self, machine):
+        with machine.context(ExecutionSetting.plain_cpu(), threads=2) as ctx:
+            assert ctx.enclave is None
+            assert ctx.threads == 2
+
+    def test_sgx_context_creates_enclave(self, machine):
+        with machine.context(
+            ExecutionSetting.sgx_data_in_enclave(), threads=2
+        ) as ctx:
+            assert ctx.enclave is not None
+            assert machine.allocator.epc_used(0) > 0
+        assert machine.allocator.epc_used(0) == 0  # destroyed on close
+
+    def test_exec_node_places_threads_remotely(self, machine):
+        with machine.context(
+            ExecutionSetting.plain_cpu(), threads=4, data_node=0, exec_node=1
+        ) as ctx:
+            assert ctx.placement.nodes() == [1, 1, 1, 1]
+            assert ctx.data_node == 0
+
+    def test_explicit_placement_wins(self, machine):
+        placement = Placement.all_cores(machine.topology)
+        with machine.context(
+            ExecutionSetting.plain_cpu(), placement=placement
+        ) as ctx:
+            assert ctx.threads == 32
+
+    def test_enclave_node_must_match_data_node(self, machine):
+        config = EnclaveConfig(heap_bytes=1 * GiB, node=1)
+        with pytest.raises(ConfigurationError):
+            machine.context(
+                ExecutionSetting.sgx_data_in_enclave(),
+                data_node=0,
+                enclave_config=config,
+            )
+
+
+class TestAllocationRouting:
+    def test_data_in_enclave_allocates_epc(self, machine):
+        with machine.context(ExecutionSetting.sgx_data_in_enclave()) as ctx:
+            before = machine.allocator.epc_used(0)
+            region = ctx.allocate("table", 100 * MiB)
+            assert region.in_enclave
+            # Heap-backed: EPC was already reserved at enclave creation.
+            assert machine.allocator.epc_used(0) == before
+
+    def test_data_outside_allocates_untrusted(self, machine):
+        with machine.context(ExecutionSetting.sgx_data_outside_enclave()) as ctx:
+            region = ctx.allocate("table", 100 * MiB)
+            assert not region.in_enclave
+
+    def test_plain_allocates_untrusted(self, machine):
+        with machine.context(ExecutionSetting.plain_cpu()) as ctx:
+            region = ctx.allocate("table", 100 * MiB)
+            assert not region.in_enclave
+        assert machine.allocator.dram_used(0) == 0  # released on close
+
+    def test_profile_charged_for_pages(self, machine):
+        profile = AccessProfile()
+        with machine.context(ExecutionSetting.plain_cpu()) as ctx:
+            ctx.allocate("t", 1 * MiB, profile)
+        assert profile.sync.pages_touched_statically == 256
+
+    def test_static_enclave_overflow_raises(self, machine):
+        config = EnclaveConfig(heap_bytes=10 * MiB, node=0)
+        with machine.context(
+            ExecutionSetting.sgx_data_in_enclave(), enclave_config=config
+        ) as ctx:
+            with pytest.raises(CapacityError):
+                ctx.allocate("too-big", 100 * MiB)
+
+    def test_dynamic_enclave_grows(self, machine):
+        config = EnclaveConfig(
+            heap_bytes=10 * MiB, node=0, dynamic=True, max_bytes=1 * GiB
+        )
+        profile = AccessProfile()
+        with machine.context(
+            ExecutionSetting.sgx_data_in_enclave(), enclave_config=config
+        ) as ctx:
+            ctx.allocate("grows", 100 * MiB, profile)
+        assert profile.sync.pages_added_dynamically > 0
+
+
+class TestExecutorFactory:
+    def test_executor_matches_context(self, machine):
+        with machine.context(
+            ExecutionSetting.sgx_data_in_enclave(), threads=8
+        ) as ctx:
+            executor = ctx.executor()
+            assert executor.threads == 8
+            assert executor.setting.enclave_mode

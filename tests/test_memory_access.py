@@ -1,0 +1,145 @@
+"""Access profiles: batch validation, profile accumulation, sync merging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.access import (
+    AccessBatch,
+    AccessProfile,
+    CodeVariant,
+    Locality,
+    PatternKind,
+    SyncCosts,
+)
+
+
+def _batch(**overrides):
+    defaults = dict(
+        kind=PatternKind.SEQ_READ,
+        count=1000,
+        element_bytes=8,
+        working_set_bytes=8000,
+        locality=Locality(0, False),
+    )
+    defaults.update(overrides)
+    return AccessBatch(**defaults)
+
+
+class TestLocality:
+    def test_negative_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Locality(-1, False)
+
+    def test_frozen_equality(self):
+        assert Locality(0, True) == Locality(0, True)
+        assert Locality(0, True) != Locality(1, True)
+
+
+class TestAccessBatch:
+    def test_bytes_touched(self):
+        assert _batch(count=10, element_bytes=8).bytes_touched == 80
+
+    def test_compute_has_no_traffic(self):
+        batch = _batch(kind=PatternKind.COMPUTE, count=500)
+        assert batch.bytes_touched == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _batch(count=-1)
+
+    def test_zero_element_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _batch(element_bytes=0)
+
+    def test_parallelism_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _batch(parallelism=0.5)
+
+    def test_rmw_requires_table(self):
+        with pytest.raises(ConfigurationError):
+            _batch(kind=PatternKind.RMW_LOOP)
+
+    def test_rmw_requires_table_locality(self):
+        with pytest.raises(ConfigurationError):
+            _batch(kind=PatternKind.RMW_LOOP, table_bytes=100)
+
+    def test_rmw_complete(self):
+        batch = _batch(
+            kind=PatternKind.RMW_LOOP,
+            table_bytes=100,
+            table_locality=Locality(0, True),
+        )
+        assert batch.table_writes
+
+    def test_sensitivities_bounded(self):
+        with pytest.raises(ConfigurationError):
+            _batch(reorder_sensitivity=1.5)
+        with pytest.raises(ConfigurationError):
+            _batch(mlp_sensitivity=-0.1)
+
+    def test_scaled(self):
+        scaled = _batch(count=100).scaled(0.5)
+        assert scaled.count == 50
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _batch().scaled(-1)
+
+
+class TestAccessProfile:
+    def test_convenience_constructors(self):
+        profile = AccessProfile()
+        loc = Locality(0, True)
+        profile.seq_read(100, 8, loc)
+        profile.seq_write(50, 8, loc)
+        profile.compute(1234)
+        assert len(profile) == 3
+        kinds = [b.kind for b in profile]
+        assert kinds == [
+            PatternKind.SEQ_READ,
+            PatternKind.SEQ_WRITE,
+            PatternKind.COMPUTE,
+        ]
+
+    def test_total_bytes(self):
+        profile = AccessProfile()
+        loc = Locality(0, False)
+        profile.seq_read(100, 8, loc)
+        profile.seq_write(10, 4, loc)
+        assert profile.total_bytes() == 840
+
+    def test_merge_combines_batches_and_sync(self):
+        a, b = AccessProfile(), AccessProfile()
+        a.seq_read(10, 8, Locality(0, False))
+        a.sync.transitions = 2
+        b.compute(5)
+        b.sync.transitions = 3
+        a.merge(b)
+        assert len(a) == 2
+        assert a.sync.transitions == 5
+
+    def test_variant_default_is_simd_for_streams(self):
+        profile = AccessProfile()
+        profile.seq_read(1, 8, Locality(0, False))
+        assert profile.batches[0].variant is CodeVariant.SIMD
+
+
+class TestSyncCosts:
+    def test_merge_weights_contention(self):
+        a = SyncCosts(mutex_acquisitions=100, mutex_contention_ratio=0.0)
+        b = SyncCosts(mutex_acquisitions=100, mutex_contention_ratio=1.0)
+        a.merge(b)
+        assert a.mutex_acquisitions == 200
+        assert a.mutex_contention_ratio == pytest.approx(0.5)
+
+    def test_merge_accumulates_counters(self):
+        a = SyncCosts(transitions=1, atomic_ops=2, barriers=3)
+        b = SyncCosts(transitions=10, atomic_ops=20, barriers=30)
+        a.merge(b)
+        assert (a.transitions, a.atomic_ops, a.barriers) == (11, 22, 33)
+
+    def test_merge_with_no_mutexes_keeps_ratio(self):
+        a = SyncCosts(mutex_contention_ratio=0.0)
+        b = SyncCosts()
+        a.merge(b)
+        assert a.mutex_contention_ratio == 0.0

@@ -1,0 +1,146 @@
+"""Alternative platforms: the SGXv1 legacy model and its EPC paging."""
+
+import pytest
+
+from repro.core.joins import CrkJoin, ParallelHashJoin, RadixJoin
+from repro.enclave.enclave import EnclaveConfig
+from repro.enclave.runtime import ExecutionSetting
+from repro.hardware.platforms import (
+    emerald_rapids_testbed,
+    sgxv1_calibration,
+    sgxv1_testbed,
+)
+from repro.machine import SimMachine
+from repro.memory.access import AccessBatch, Locality, PatternKind
+from repro.memory.cost_model import CostEnvironment, MemoryCostModel
+from repro.tables import generate_join_relation_pair
+from repro.units import GiB, MiB
+
+SGX = ExecutionSetting.sgx_data_in_enclave()
+
+
+@pytest.fixture
+def legacy():
+    return SimMachine(sgxv1_testbed(), sgxv1_calibration())
+
+
+class TestPlatformSpecs:
+    def test_sgxv1_epc_tiny(self):
+        spec = sgxv1_testbed()
+        assert spec.epc_bytes_per_socket == 93 * MiB
+        assert spec.sockets == 1
+
+    def test_sgxv1_paging_enabled(self):
+        params = sgxv1_calibration()
+        assert params.epc_paging_enabled
+        assert params.epc_page_fault_cycles > 10_000
+
+    def test_sgxv2_paging_disabled(self):
+        machine = SimMachine()
+        assert not machine.params.epc_paging_enabled
+
+    def test_emerald_rapids_bigger(self):
+        spec = emerald_rapids_testbed()
+        base = SimMachine().spec
+        assert spec.cores_per_socket > base.cores_per_socket
+        assert spec.epc_bytes_per_socket > base.epc_bytes_per_socket
+
+
+class TestPagingCostModel:
+    def _model(self):
+        return MemoryCostModel(sgxv1_testbed(), sgxv1_calibration())
+
+    def test_within_epc_no_paging(self):
+        model = self._model()
+        batch = AccessBatch(
+            kind=PatternKind.RANDOM_READ, count=1e5, element_bytes=8,
+            working_set_bytes=50 * MiB, locality=Locality(0, True),
+            parallelism=8.0,
+        )
+        sgx = model.batch_cycles(batch, CostEnvironment(True))
+        plain = model.batch_cycles(batch, CostEnvironment(False))
+        assert sgx < 10 * plain  # slow MEE, but no paging collapse
+
+    def test_beyond_epc_random_collapses(self):
+        model = self._model()
+        batch = AccessBatch(
+            kind=PatternKind.RANDOM_READ, count=1e5, element_bytes=8,
+            working_set_bytes=1 * GiB, locality=Locality(0, True),
+            parallelism=8.0,
+        )
+        sgx = model.batch_cycles(batch, CostEnvironment(True))
+        plain = model.batch_cycles(batch, CostEnvironment(False))
+        assert sgx > 100 * plain  # the orders-of-magnitude regime
+
+    def test_untrusted_data_never_pages(self):
+        model = self._model()
+        batch = AccessBatch(
+            kind=PatternKind.RANDOM_READ, count=1e5, element_bytes=8,
+            working_set_bytes=1 * GiB, locality=Locality(0, False),
+            parallelism=8.0,
+        )
+        assert model.batch_cycles(
+            batch, CostEnvironment(True)
+        ) == model.batch_cycles(batch, CostEnvironment(False))
+
+    def test_sequential_paging_cheaper_than_random(self):
+        model = self._model()
+        common = dict(
+            count=1e6, element_bytes=8, working_set_bytes=1 * GiB,
+            locality=Locality(0, True), parallelism=8.0,
+        )
+        seq = AccessBatch(kind=PatternKind.SEQ_READ, **common)
+        rnd = AccessBatch(kind=PatternKind.RANDOM_READ, **common)
+        env = CostEnvironment(True)
+        assert model.batch_cycles(seq, env) < model.batch_cycles(rnd, env) / 10
+
+
+class TestOversubscription:
+    def test_legacy_machine_allows_big_enclaves(self, legacy):
+        config = EnclaveConfig(heap_bytes=1 * GiB, node=0)
+        with legacy.context(SGX, enclave_config=config) as ctx:
+            region = ctx.allocate("big", 500 * MiB)
+            assert region.in_enclave
+
+    def test_sgxv2_machine_still_enforces_epc(self):
+        from repro.errors import EpcExhaustedError
+
+        machine = SimMachine()
+        config = EnclaveConfig(heap_bytes=100 * GiB, node=0)
+        with pytest.raises(EpcExhaustedError):
+            machine.context(SGX, enclave_config=config)
+
+
+class TestLegacyJoins:
+    """The CrkJoin story: right for SGXv1, wrong for SGXv2."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return generate_join_relation_pair(
+            50e6, 200e6, seed=17, physical_row_cap=60_000
+        )
+
+    def _throughput(self, machine, join, tables):
+        build, probe = tables
+        config = EnclaveConfig(heap_bytes=2 * GiB, node=0)
+        with machine.context(
+            SGX, threads=machine.spec.cores_per_socket, enclave_config=config
+        ) as ctx:
+            result = join.run(ctx, build, probe)
+        return result.throughput_rows_per_s(machine.frequency_hz)
+
+    def test_crkjoin_wins_on_sgxv1(self, legacy, tables):
+        crk = self._throughput(legacy, CrkJoin(), tables)
+        rho = self._throughput(
+            SimMachine(sgxv1_testbed(), sgxv1_calibration()), RadixJoin(), tables
+        )
+        pht = self._throughput(
+            SimMachine(sgxv1_testbed(), sgxv1_calibration()),
+            ParallelHashJoin(), tables,
+        )
+        assert crk > rho > pht
+
+    def test_ordering_inverts_on_sgxv2(self, tables):
+        crk = self._throughput(SimMachine(), CrkJoin(), tables)
+        rho = self._throughput(SimMachine(), RadixJoin(), tables)
+        assert rho > 5 * crk

@@ -1,0 +1,139 @@
+"""Property-based fuzzing of the allocator and enclave heap accounting.
+
+Hypothesis drives random allocate/free interleavings and checks the
+conservation invariants the rest of the system relies on: usage counters
+equal the sum of live regions, freeing restores capacity exactly, and the
+EPC limit is never silently exceeded.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enclave.enclave import Enclave, EnclaveConfig
+from repro.errors import CapacityError, ReproError
+from repro.hardware import Topology, paper_testbed
+from repro.memory.allocator import MemoryAllocator
+from repro.units import MiB
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of (action, size, node, in_enclave) steps."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "free"]),
+                st.integers(min_value=0, max_value=8 * MiB),
+                st.integers(min_value=0, max_value=1),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return steps
+
+
+class TestAllocatorInvariants:
+    @given(steps=operations())
+    @settings(max_examples=80, deadline=None)
+    def test_usage_equals_live_regions(self, steps):
+        allocator = MemoryAllocator(Topology(paper_testbed()))
+        live = []
+        for action, size, node, in_enclave in steps:
+            if action == "alloc":
+                try:
+                    region = allocator.allocate(
+                        "fuzz", size, node=node, in_enclave=in_enclave
+                    )
+                except ReproError:
+                    continue
+                live.append(region)
+            elif live:
+                allocator.free(live.pop())
+        for node in (0, 1):
+            expected_dram = sum(
+                region.size_bytes for region in live if region.node == node
+            )
+            expected_epc = sum(
+                region.size_bytes
+                for region in live
+                if region.node == node and region.in_enclave
+            )
+            assert allocator.dram_used(node) == expected_dram
+            assert allocator.epc_used(node) == expected_epc
+        assert allocator.live_regions == len(live)
+
+    @given(steps=operations())
+    @settings(max_examples=50, deadline=None)
+    def test_epc_limit_never_exceeded(self, steps):
+        allocator = MemoryAllocator(Topology(paper_testbed()))
+        capacity = paper_testbed().epc_bytes_per_socket
+        for action, size, node, in_enclave in steps:
+            if action != "alloc":
+                continue
+            try:
+                allocator.allocate("fuzz", size, node=node, in_enclave=in_enclave)
+            except ReproError:
+                pass
+            assert allocator.epc_used(node) <= capacity
+
+    @given(steps=operations())
+    @settings(max_examples=50, deadline=None)
+    def test_free_all_always_restores_zero(self, steps):
+        allocator = MemoryAllocator(Topology(paper_testbed()))
+        for action, size, node, in_enclave in steps:
+            if action == "alloc":
+                try:
+                    allocator.allocate(
+                        "fuzz", size, node=node, in_enclave=in_enclave
+                    )
+                except ReproError:
+                    pass
+        allocator.free_all()
+        for node in (0, 1):
+            assert allocator.dram_used(node) == 0
+            assert allocator.epc_used(node) == 0
+
+
+class TestEnclaveHeapInvariants:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=0, max_value=2 * MiB), min_size=1, max_size=30
+        ),
+        heap_mb=st.integers(min_value=1, max_value=16),
+        dynamic=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heap_accounting_conserves(self, sizes, heap_mb, dynamic):
+        allocator = MemoryAllocator(Topology(paper_testbed()))
+        config = EnclaveConfig(
+            heap_bytes=heap_mb * MiB,
+            node=0,
+            dynamic=dynamic,
+            max_bytes=64 * MiB if dynamic else 0,
+        )
+        enclave = Enclave(config, allocator)
+        enclave.initialize()
+        allocated = 0
+        for size in sizes:
+            try:
+                enclave.allocate("fuzz", size)
+            except CapacityError:
+                # Static heap exhausted (or dynamic limit hit): the failed
+                # allocation must not have consumed anything.
+                continue
+            allocated += size
+        # Heap used + free covers the static heap exactly.
+        assert enclave.heap_free_bytes >= 0
+        assert enclave.heap_free_bytes <= config.heap_bytes
+        # Total committed EPC is heap + whole dynamic pages.
+        assert enclave.total_bytes >= config.heap_bytes
+        if not dynamic:
+            assert enclave.total_bytes == config.heap_bytes
+        assert enclave.total_bytes - config.heap_bytes == (
+            enclave.pages_added_total * 4096
+        )
+        enclave.destroy()
+        assert allocator.epc_used(0) == 0

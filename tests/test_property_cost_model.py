@@ -1,0 +1,180 @@
+"""Property-based invariants of the cost model.
+
+The model must be *coherent* no matter what batch it prices: costs are
+non-negative and finite, scale linearly in the access count, never get
+cheaper inside the enclave for EPC data, and respect the documented
+monotonicities (working-set size, parallelism, code variant).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import paper_calibration, paper_testbed
+from repro.memory.access import AccessBatch, CodeVariant, Locality, PatternKind
+from repro.memory.cost_model import CostEnvironment, MemoryCostModel
+
+MODEL = MemoryCostModel(paper_testbed(), paper_calibration())
+PLAIN = CostEnvironment(enclave_mode=False)
+SGX = CostEnvironment(enclave_mode=True)
+
+kinds = st.sampled_from(
+    [
+        PatternKind.SEQ_READ,
+        PatternKind.SEQ_WRITE,
+        PatternKind.RANDOM_READ,
+        PatternKind.RANDOM_WRITE,
+        PatternKind.DEPENDENT_READ,
+        PatternKind.RMW_LOOP,
+    ]
+)
+variants = st.sampled_from(list(CodeVariant))
+
+
+@st.composite
+def batches(draw):
+    kind = draw(kinds)
+    in_enclave = draw(st.booleans())
+    locality = Locality(draw(st.integers(0, 1)), in_enclave)
+    table_kwargs = {}
+    if kind is PatternKind.RMW_LOOP:
+        table_kwargs = dict(
+            table_bytes=draw(st.floats(1e3, 1e10)),
+            table_locality=locality,
+            table_writes=draw(st.booleans()),
+        )
+    return AccessBatch(
+        kind=kind,
+        count=draw(st.floats(0, 1e8)),
+        element_bytes=draw(st.sampled_from([1, 4, 8, 64])),
+        working_set_bytes=draw(st.floats(0, 1e11)),
+        locality=locality,
+        variant=draw(variants),
+        parallelism=draw(st.floats(1, 16)),
+        compute_cycles_per_item=draw(st.floats(0, 50)),
+        reorder_sensitivity=draw(st.floats(0, 1)),
+        **table_kwargs,
+    )
+
+
+@st.composite
+def environments(draw):
+    return CostEnvironment(
+        enclave_mode=draw(st.booleans()),
+        thread_node=draw(st.integers(0, 1)),
+        concurrency=draw(st.integers(1, 32)),
+    )
+
+
+class TestUniversalInvariants:
+    @given(batch=batches(), env=environments())
+    @settings(max_examples=200, deadline=None)
+    def test_cost_finite_and_non_negative(self, batch, env):
+        cycles = MODEL.batch_cycles(batch, env)
+        assert cycles >= 0
+        assert math.isfinite(cycles)
+
+    @given(batch=batches(), env=environments())
+    @settings(max_examples=100, deadline=None)
+    def test_linear_in_count(self, batch, env):
+        base = MODEL.batch_cycles(batch, env)
+        doubled = MODEL.batch_cycles(batch.scaled(2.0), env)
+        assert doubled == pytest.approx(2 * base, rel=1e-9, abs=1e-6)
+
+    @given(batch=batches())
+    @settings(max_examples=150, deadline=None)
+    def test_enclave_never_cheaper(self, batch):
+        plain = MODEL.batch_cycles(batch, PLAIN)
+        sgx = MODEL.batch_cycles(batch, SGX)
+        assert sgx >= plain * (1 - 1e-9)
+
+    @given(batch=batches())
+    @settings(max_examples=100, deadline=None)
+    def test_untrusted_data_sequential_parity(self, batch):
+        """Streaming untrusted data costs the same in both modes."""
+        if batch.kind not in (PatternKind.SEQ_READ, PatternKind.SEQ_WRITE):
+            return
+        if batch.locality.in_enclave:
+            return
+        assert MODEL.batch_cycles(batch, SGX) == MODEL.batch_cycles(batch, PLAIN)
+
+
+class TestMonotonicity:
+    @given(
+        count=st.floats(1e3, 1e6),
+        small=st.floats(1e3, 1e8),
+        factor=st.floats(1.5, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_cost_grows_with_working_set(self, count, small, factor):
+        def cost(ws):
+            batch = AccessBatch(
+                kind=PatternKind.RANDOM_READ,
+                count=count,
+                element_bytes=8,
+                working_set_bytes=ws,
+                locality=Locality(0, True),
+                parallelism=8.0,
+            )
+            return MODEL.batch_cycles(batch, SGX)
+
+        assert cost(small * factor) >= cost(small) * (1 - 1e-9)
+
+    @given(parallelism=st.floats(1, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_more_parallelism_never_slower(self, parallelism):
+        def cost(mlp):
+            batch = AccessBatch(
+                kind=PatternKind.RANDOM_READ,
+                count=1e5,
+                element_bytes=8,
+                working_set_bytes=4e9,
+                locality=Locality(0, True),
+                parallelism=mlp,
+            )
+            return MODEL.batch_cycles(batch, PLAIN)
+
+        assert cost(parallelism + 1) <= cost(parallelism) * (1 + 1e-9)
+
+    @given(sens=st.floats(0, 1), table_bytes=st.floats(1e3, 1e10))
+    @settings(max_examples=100, deadline=None)
+    def test_variant_ordering_for_rmw(self, sens, table_bytes):
+        def cost(variant):
+            batch = AccessBatch(
+                kind=PatternKind.RMW_LOOP,
+                count=1e5,
+                element_bytes=8,
+                working_set_bytes=4e8,
+                locality=Locality(0, True),
+                variant=variant,
+                parallelism=8.0,
+                table_bytes=table_bytes,
+                table_locality=Locality(0, True),
+                reorder_sensitivity=sens,
+            )
+            return MODEL.batch_cycles(batch, SGX)
+
+        naive = cost(CodeVariant.NAIVE)
+        unrolled = cost(CodeVariant.UNROLLED)
+        simd = cost(CodeVariant.SIMD)
+        assert simd <= unrolled * (1 + 1e-9) <= naive * (1 + 1e-9) ** 2
+
+    @given(concurrency=st.integers(1, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_sharing_monotone(self, concurrency):
+        def cost(threads):
+            batch = AccessBatch(
+                kind=PatternKind.SEQ_READ,
+                count=1e6,
+                element_bytes=8,
+                working_set_bytes=4e9,
+                locality=Locality(0, False),
+                variant=CodeVariant.SIMD,
+            )
+            return MODEL.batch_cycles(
+                batch, CostEnvironment(False, concurrency=threads)
+            )
+
+        assert cost(concurrency + 1) >= cost(concurrency) * (1 - 1e-9)

@@ -1,0 +1,111 @@
+"""Cache residency model and memory-encryption penalty curves."""
+
+import pytest
+
+from repro.hardware import paper_calibration, paper_testbed
+from repro.memory.access import CodeVariant, PatternKind
+from repro.memory.encryption import MemoryEncryptionEngine
+from repro.memory.residency import CacheResidency
+from repro.units import MiB
+
+
+@pytest.fixture
+def residency():
+    return CacheResidency(paper_testbed())
+
+
+@pytest.fixture
+def mee():
+    return MemoryEncryptionEngine(
+        paper_calibration(), paper_testbed().l3.capacity_bytes
+    )
+
+
+class TestCacheResidency:
+    def test_fractions_sum_to_one(self, residency):
+        for ws in (1e3, 1e6, 30e6, 1e9, 16e9):
+            shares = residency.shares(ws, dram_latency_cycles=260)
+            assert sum(s.fraction for s in shares) == pytest.approx(1.0)
+
+    def test_tiny_working_set_is_all_l1(self, residency):
+        shares = residency.shares(16 * 1024, 260)
+        assert shares[0].name == "L1d"
+        assert shares[0].fraction == pytest.approx(1.0)
+
+    def test_l3_resident_has_no_dram(self, residency):
+        assert residency.dram_fraction(20 * MiB) == 0.0
+        assert residency.fits_in_cache(20 * MiB)
+
+    def test_dram_fraction_grows_with_size(self, residency):
+        small = residency.dram_fraction(100e6)
+        large = residency.dram_fraction(10e9)
+        assert 0 < small < large < 1
+
+    def test_avg_latency_monotone_in_size(self, residency):
+        latencies = [
+            residency.avg_random_latency(ws, 260)
+            for ws in (1e4, 1e6, 25e6, 250e6, 8e9)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_negative_working_set_rejected(self, residency):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            residency.shares(-1, 260)
+
+
+class TestSequentialFactors:
+    def test_scalar_read_worst(self, mee):
+        scalar = mee.sequential_factor(PatternKind.SEQ_READ, CodeVariant.NAIVE)
+        simd = mee.sequential_factor(PatternKind.SEQ_READ, CodeVariant.SIMD)
+        write = mee.sequential_factor(PatternKind.SEQ_WRITE, CodeVariant.SIMD)
+        # Fig. 15 ordering: 64-bit reads (5.5 %) > 512-bit reads (3 %) >
+        # writes (2 %).
+        assert scalar == pytest.approx(1.055)
+        assert simd == pytest.approx(1.03)
+        assert write == pytest.approx(1.02)
+        assert scalar > simd > write > 1.0
+
+
+class TestRandomFactors:
+    def test_in_cache_no_penalty(self, mee):
+        assert mee.random_read_factor(1e6) == pytest.approx(1.0)
+        assert mee.random_write_factor(1e6) == pytest.approx(1.0)
+
+    def test_read_factor_saturates_at_paper_value(self, mee):
+        assert mee.random_read_factor(16e9) == pytest.approx(1 / 0.53, rel=0.01)
+        assert mee.random_read_factor(64e9) == pytest.approx(1 / 0.53, rel=0.01)
+
+    def test_write_factor_anchors(self, mee):
+        # 2x at 256 MB, ~3x at 8 GB (Fig. 5) — the boundary-relief dip has
+        # faded by 256 MB, so the anchors hold within a few percent.
+        assert mee.random_write_factor(256e6) == pytest.approx(2.0, rel=0.05)
+        assert mee.random_write_factor(8e9) == pytest.approx(2.95, rel=0.05)
+
+    def test_write_factor_monotone(self, mee):
+        sizes = (30e6, 100e6, 256e6, 1e9, 8e9)
+        factors = [mee.random_write_factor(s) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_writes_worse_than_reads(self, mee):
+        for ws in (100e6, 1e9, 8e9):
+            assert mee.random_write_factor(ws) > mee.random_read_factor(ws)
+
+    def test_unrolled_writes_cheaper_than_naive(self, mee):
+        naive = mee.random_write_factor(256e6, CodeVariant.NAIVE)
+        unrolled = mee.random_write_factor(256e6, CodeVariant.UNROLLED)
+        assert 1.0 < unrolled < naive
+
+    def test_boundary_relief_dips_at_l3(self, mee):
+        # Footnote 2: relative performance improves near the cache size.
+        l3 = paper_testbed().l3.capacity_bytes
+        at_boundary = mee.random_read_factor(l3 * 1.01)
+        past_boundary = mee.random_read_factor(l3 * 8)
+        assert at_boundary < past_boundary
+
+    def test_rejects_invalid_l3(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MemoryEncryptionEngine(paper_calibration(), 0)

@@ -1,0 +1,166 @@
+"""Column scans: predicate correctness and the Sec. 5 cost claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.scans import BitvectorScan, RangePredicate, RowIdScan
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.exec.placement import Placement
+from repro.machine import SimMachine
+from repro.tables.table import Column
+
+PLAIN = ExecutionSetting.plain_cpu()
+SGX_IN = ExecutionSetting.sgx_data_in_enclave()
+SGX_OUT = ExecutionSetting.sgx_data_outside_enclave()
+
+
+@pytest.fixture
+def column(rng):
+    return Column("v", rng.integers(0, 256, 100_000, dtype=np.uint8))
+
+
+class TestRangePredicate:
+    def test_inclusive_bounds(self):
+        predicate = RangePredicate(10, 20)
+        values = np.array([9, 10, 15, 20, 21])
+        assert list(predicate.evaluate(values)) == [False, True, True, True, False]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangePredicate(5, 4)
+
+    def test_selectivity_exact(self):
+        values = np.arange(100)
+        predicate = RangePredicate(0, 49)
+        assert predicate.selectivity(values) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("target", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_with_selectivity_hits_target(self, rng, target):
+        values = rng.integers(0, 10_000, 50_000)
+        predicate = RangePredicate.with_selectivity(values, target)
+        assert predicate.selectivity(values) == pytest.approx(target, abs=0.02)
+
+    def test_with_selectivity_out_of_range_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RangePredicate.with_selectivity(np.arange(10), 1.5)
+
+
+class TestBitvectorScan:
+    def test_bitvector_matches_numpy(self, machine, column):
+        predicate = RangePredicate(64, 191)
+        with machine.context(PLAIN, threads=4) as ctx:
+            result = BitvectorScan().run(ctx, column, predicate)
+        expected_mask = predicate.evaluate(column.data)
+        assert result.matches == int(expected_mask.sum())
+        assert np.array_equal(result.bitvector, np.packbits(expected_mask))
+
+    def test_repeats_multiply_cost_not_matches(self, machine, column):
+        predicate = RangePredicate(0, 127)
+        with machine.context(PLAIN, threads=1) as ctx:
+            once = BitvectorScan().run(ctx, column, predicate, repeats=1)
+        fresh = SimMachine()
+        with fresh.context(PLAIN, threads=1) as ctx:
+            many = BitvectorScan().run(ctx, column, predicate, repeats=10)
+        assert many.cycles == pytest.approx(10 * once.cycles, rel=0.01)
+        assert many.matches == once.matches
+
+    def test_invalid_repeats_rejected(self, machine, column):
+        with machine.context(PLAIN) as ctx:
+            with pytest.raises(ConfigurationError):
+                BitvectorScan().run(ctx, column, RangePredicate(0, 1), repeats=0)
+
+    def test_out_of_cache_sgx_overhead_small(self, column):
+        predicate = RangePredicate(64, 191)
+        results = {}
+        for setting in (PLAIN, SGX_IN, SGX_OUT):
+            machine = SimMachine()
+            with machine.context(setting, threads=1) as ctx:
+                results[setting.label] = BitvectorScan().run(
+                    ctx, column, predicate, sim_scale=4e9 / column.nbytes
+                )
+        plain = results["Plain CPU"].cycles
+        sgx_in = results["SGX (Data in Enclave)"].cycles
+        sgx_out = results["SGX (Data outside Enclave)"].cycles
+        assert sgx_in / plain == pytest.approx(1.03, abs=0.01)  # Fig. 12
+        assert sgx_out == pytest.approx(plain, rel=0.001)
+
+    def test_in_cache_no_overhead(self, column):
+        predicate = RangePredicate(64, 191)
+        cycles = {}
+        for setting in (PLAIN, SGX_IN):
+            machine = SimMachine()
+            with machine.context(setting, threads=1) as ctx:
+                cycles[setting.label] = BitvectorScan().run(
+                    ctx, column, predicate, sim_scale=1e6 / column.nbytes
+                ).cycles
+        assert cycles["Plain CPU"] == cycles["SGX (Data in Enclave)"]
+
+    def test_thread_scaling_saturates_bandwidth(self, column):
+        predicate = RangePredicate(64, 191)
+
+        def agg_throughput(threads):
+            machine = SimMachine()
+            with machine.context(PLAIN, threads=threads) as ctx:
+                result = BitvectorScan().run(
+                    ctx, column, predicate, sim_scale=4e9 / column.nbytes
+                )
+            return result.read_throughput_bytes_per_s(machine.frequency_hz)
+
+        one, eight, sixteen = (agg_throughput(t) for t in (1, 8, 16))
+        assert eight > 6 * one
+        limit = SimMachine().spec.socket_stream_bandwidth_bytes()
+        assert sixteen <= limit * 1.001
+        # Saturation, not regression (tiny barrier costs aside).
+        assert sixteen >= eight * 0.999
+
+    def test_cross_numa_scan_slower(self, column):
+        predicate = RangePredicate(64, 191)
+
+        def throughput(cross):
+            machine = SimMachine()
+            node = 1 if cross else 0
+            placement = Placement.on_node(machine.topology, node, 16)
+            with machine.context(PLAIN, data_node=0, placement=placement) as ctx:
+                result = BitvectorScan().run(
+                    ctx, column, predicate, sim_scale=4e9 / column.nbytes
+                )
+            return result.read_throughput_bytes_per_s(machine.frequency_hz)
+
+        local, cross = throughput(False), throughput(True)
+        assert cross < local
+        # Cross-NUMA is bounded by the 67.2 GB/s UPI aggregate.
+        assert cross <= 67.2e9 * 1.001
+
+
+class TestRowIdScan:
+    def test_row_ids_match_numpy(self, machine, column):
+        predicate = RangePredicate(0, 99)
+        with machine.context(PLAIN, threads=2) as ctx:
+            result = RowIdScan().run(ctx, column, predicate)
+        expected = np.flatnonzero(predicate.evaluate(column.data))
+        assert np.array_equal(result.row_ids, expected)
+        assert result.extra["selectivity"] == pytest.approx(100 / 256, abs=0.01)
+
+    def test_write_rate_hurts_both_settings_equally(self, column):
+        # Fig. 14: higher selectivity lowers throughput identically.
+        def throughput(setting, selectivity):
+            machine = SimMachine()
+            predicate = RangePredicate.with_selectivity(column.data, selectivity)
+            with machine.context(setting, threads=16) as ctx:
+                result = RowIdScan().run(
+                    ctx, column, predicate, sim_scale=4e9 / column.nbytes
+                )
+            return result.read_throughput_bytes_per_s(machine.frequency_hz)
+
+        drop_plain = throughput(PLAIN, 1.0) / throughput(PLAIN, 0.0)
+        drop_sgx = throughput(SGX_IN, 1.0) / throughput(SGX_IN, 0.0)
+        assert drop_plain < 0.5  # 8x write rate costs real bandwidth
+        assert drop_sgx == pytest.approx(drop_plain, abs=0.03)
+
+    def test_zero_selectivity_writes_nothing(self, machine, column):
+        predicate = RangePredicate(-2, -1)
+        with machine.context(PLAIN) as ctx:
+            result = RowIdScan().run(ctx, column, predicate)
+        assert result.matches == 0
+        assert len(result.row_ids) == 0

@@ -1,0 +1,43 @@
+"""The Markdown report bundle."""
+
+import pytest
+
+from repro.bench.session import build_report, write_report
+from repro.errors import BenchmarkError
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        # tab01 is static and fig15 is one of the fastest sweeps.
+        return build_report(["tab01", "fig15"])
+
+    def test_has_title_and_calibration(self, report_text):
+        assert report_text.startswith("# SGXv2 analytical query processing")
+        assert "13/13 anchors hold" in report_text
+
+    def test_sections_per_experiment(self, report_text):
+        assert "## tab01:" in report_text
+        assert "## fig15:" in report_text
+        assert "*Reproduces Table 1.*" in report_text
+
+    def test_tables_render(self, report_text):
+        assert "| series | x | value | unit |" in report_text
+        assert "| EPC per socket |" in report_text
+
+    def test_charts_embedded(self, report_text):
+        assert "```text" in report_text
+
+    def test_notes_quoted(self, report_text):
+        assert "> " in report_text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(BenchmarkError):
+            build_report(["fig99"])
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "sub" / "REPORT.md", ["tab01"])
+        assert path.exists()
+        assert "# SGXv2" in path.read_text()

@@ -1,0 +1,129 @@
+"""Skew-aware working-set estimation and its effect on PHT."""
+
+import numpy as np
+import pytest
+
+from repro.core.joins import ParallelHashJoin
+from repro.core.joins.skew import (
+    cache_hit_fraction,
+    effective_working_set,
+    skew_gain,
+)
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.machine import SimMachine
+from repro.tables.generator import skewed_probe_keys
+from repro.tables.table import Column, Table
+
+PLAIN = ExecutionSetting.plain_cpu()
+SGX = ExecutionSetting.sgx_data_in_enclave()
+
+
+class TestCacheHitFraction:
+    def test_everything_fits(self):
+        freq = np.ones(100)
+        assert cache_hit_fraction(freq, 10, 10_000) == 1.0
+
+    def test_nothing_fits(self):
+        freq = np.ones(100)
+        assert cache_hit_fraction(freq, 10, 5) == 0.0
+
+    def test_uniform_partial(self):
+        freq = np.ones(1000)
+        # Cache holds 100 of 1000 equally hot entries.
+        assert cache_hit_fraction(freq, 10, 1000) == pytest.approx(0.1)
+
+    def test_skewed_beats_uniform(self):
+        uniform = np.ones(1000)
+        skewed = np.ones(1000)
+        skewed[:10] = 1000  # ten very hot entries
+        cache = 200  # holds 20 entries
+        assert cache_hit_fraction(skewed, 10, cache) > cache_hit_fraction(
+            uniform, 10, cache
+        )
+
+    def test_no_accesses(self):
+        assert cache_hit_fraction(np.zeros(10), 10, 100) == 1.0
+
+    def test_sim_scale_shrinks_capacity(self):
+        freq = np.ones(1000)
+        unscaled = cache_hit_fraction(freq, 10, 1000, sim_scale=1.0)
+        scaled = cache_hit_fraction(freq, 10, 1000, sim_scale=10.0)
+        assert scaled < unscaled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cache_hit_fraction(np.ones(5), 0, 10)
+        with pytest.raises(ConfigurationError):
+            cache_hit_fraction(np.ones(5), 10, 10, sim_scale=0)
+
+
+class TestSkewGain:
+    def test_uniform_near_one(self, rng):
+        # A genuinely uniform stream must not look skewed, even with
+        # ~1 access per entry (the Poisson-noise trap).
+        freq = np.bincount(rng.integers(0, 50_000, 50_000), minlength=50_000)
+        gain = skew_gain(freq, 26.0, 24e6, sim_scale=80.0)
+        assert gain < 1.3
+
+    def test_zipf_detected(self, rng):
+        keys = skewed_probe_keys(50_000, 200_000, 1.2, rng)
+        freq = np.bincount(keys, minlength=50_000)
+        gain = skew_gain(freq, 26.0, 24e6, sim_scale=80.0)
+        assert gain > 2.0
+
+    def test_empty_stream(self):
+        assert skew_gain(np.zeros(10), 10, 100) == 1.0
+
+
+class TestEffectiveWorkingSet:
+    def test_uniform_keeps_nominal(self):
+        freq = np.ones(10_000)
+        ws = effective_working_set(freq, 10, 1000, uniform_ws_bytes=100_000)
+        assert ws == pytest.approx(100_000, rel=0.05)
+
+    def test_cache_resident_untouched(self):
+        freq = np.ones(10)
+        assert effective_working_set(freq, 10, 1000, 100) == 100
+
+    def test_skew_shrinks(self):
+        freq = np.ones(10_000)
+        freq[:50] = 100_000
+        ws = effective_working_set(freq, 10, 1000, uniform_ws_bytes=100_000)
+        assert ws < 10_000
+
+    def test_never_grows(self):
+        freq = np.ones(100)
+        assert (
+            effective_working_set(freq, 10, 500, uniform_ws_bytes=1000) <= 1000
+        )
+
+
+class TestPhtUnderSkew:
+    def _relative(self, theta, rng):
+        from repro.tables import generate_key_value_table
+
+        build = generate_key_value_table(
+            "R", 100e6, rng=rng, physical_row_cap=100_000
+        )
+        indexes = skewed_probe_keys(build.num_rows, 100_000, theta, rng)
+        probe = Table(
+            "S",
+            [
+                Column("key", build["key"][indexes]),
+                Column("payload", np.zeros(100_000, dtype=np.int32)),
+            ],
+            sim_scale=(400e6 / 8) / 100_000,
+        )
+
+        def cycles(setting):
+            machine = SimMachine()
+            with machine.context(setting, threads=16) as ctx:
+                return ParallelHashJoin().run(ctx, build, probe).cycles
+
+        return cycles(PLAIN) / cycles(SGX)
+
+    def test_skew_improves_relative_performance(self, rng):
+        uniform = self._relative(0.0, rng)
+        skewed = self._relative(1.25, rng)
+        assert skewed > uniform

@@ -1,0 +1,95 @@
+"""Sort and top-k operators: correctness and enclave cost shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import ParallelSort, TopK
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.machine import SimMachine
+
+PLAIN = ExecutionSetting.plain_cpu()
+SGX = ExecutionSetting.sgx_data_in_enclave()
+
+
+class TestParallelSort:
+    def test_sorts_correctly(self, machine, rng):
+        keys = rng.integers(0, 1 << 20, 10_000)
+        with machine.context(PLAIN, threads=4) as ctx:
+            result = ParallelSort().run(ctx, keys)
+        assert np.array_equal(result.sorted_keys, np.sort(keys))
+        assert np.array_equal(keys[result.order], result.sorted_keys)
+
+    def test_descending(self, machine, rng):
+        keys = rng.integers(0, 100, 1000)
+        with machine.context(PLAIN) as ctx:
+            result = ParallelSort().run(ctx, keys, descending=True)
+        assert np.array_equal(result.sorted_keys, np.sort(keys)[::-1])
+
+    def test_stable(self, machine):
+        keys = np.array([3, 1, 3, 1])
+        with machine.context(PLAIN) as ctx:
+            result = ParallelSort().run(ctx, keys)
+        # Equal keys keep input order.
+        assert list(result.order) == [1, 3, 0, 2]
+
+    def test_enclave_overhead_small(self, rng):
+        keys = rng.integers(0, 1 << 20, 50_000)
+
+        def cycles(setting):
+            machine = SimMachine()
+            with machine.context(setting, threads=16) as ctx:
+                return ParallelSort().run(ctx, keys, sim_scale=1000.0).cycles
+
+        ratio = cycles(SGX) / cycles(PLAIN)
+        assert ratio < 1.1  # sorting is MWAY-like: nearly unaffected
+
+    def test_validation(self, machine):
+        with pytest.raises(ConfigurationError):
+            ParallelSort(row_bytes=0)
+        with machine.context(PLAIN) as ctx:
+            with pytest.raises(ConfigurationError):
+                ParallelSort().run(ctx, np.zeros((2, 2)))
+
+    def test_throughput_metric(self, machine, rng):
+        keys = rng.integers(0, 100, 1000)
+        with machine.context(PLAIN) as ctx:
+            result = ParallelSort().run(ctx, keys)
+        assert result.throughput_rows_per_s(2.9e9) > 0
+
+
+class TestTopK:
+    def test_matches_numpy(self, machine, rng):
+        keys = rng.integers(0, 1 << 30, 20_000)
+        with machine.context(PLAIN, threads=4) as ctx:
+            top, _cycles = TopK(10).run(ctx, keys)
+        expected = np.sort(keys)[-10:][::-1]
+        assert np.array_equal(keys[top], expected)
+
+    def test_smallest(self, machine, rng):
+        keys = rng.integers(0, 1 << 30, 5_000)
+        with machine.context(PLAIN) as ctx:
+            top, _ = TopK(5).run(ctx, keys, largest=False)
+        assert np.array_equal(keys[top], np.sort(keys)[:5])
+
+    def test_k_larger_than_input(self, machine):
+        keys = np.array([3, 1, 2])
+        with machine.context(PLAIN) as ctx:
+            top, _ = TopK(10).run(ctx, keys)
+        assert np.array_equal(keys[top], np.array([3, 2, 1]))
+
+    def test_cheaper_than_full_sort(self, rng):
+        keys = rng.integers(0, 1 << 30, 50_000)
+        machine = SimMachine()
+        with machine.context(PLAIN, threads=16) as ctx:
+            _, topk_cycles = TopK(100).run(ctx, keys, sim_scale=1000.0)
+        machine = SimMachine()
+        with machine.context(PLAIN, threads=16) as ctx:
+            sort_cycles = ParallelSort().run(
+                ctx, keys, sim_scale=1000.0
+            ).cycles
+        assert topk_cycles < sort_cycles / 5
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopK(0)

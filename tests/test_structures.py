@@ -1,0 +1,144 @@
+"""Hash table and B+-tree: correctness against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core.structures.btree import BPlusTree
+from repro.core.structures.hashtable import (
+    ChainedHashTable,
+    next_power_of_two,
+    table_bytes_for,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (1023, 1024), (1024, 1024)],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestTableBytes:
+    def test_paper_hash_table_size(self):
+        # Sec. 4.1: the 100 MB build side (12.5 M tuples) produces a hash
+        # table of roughly 256 MB; our layout model lands in that band.
+        size = table_bytes_for(12_500_000)
+        assert 250e6 < size < 350e6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_bytes_for(-1)
+
+
+class TestChainedHashTable:
+    def test_probe_first_unique_keys(self, rng):
+        keys = rng.permutation(5000).astype(np.int64)
+        payloads = rng.integers(0, 1 << 30, 5000)
+        table = ChainedHashTable(keys, payloads)
+        probe = rng.integers(-1000, 6000, 2000)
+        index, hits = table.probe_first(probe)
+        expected_hits = np.isin(probe, keys)
+        assert np.array_equal(hits, expected_hits)
+        assert (keys[index[hits]] == probe[hits]).all()
+        assert (index[~hits] == -1).all()
+
+    def test_probe_count_with_duplicates(self, rng):
+        keys = np.array([1, 1, 1, 2, 2, 3])
+        table = ChainedHashTable(keys, np.arange(6))
+        counts = table.probe_count(np.array([1, 2, 3, 4]))
+        assert list(counts) == [3, 2, 1, 0]
+
+    def test_empty_table(self):
+        table = ChainedHashTable(np.array([], dtype=np.int64), np.array([]))
+        index, hits = table.probe_first(np.array([1, 2, 3]))
+        assert not hits.any()
+        assert table.max_chain_length == 0
+
+    def test_chain_order_matches_sequential_insertion(self):
+        # Sequential insertion prepends, so the head of a bucket must be
+        # the *last* inserted (highest index) element.
+        keys = np.zeros(4, dtype=np.int64)  # all collide in one bucket
+        table = ChainedHashTable(keys, np.arange(4), load_factor=1.0)
+        heads = table.heads[table.heads >= 0]
+        assert len(heads) == 1
+        assert heads[0] == 3  # last insert is the head
+        # And the chain walks 3 -> 2 -> 1 -> 0.
+        chain = [int(heads[0])]
+        while table.links[chain[-1]] >= 0:
+            chain.append(int(table.links[chain[-1]]))
+        assert chain == [3, 2, 1, 0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChainedHashTable(np.arange(3), np.arange(4))
+
+    def test_load_factor_changes_buckets(self):
+        keys = np.arange(1000)
+        dense = ChainedHashTable(keys, keys, load_factor=4.0)
+        sparse = ChainedHashTable(keys, keys, load_factor=0.5)
+        assert dense.num_buckets < sparse.num_buckets
+
+    def test_footprint_grows_with_tuples(self):
+        small = ChainedHashTable(np.arange(100), np.arange(100))
+        large = ChainedHashTable(np.arange(10_000), np.arange(10_000))
+        assert large.footprint_bytes > small.footprint_bytes
+
+
+class TestBPlusTree:
+    def test_lookup_hits_and_misses(self, rng):
+        keys = rng.permutation(10_000)[:4000].astype(np.int64)
+        payloads = keys * 7
+        tree = BPlusTree(keys, payloads)
+        probe = rng.integers(0, 10_000, 3000)
+        positions, hits = tree.lookup(probe)
+        assert np.array_equal(hits, np.isin(probe, keys))
+        found = tree.leaf_keys[positions[hits]]
+        assert (found == probe[hits]).all()
+
+    def test_payloads_follow_keys(self, rng):
+        keys = rng.permutation(1000).astype(np.int64)
+        tree = BPlusTree(keys, keys * 3)
+        positions, hits = tree.lookup(keys)
+        assert hits.all()
+        assert (tree.payloads_for(positions) == keys * 3).all()
+
+    def test_payloads_for_missed_rejected(self):
+        tree = BPlusTree(np.array([1, 2]), np.array([10, 20]))
+        with pytest.raises(ConfigurationError):
+            tree.payloads_for(np.array([-1]))
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(np.array([1, 1, 2]), np.arange(3))
+
+    def test_height_logarithmic(self):
+        # 16^3 keys with fanout 16: leaf + two inner levels (the root node
+        # holds exactly 16 separators).
+        tree = BPlusTree(np.arange(16**3), np.arange(16**3), fanout=16)
+        assert tree.height == 3
+        bigger = BPlusTree(np.arange(16**3 + 1), np.arange(16**3 + 1), fanout=16)
+        assert bigger.height == 4
+
+    def test_empty_tree(self):
+        tree = BPlusTree(np.array([], dtype=np.int64), np.array([]))
+        positions, hits = tree.lookup(np.array([1, 2]))
+        assert not hits.any()
+
+    def test_cache_resident_levels(self):
+        tree = BPlusTree(np.arange(100_000), np.arange(100_000), fanout=16)
+        assert tree.cache_resident_levels(1 << 30) == tree.height
+        assert tree.cache_resident_levels(0) == 0
+        partial = tree.cache_resident_levels(64 * 1024)
+        assert 0 < partial < tree.height
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(np.arange(4), np.arange(4), fanout=1)
+
+    def test_footprint_includes_inner_levels(self):
+        flat = BPlusTree(np.arange(10), np.arange(10))
+        deep = BPlusTree(np.arange(10_000), np.arange(10_000))
+        assert deep.footprint_bytes > 10_000 * 12 > flat.footprint_bytes

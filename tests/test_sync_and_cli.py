@@ -1,0 +1,67 @@
+"""Lock recording helpers and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.enclave.sync import LockKind, record_lock_ops
+from repro.errors import ConfigurationError
+from repro.memory.access import AccessProfile
+
+
+class TestRecordLockOps:
+    def test_mutex_sets_counts_and_ratio(self):
+        profile = AccessProfile()
+        record_lock_ops(profile, LockKind.SDK_MUTEX, 100, 0.5)
+        assert profile.sync.mutex_acquisitions == 100
+        assert profile.sync.mutex_contention_ratio == 0.5
+
+    def test_mutex_ratio_weighted_across_calls(self):
+        profile = AccessProfile()
+        record_lock_ops(profile, LockKind.SDK_MUTEX, 100, 0.0)
+        record_lock_ops(profile, LockKind.SDK_MUTEX, 300, 1.0)
+        assert profile.sync.mutex_acquisitions == 400
+        assert profile.sync.mutex_contention_ratio == pytest.approx(0.75)
+
+    def test_spinlock_adds_spin_traffic(self):
+        profile = AccessProfile()
+        record_lock_ops(profile, LockKind.SPIN_LOCK, 100, 0.5)
+        assert profile.sync.spinlock_acquisitions == 100
+        assert profile.sync.atomic_ops == 200  # contention-driven retries
+
+    def test_lock_free_adds_cas_retries(self):
+        profile = AccessProfile()
+        record_lock_ops(profile, LockKind.LOCK_FREE, 100, 0.0)
+        assert profile.sync.atomic_ops == 100
+        record_lock_ops(profile, LockKind.LOCK_FREE, 100, 1.0)
+        assert profile.sync.atomic_ops == 100 + 300
+
+    def test_validation(self):
+        profile = AccessProfile()
+        with pytest.raises(ConfigurationError):
+            record_lock_ops(profile, LockKind.SDK_MUTEX, -1, 0.0)
+        with pytest.raises(ConfigurationError):
+            record_lock_ops(profile, LockKind.SDK_MUTEX, 1, 1.5)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "tab01" in out
+
+    def test_run_static_experiment(self, capsys):
+        assert main(["tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "EPC per socket" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["tab01", "--csv", str(tmp_path)]) == 0
+        csv = (tmp_path / "tab01.csv").read_text()
+        assert csv.startswith("series,x,value,std,unit")
+
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig08", "--full"])
+        assert args.experiments == ["fig08"]
+        assert args.full

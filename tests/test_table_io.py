@@ -1,0 +1,79 @@
+"""Table persistence: CSV and binary round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tables.io import load_table, save_table, table_from_csv, table_to_csv
+from repro.tables.table import Table
+
+
+@pytest.fixture
+def table(rng):
+    return Table.from_arrays(
+        "sample",
+        sim_scale=12.5,
+        key=rng.integers(0, 1000, 50).astype(np.int32),
+        payload=rng.integers(0, 1 << 20, 50).astype(np.int64),
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, table):
+        restored = table_from_csv(table_to_csv(table), "sample")
+        assert restored.column_names == table.column_names
+        assert restored.sim_scale == table.sim_scale
+        assert np.array_equal(restored["key"], table["key"])
+        assert np.array_equal(restored["payload"], table["payload"])
+
+    def test_scale_comment_only_when_scaled(self):
+        unscaled = Table.from_arrays("t", a=np.arange(3))
+        assert not table_to_csv(unscaled).startswith("#")
+
+    def test_float_columns(self):
+        csv = "x,y\n1,0.5\n2,1.5\n"
+        restored = table_from_csv(csv)
+        assert restored["x"].dtype == np.int64
+        assert restored["y"].dtype == np.float64
+
+    def test_empty_table(self):
+        restored = table_from_csv("a,b\n")
+        assert restored.num_rows == 0
+        assert restored.column_names == ["a", "b"]
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_from_csv("a,b\n1\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_from_csv("a\nhello\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_from_csv("")
+
+    def test_blank_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table_from_csv("a,,c\n1,2,3\n")
+
+
+class TestBinary:
+    def test_roundtrip_exact(self, table, tmp_path):
+        path = tmp_path / "t.npz"
+        save_table(table, path)
+        restored = load_table(path)
+        assert restored.name == "sample"
+        assert restored.sim_scale == 12.5
+        assert restored["key"].dtype == np.int32  # dtype preserved
+        assert np.array_equal(restored["payload"], table["payload"])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_table(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_table(path)

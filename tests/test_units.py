@@ -1,0 +1,88 @@
+"""Unit helpers: conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_cycles_to_seconds_roundtrip(self):
+        cycles = 2.9e9
+        seconds = units.cycles_to_seconds(cycles, 2.9e9)
+        assert seconds == pytest.approx(1.0)
+        assert units.seconds_to_cycles(seconds, 2.9e9) == pytest.approx(cycles)
+
+    def test_nanoseconds_to_cycles(self):
+        # 89 ns at 2.9 GHz is ~258 cycles (the testbed's DRAM latency).
+        assert units.nanoseconds_to_cycles(89, 2.9e9) == pytest.approx(258.1)
+
+    def test_bandwidth_cycles_per_byte(self):
+        # 29 GB/s at 2.9 GHz -> 0.1 cycles per byte.
+        assert units.bandwidth_cycles_per_byte(29e9, 2.9e9) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_zero_or_negative_frequency_rejected(self, bad):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1.0, bad)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, bad)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_cycles_per_byte(0, 2.9e9)
+
+
+class TestPrefixes:
+    def test_decimal_and_binary_differ(self):
+        assert units.MB == 1_000_000
+        assert units.MiB == 1_048_576
+        assert units.GiB > units.GB
+
+    def test_cache_line_and_page(self):
+        assert units.CACHE_LINE_BYTES == 64
+        assert units.PAGE_BYTES == 4096
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (400e6, "400 MB"),
+            (1e9, "1 GB"),
+            (512, "512 B"),
+            (1500, "1.5 KB"),
+        ],
+    )
+    def test_format_bytes(self, value, expected):
+        assert units.format_bytes(value) == expected
+
+    def test_format_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (60e6, "60 M rows/s"),
+            (1.2e9, "1.20 B rows/s"),
+            (5e3, "5 K rows/s"),
+            (12, "12 rows/s"),
+        ],
+    )
+    def test_format_throughput(self, value, expected):
+        assert units.format_throughput_rows(value) == expected
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(67.2e9) == "67.2 GB/s"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (2.0, "2 s"),
+            (0.005, "5 ms"),
+            (2e-6, "2 us"),
+            (3e-9, "3 ns"),
+        ],
+    )
+    def test_format_seconds(self, value, expected):
+        assert units.format_seconds(value) == expected

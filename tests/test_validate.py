@@ -1,0 +1,65 @@
+"""The calibration validator: all anchors hold; failures are detected."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.validate import (
+    AnchorCheck,
+    CalibrationValidator,
+    validate_calibration,
+)
+from repro.hardware import paper_calibration, paper_testbed
+from repro.machine import SimMachine
+
+
+class TestAnchorCheck:
+    def test_pass_within_tolerance(self):
+        check = AnchorCheck("x", "src", 2.0, 2.1, 0.08)
+        assert check.passed
+
+    def test_fail_outside_tolerance(self):
+        check = AnchorCheck("x", "src", 2.0, 2.5, 0.08)
+        assert not check.passed
+
+    def test_zero_expected_uses_absolute(self):
+        assert AnchorCheck("x", "src", 0.0, 0.05, 0.08).passed
+        assert not AnchorCheck("x", "src", 0.0, 0.2, 0.08).passed
+
+    def test_describe_contains_status(self):
+        assert "[ok ]" in AnchorCheck("x", "src", 1.0, 1.0, 0.1).describe()
+        assert "[FAIL]" in AnchorCheck("x", "src", 1.0, 9.0, 0.1).describe()
+
+
+class TestValidator:
+    def test_default_calibration_passes_every_anchor(self):
+        checks = validate_calibration()
+        failures = [check for check in checks if not check.passed]
+        assert not failures, "\n".join(c.describe() for c in failures)
+
+    def test_anchor_count(self):
+        assert len(validate_calibration()) == 13
+
+    def test_detects_broken_calibration(self):
+        broken = dataclasses.replace(
+            paper_calibration(), rmw_loop_penalty_naive=2.0
+        )
+        machine = SimMachine(paper_testbed(), broken)
+        checks = CalibrationValidator(machine).run()
+        by_name = {check.name: check for check in checks}
+        assert not by_name["naive RMW loop"].passed
+        # The rest of the anchors are unaffected.
+        assert by_name["dependent reads at 16 GB"].passed
+
+    def test_report_summarizes(self):
+        report = CalibrationValidator().report()
+        assert report.startswith("calibration validation: 13/13")
+        assert report.count("[ok ]") == 13
+
+    def test_tolerance_parameter(self):
+        # With a near-zero tolerance some model/paper rounding must fail...
+        tight = CalibrationValidator().run(tolerance=1e-6)
+        assert any(not check.passed for check in tight)
+        # ...and a loose one passes everything.
+        loose = CalibrationValidator().run(tolerance=0.5)
+        assert all(check.passed for check in loose)
