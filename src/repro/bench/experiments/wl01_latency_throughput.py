@@ -1,0 +1,110 @@
+"""wl01: latency-throughput curves of a served query mix, native vs SGX.
+
+An open-loop (Poisson) tenant submits a mixed OLAP stream — interactive
+scans, ad-hoc joins, a TPC-H plan — at increasing offered load against one
+socket.  The serving engine runs the *naive* kernels (a lift-and-shift port
+into the enclave; Fig. 17 measures +42 % average overhead for exactly that
+code), so the enclave's per-query service times are substantially longer
+and the serving capacity is correspondingly lower.
+
+Expected shape: at low load both settings serve near the offered rate with
+flat percentiles; as offered load approaches the native capacity, the
+SGX-in configuration — whose capacity is lower — saturates first: its
+achieved QPS plateaus below native and its tail latencies blow up while
+native tails are still bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common, workload_common
+from repro.bench.report import ExperimentReport
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.workload import (
+    JobCatalog,
+    OpenLoopStream,
+    QueryMix,
+    ServingEngine,
+    WorkloadConfig,
+)
+
+EXPERIMENT_ID = "wl01"
+TITLE = "Serving a mixed OLAP stream: latency vs offered load, native vs SGX"
+PAPER_REFERENCE = "serving extension of Fig. 17 / Sec. 6"
+
+#: The tenant's query mix: mostly interactive scans, some heavy analytics.
+MIX_WEIGHTS = {"scan-small": 0.5, "join-medium": 0.3, "q12": 0.2}
+
+#: Offered load as fractions of the *native* serving capacity.
+LOAD_FRACTIONS = (0.4, 0.7, 0.9, 1.1, 1.3)
+
+_SERIES = {"Plain CPU": "native", "SGX (Data in Enclave)": "SGX"}
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """p50/p95/p99 latency and achieved QPS per offered-load fraction."""
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    catalog = JobCatalog(machine, quick=quick, variant=CodeVariant.NAIVE)
+    engine = ServingEngine(catalog)
+    mix = QueryMix.of(MIX_WEIGHTS)
+    queries = workload_common.target_queries(quick)
+
+    # Capacity of the native configuration anchors the x axis for both
+    # settings, so equal x means equal offered QPS.
+    native_costs = {
+        name: catalog.cost(engine.templates[name], common.SETTING_PLAIN)
+        for name in MIX_WEIGHTS
+    }
+    native_capacity = workload_common.capacity_qps(
+        native_costs, MIX_WEIGHTS, cores=16
+    )
+    sgx_costs = {
+        name: catalog.cost(engine.templates[name], common.SETTING_SGX_IN)
+        for name in MIX_WEIGHTS
+    }
+    sgx_capacity = workload_common.capacity_qps(sgx_costs, MIX_WEIGHTS, cores=16)
+
+    for setting, short in (
+        (common.SETTING_PLAIN, "native"),
+        (common.SETTING_SGX_IN, "SGX"),
+    ):
+        for fraction in LOAD_FRACTIONS:
+            qps = fraction * native_capacity
+            config = WorkloadConfig(
+                setting=setting,
+                open_streams=(
+                    OpenLoopStream(
+                        "tenant",
+                        qps=qps,
+                        mix=mix,
+                        seed=workload_common.stream_seed(0),
+                    ),
+                ),
+                duration_s=queries / qps,
+                cores=16,
+                policy="fifo",
+            )
+            metrics = engine.run(config)
+            workload_common.add_latency_rows(
+                report, metrics, short, fraction
+            )
+            report.add(f"{short} achieved QPS", fraction,
+                       metrics.achieved_qps(), "QPS")
+    report.notes.append(
+        f"mix capacity: native {native_capacity:.1f} QPS, SGX "
+        f"{sgx_capacity:.1f} QPS ({sgx_capacity / native_capacity:.0%}); "
+        "x is offered load as a fraction of the native capacity"
+    )
+    top = LOAD_FRACTIONS[-1]
+    report.notes.append(
+        f"at {top:.1f}x native capacity: achieved native "
+        f"{report.value('native achieved QPS', top):.1f} vs SGX "
+        f"{report.value('SGX achieved QPS', top):.1f} QPS; p99 native "
+        f"{report.value('native p99', top):.0f} vs SGX "
+        f"{report.value('SGX p99', top):.0f} ms"
+    )
+    return report

@@ -1,0 +1,107 @@
+"""wl02: admission-policy ablation under a constrained EPC budget.
+
+An SGX-in serving run where bulk joins (2 GB EPC working set each) share
+the machine with interactive scans, and the EPC budget only fits two bulk
+joins at once.  Three admission policies serve the identical arrival
+sequence:
+
+* **fifo** — admits by arrival order whenever cores are free; bulk joins
+  beyond the EPC budget are admitted anyway and their overflowing working
+  set is served at the EDMM/paging penalty (the Fig. 11 failure mode) —
+  each such admission occupies cores for several times longer, snowballing
+  the queue;
+* **epc-aware** — holds a join back until its whole working set fits the
+  remaining budget, so every admitted query runs at full speed;
+* **epc-aware+bypass** — same, plus a small-query lane: scans are never
+  stuck behind a blocked bulk join.
+
+Expected shape: EPC-aware admission beats FIFO on p99 at high load, and
+the bypass lane cuts the interactive tenant's p99 further.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common, workload_common
+from repro.bench.report import ExperimentReport
+from repro.machine import SimMachine
+from repro.workload import (
+    JobCatalog,
+    OpenLoopStream,
+    QueryMix,
+    ServingEngine,
+    WorkloadConfig,
+)
+
+EXPERIMENT_ID = "wl02"
+TITLE = "EPC-aware admission control vs FIFO under memory pressure"
+PAPER_REFERENCE = "serving extension of Fig. 11 / Sec. 4.4"
+
+MIX_WEIGHTS = {"scan-small": 0.6, "join-big": 0.4}
+
+#: Offered load relative to the SGX serving capacity of the mix.
+LOAD_FRACTION = 0.9
+
+#: EPC budget as a multiple of one bulk join's working set: two fit, the
+#: third would force EDMM growth.
+BUDGET_WORKING_SETS = 2.2
+
+POLICIES = ("fifo", "epc-aware", "epc-aware+bypass")
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """p50/p95/p99, achieved QPS, and decision counters per policy."""
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    catalog = JobCatalog(machine, quick=quick)
+    engine = ServingEngine(catalog)
+    mix = QueryMix.of(MIX_WEIGHTS)
+    queries = workload_common.target_queries(quick)
+
+    costs = {
+        name: catalog.cost(engine.templates[name], common.SETTING_SGX_IN)
+        for name in MIX_WEIGHTS
+    }
+    capacity = workload_common.capacity_qps(costs, MIX_WEIGHTS, cores=16)
+    qps = LOAD_FRACTION * capacity
+    budget = BUDGET_WORKING_SETS * costs["join-big"].working_set_bytes
+    bypass = 2 * costs["scan-small"].working_set_bytes
+
+    for policy in POLICIES:
+        config = WorkloadConfig(
+            setting=common.SETTING_SGX_IN,
+            open_streams=(
+                OpenLoopStream(
+                    "tenants",
+                    qps=qps,
+                    mix=mix,
+                    seed=workload_common.stream_seed(0),
+                ),
+            ),
+            duration_s=queries / qps,
+            cores=16,
+            policy=policy,
+            bypass_bytes=bypass if policy.endswith("+bypass") else None,
+            epc_budget_bytes=budget,
+        )
+        metrics = engine.run(config)
+        workload_common.add_latency_rows(report, metrics, policy, "latency")
+        report.add(f"{policy} achieved QPS", "latency",
+                   metrics.achieved_qps(), "QPS")
+        report.add(
+            f"{policy} scan p99",
+            "latency",
+            metrics.latency_percentile_s(99, template="scan-small") * 1e3,
+            "ms",
+        )
+        report.add(f"{policy} EDMM admissions", "latency",
+                   metrics.counters.edmm_admissions, "queries")
+        report.notes.append(workload_common.counters_note(policy, metrics))
+    report.notes.append(
+        f"offered {qps:.1f} QPS ({LOAD_FRACTION:.0%} of the mix capacity "
+        f"{capacity:.1f}); EPC budget {budget / 1e9:.1f} GB = "
+        f"{BUDGET_WORKING_SETS} bulk-join working sets"
+    )
+    return report

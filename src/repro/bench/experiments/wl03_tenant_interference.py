@@ -1,0 +1,130 @@
+"""wl03: tenant interference — an analytics tenant vs an interactive one.
+
+Tenant A is a closed-loop interactive workload: a handful of clients each
+submit a single-threaded scan, wait for the result, think briefly, and
+submit again.  Tenant B is an open-loop analytics stream of parallel joins
+and a TPC-H plan at a fixed absolute rate.  Each setting (native and
+SGX-in, naive kernels) is simulated twice: tenant A alone, then both
+tenants sharing the core pool under FIFO.
+
+Expected shape: sharing inflates tenant A's tail latency in both settings
+— a burst of 4-thread joins can occupy the whole pool — but the inflation
+is worse inside the enclave, where every join holds its cores longer, so
+the same burst blocks the interactive tenant for more wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common, workload_common
+from repro.bench.report import ExperimentReport
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.workload import (
+    ClosedLoopStream,
+    JobCatalog,
+    OpenLoopStream,
+    QueryMix,
+    ServingEngine,
+    WorkloadConfig,
+)
+
+EXPERIMENT_ID = "wl03"
+TITLE = "Mixed-tenant interference on shared cores, native vs SGX"
+PAPER_REFERENCE = "serving extension of Fig. 17 / Sec. 6"
+
+#: Tenant A: interactive clients in a submit-wait-think loop.
+CLIENTS = 4
+THINK_S = 0.05
+
+#: Tenant B: analytics stream at a fixed absolute rate.
+ANALYTICS_MIX = {"join-medium": 0.7, "q3": 0.3}
+ANALYTICS_QPS = 10.0
+
+_SETTINGS = (
+    (common.SETTING_PLAIN, "native"),
+    (common.SETTING_SGX_IN, "SGX"),
+)
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """Tenant A's latency percentiles, alone vs sharing with tenant B."""
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    catalog = JobCatalog(machine, quick=quick, variant=CodeVariant.NAIVE)
+    engine = ServingEngine(catalog)
+    interactive = QueryMix.of({"scan-small": 1.0})
+    analytics = QueryMix.of(ANALYTICS_MIX)
+    queries = workload_common.target_queries(quick)
+    # Duration sized so tenant B contributes ~`queries` jobs; tenant A's
+    # closed loop produces roughly clients/think more on top.
+    duration = queries / ANALYTICS_QPS
+
+    for setting, short in _SETTINGS:
+        for mode in ("alone", "shared"):
+            tenant_a = ClosedLoopStream(
+                "tenant-A",
+                clients=CLIENTS,
+                think_s=THINK_S,
+                mix=interactive,
+                seed=workload_common.stream_seed(0),
+            )
+            open_streams = ()
+            if mode == "shared":
+                open_streams = (
+                    OpenLoopStream(
+                        "tenant-B",
+                        qps=ANALYTICS_QPS,
+                        mix=analytics,
+                        seed=workload_common.stream_seed(1),
+                    ),
+                )
+            config = WorkloadConfig(
+                setting=setting,
+                open_streams=open_streams,
+                closed_streams=(tenant_a,),
+                duration_s=duration,
+                cores=16,
+                policy="fifo",
+            )
+            metrics = engine.run(config)
+            for p in workload_common.PERCENTILES:
+                report.add(
+                    f"{short} tenant-A p{p}",
+                    mode,
+                    metrics.latency_percentile_s(p, stream="tenant-A") * 1e3,
+                    "ms",
+                )
+            report.add(
+                f"{short} tenant-A throughput",
+                mode,
+                len(metrics.latencies_s(stream="tenant-A"))
+                / metrics.makespan_s,
+                "QPS",
+            )
+            if mode == "shared":
+                report.add(
+                    f"{short} tenant-B p99",
+                    mode,
+                    metrics.latency_percentile_s(99, stream="tenant-B") * 1e3,
+                    "ms",
+                )
+            report.notes.append(
+                workload_common.counters_note(f"{short}/{mode}", metrics)
+            )
+
+    for _, short in _SETTINGS:
+        alone = report.value(f"{short} tenant-A p99", "alone")
+        shared = report.value(f"{short} tenant-A p99", "shared")
+        report.add(f"{short} tenant-A p99 inflation", "shared",
+                   shared / alone, "x")
+    report.notes.append(
+        f"tenant-A: {CLIENTS} closed-loop clients, think {THINK_S * 1e3:.0f} "
+        f"ms; tenant-B: {ANALYTICS_QPS:.0f} QPS open-loop analytics; p99 "
+        f"inflation native "
+        f"{report.value('native tenant-A p99 inflation', 'shared'):.2f}x vs "
+        f"SGX {report.value('SGX tenant-A p99 inflation', 'shared'):.2f}x"
+    )
+    return report

@@ -32,6 +32,9 @@ from repro.bench.experiments import (
     ext04_skew,
     ext05_pipelining,
     ext06_epc_crossover,
+    wl01_latency_throughput,
+    wl02_admission_policies,
+    wl03_tenant_interference,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -63,6 +66,9 @@ EXPERIMENTS: Dict[str, object] = {
         ext04_skew,
         ext05_pipelining,
         ext06_epc_crossover,
+        wl01_latency_throughput,
+        wl02_admission_policies,
+        wl03_tenant_interference,
     )
 }
 

@@ -11,12 +11,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import BenchmarkError
 
 #: The paper's repetition count (Sec. 3).
 PAPER_REPETITIONS = 10
+
+#: Seed of the first repetition (repetition i uses base + i).  The CLI's
+#: ``--seed`` flag overrides it process-wide via :func:`set_default_base_seed`
+#: so runs are reproducible-but-variable.
+DEFAULT_BASE_SEED = 42
+
+
+def set_default_base_seed(seed: int) -> None:
+    """Set the process-wide base seed used when callers pass none."""
+    global DEFAULT_BASE_SEED
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise BenchmarkError(f"base seed must be an integer, got {seed!r}")
+    DEFAULT_BASE_SEED = seed
 
 
 @dataclass(frozen=True)
@@ -56,11 +69,17 @@ def repeat_runs(
     measure: Callable[[int], float],
     *,
     runs: int = PAPER_REPETITIONS,
-    base_seed: int = 42,
+    base_seed: Optional[int] = None,
 ) -> RunStats:
-    """Call ``measure(seed)`` ``runs`` times and summarize the results."""
+    """Call ``measure(seed)`` ``runs`` times and summarize the results.
+
+    ``base_seed`` defaults to the process-wide :data:`DEFAULT_BASE_SEED`
+    (42, unless the CLI's ``--seed`` changed it).
+    """
     if runs < 1:
         raise BenchmarkError("need at least one run")
+    if base_seed is None:
+        base_seed = DEFAULT_BASE_SEED
     samples: List[float] = []
     for i in range(runs):
         samples.append(float(measure(base_seed + i)))

@@ -58,12 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every calibration anchor against the cost model and exit",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="base seed for repetition and workload streams (default 42)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.seed is not None:
+        from repro.bench import runner
+
+        runner.set_default_base_seed(args.seed)
     if args.validate:
         from repro.bench.validate import CalibrationValidator
 
@@ -79,6 +89,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     requested = args.experiments or ["all"]
     if "all" in requested:
         requested = sorted(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        # Reject before creating any output dirs/files so a typo leaves
+        # the filesystem untouched.
+        print(
+            f"unknown experiment ids: {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        print(
+            f"known experiments: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
     if args.report:
         from repro.bench.session import write_report
 

@@ -1,0 +1,121 @@
+"""The serving engine: workload config in, serving metrics out.
+
+:class:`ServingEngine` is the layer the wl experiments (and every future
+scaling PR) drive: it resolves each stream's templates through the catalog
+into priced :class:`~repro.workload.jobs.JobCost` entries for the chosen
+execution setting, constructs the admission policy, and hands everything to
+the event-loop scheduler.  The EPC budget defaults to the machine's
+per-socket EPC (Table 1: 64 GB) for enclave settings and is unlimited for
+plain-CPU serving — native execution has no EPC to exhaust.
+
+Typical use::
+
+    catalog = JobCatalog(quick=True)
+    engine = ServingEngine(catalog)
+    metrics = engine.run(WorkloadConfig(
+        setting=ExecutionSetting.sgx_data_in_enclave(),
+        open_streams=(OpenLoopStream("tenant-a", qps=8.0, mix=mix, seed=3),),
+        duration_s=30.0,
+        policy="epc-aware",
+    ))
+    print(metrics.latency_percentile_s(99))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.workload.generators import ClosedLoopStream, OpenLoopStream
+from repro.workload.jobs import JobCatalog, JobCost, JobTemplate
+from repro.workload.metrics import WorkloadMetrics
+from repro.workload.policies import make_policy
+from repro.workload.scheduler import WorkloadScheduler
+
+#: Default core pool: one socket of the paper's testbed.
+DEFAULT_CORES = 16
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One serving scenario: streams, setting, resources, policy."""
+
+    setting: ExecutionSetting
+    open_streams: Tuple[OpenLoopStream, ...] = ()
+    closed_streams: Tuple[ClosedLoopStream, ...] = ()
+    duration_s: float = 30.0
+    cores: int = DEFAULT_CORES
+    policy: str = "fifo"
+    bypass_bytes: Optional[int] = None  # small-query lane threshold
+    epc_budget_bytes: Optional[float] = None  # None: socket EPC (or inf, plain)
+
+    def __post_init__(self) -> None:
+        if not self.open_streams and not self.closed_streams:
+            raise ConfigurationError("a workload needs at least one stream")
+        names = [s.name for s in self.open_streams + self.closed_streams]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("stream names must be unique")
+
+    def template_names(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for stream in self.open_streams + self.closed_streams:
+            for name in stream.mix.template_names:
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+
+class ServingEngine:
+    """Prices a workload's templates and serves it over simulated time."""
+
+    def __init__(
+        self,
+        catalog: JobCatalog,
+        templates: Optional[Mapping[str, JobTemplate]] = None,
+    ) -> None:
+        from repro.workload.jobs import serving_templates
+
+        self.catalog = catalog
+        self.templates = dict(templates) if templates is not None else serving_templates()
+
+    def costs_for(self, config: WorkloadConfig) -> Dict[str, JobCost]:
+        """Priced costs of every template the config's streams reference."""
+        costs: Dict[str, JobCost] = {}
+        for name in config.template_names():
+            try:
+                template = self.templates[name]
+            except KeyError:
+                known = ", ".join(sorted(self.templates))
+                raise ConfigurationError(
+                    f"workload references unknown template {name!r}; "
+                    f"known: {known}"
+                ) from None
+            costs[name] = self.catalog.cost(template, config.setting)
+        return costs
+
+    def epc_budget(self, config: WorkloadConfig) -> float:
+        """The effective EPC budget for this config."""
+        if config.epc_budget_bytes is not None:
+            return float(config.epc_budget_bytes)
+        if not config.setting.data_in_enclave:
+            return math.inf
+        machine = self.catalog.machine_prototype()
+        return float(machine.topology.node(0).epc_bytes)
+
+    def run(self, config: WorkloadConfig) -> WorkloadMetrics:
+        """Serve ``config`` to completion and return its metrics."""
+        policy = make_policy(config.policy, bypass_bytes=config.bypass_bytes)
+        scheduler = WorkloadScheduler(
+            self.costs_for(config),
+            policy,
+            cores=config.cores,
+            epc_budget_bytes=self.epc_budget(config),
+            setting_label=config.setting.label,
+        )
+        return scheduler.run(
+            open_streams=config.open_streams,
+            closed_streams=config.closed_streams,
+            duration_s=config.duration_s,
+        )

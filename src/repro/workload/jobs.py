@@ -1,0 +1,290 @@
+"""Job templates: the unit of work a serving engine admits and schedules.
+
+A :class:`JobTemplate` names one query shape a tenant submits — a TPC-H
+plan, an ad-hoc foreign-key join, or a column scan — at a fixed thread
+count.  The :class:`JobCatalog` prices each template **once** per execution
+setting by running it for real through the existing operators (the same
+machinery the figure experiments use) and caches the result as a
+:class:`JobProfile`: service seconds per setting plus the EPC working set
+one execution occupies.  The serving simulation then replays thousands of
+queries against those priced profiles without re-running the operators.
+
+The EPC working set is measured, not estimated: one pricing run under
+``SGX (Data in Enclave)`` records how much of the statically committed
+enclave heap the query's base tables, scratch structures, and intermediates
+consumed — exactly the quantity an EPC-aware admission controller must
+budget for (Sec. 2: working sets beyond the EPC force paging; Fig. 11:
+growing the enclave mid-query collapses throughput).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.joins.radix import RadixJoin
+from repro.core.queries.executor import QueryExecutor
+from repro.core.queries.tpch_queries import TPCH_QUERIES
+from repro.core.scans.predicate import RangePredicate
+from repro.core.scans.simd_scan import BitvectorScan
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError
+from repro.machine import SimMachine
+from repro.memory.access import CodeVariant
+from repro.tables import generate_join_relation_pair, generate_tpch
+from repro.tables.table import Column
+
+#: Physical data caps for pricing runs (smaller than the figure experiments'
+#: caps: a serving catalog prices several templates per experiment).
+QUICK_ROW_CAP = 60_000
+FULL_ROW_CAP = 200_000
+QUICK_SF_CAP = 0.01
+FULL_SF_CAP = 0.02
+
+
+class JobKind(enum.Enum):
+    """What a job template executes."""
+
+    TPCH = "tpch"
+    JOIN = "join"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """One query shape at a fixed degree of parallelism.
+
+    ``threads`` is the core reservation the scheduler makes while the job
+    runs; service time is priced at exactly that thread count.
+    """
+
+    name: str
+    kind: JobKind
+    threads: int = 4
+    query: str = ""  # TPCH: plan name (Q3/Q10/Q12/Q19)
+    scale_factor: float = 1.0  # TPCH: logical scale factor
+    build_bytes: float = 0.0  # JOIN: logical input sizes
+    probe_bytes: float = 0.0
+    scan_bytes: float = 0.0  # SCAN: logical column size
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigurationError("a job template needs >= 1 thread")
+        if self.kind is JobKind.TPCH and self.query not in TPCH_QUERIES:
+            raise ConfigurationError(
+                f"job {self.name!r}: unknown TPC-H query {self.query!r}"
+            )
+        if self.kind is JobKind.JOIN and (
+            self.build_bytes <= 0 or self.probe_bytes <= 0
+        ):
+            raise ConfigurationError(
+                f"job {self.name!r}: join templates need positive input sizes"
+            )
+        if self.kind is JobKind.SCAN and self.scan_bytes <= 0:
+            raise ConfigurationError(
+                f"job {self.name!r}: scan templates need a positive column size"
+            )
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Priced costs of one template: per-setting service time + footprint."""
+
+    name: str
+    threads: int
+    working_set_bytes: int
+    service_seconds_by_setting: Mapping[str, float] = field(default_factory=dict)
+
+    def service_seconds(self, setting: ExecutionSetting) -> float:
+        try:
+            return self.service_seconds_by_setting[setting.label]
+        except KeyError:
+            raise ConfigurationError(
+                f"job {self.name!r} was not priced under {setting.label!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class JobCost:
+    """What the scheduler needs about one template under one setting."""
+
+    name: str
+    threads: int
+    service_s: float
+    working_set_bytes: int
+
+
+class JobCatalog:
+    """Prices job templates through the real operators, with caching.
+
+    One catalog serves one experiment: it holds the machine prototype (spec
+    and calibration; fresh state per pricing run), the fidelity mode, and
+    the pricing seed, so every profile is deterministic.
+    """
+
+    #: The settings every template is priced under.
+    SETTINGS = (
+        ExecutionSetting.plain_cpu(),
+        ExecutionSetting.sgx_data_in_enclave(),
+    )
+
+    def __init__(
+        self,
+        machine: Optional[SimMachine] = None,
+        *,
+        quick: bool = True,
+        pricing_seed: int = 13,
+        variant: CodeVariant = CodeVariant.UNROLLED,
+    ) -> None:
+        self._machine = machine
+        self.quick = quick
+        self.pricing_seed = pricing_seed
+        #: Code variant of the join/query kernels (scans are SIMD kernels
+        #: regardless).  UNROLLED is the paper's optimized engine; NAIVE
+        #: models a lift-and-shift port (Fig. 17: +42 % average overhead).
+        self.variant = variant
+        self._profiles: Dict[str, JobProfile] = {}
+
+    @property
+    def row_cap(self) -> int:
+        return QUICK_ROW_CAP if self.quick else FULL_ROW_CAP
+
+    @property
+    def sf_cap(self) -> float:
+        return QUICK_SF_CAP if self.quick else FULL_SF_CAP
+
+    def _fresh_machine(self) -> SimMachine:
+        if self._machine is None:
+            return SimMachine()
+        return SimMachine(self._machine.spec, self._machine.params)
+
+    def machine_prototype(self) -> SimMachine:
+        """A machine carrying the catalog's spec (for EPC capacities)."""
+        return self._fresh_machine()
+
+    # -- pricing ---------------------------------------------------------
+
+    def profile(self, template: JobTemplate) -> JobProfile:
+        """The (cached) priced profile of ``template``."""
+        cached = self._profiles.get(template.name)
+        if cached is not None:
+            return cached
+        service: Dict[str, float] = {}
+        working_set = 0
+        for setting in self.SETTINGS:
+            seconds, footprint = self._price(template, setting)
+            service[setting.label] = seconds
+            if footprint is not None:
+                working_set = footprint
+        profile = JobProfile(
+            name=template.name,
+            threads=template.threads,
+            working_set_bytes=working_set,
+            service_seconds_by_setting=service,
+        )
+        self._profiles[template.name] = profile
+        return profile
+
+    def cost(self, template: JobTemplate, setting: ExecutionSetting) -> JobCost:
+        """Scheduler-facing costs of ``template`` under ``setting``."""
+        profile = self.profile(template)
+        return JobCost(
+            name=profile.name,
+            threads=profile.threads,
+            service_s=profile.service_seconds(setting),
+            working_set_bytes=profile.working_set_bytes,
+        )
+
+    def _price(
+        self, template: JobTemplate, setting: ExecutionSetting
+    ) -> Tuple[float, Optional[int]]:
+        """Run ``template`` once under ``setting``; seconds + EPC footprint."""
+        sim = self._fresh_machine()
+        with sim.context(setting, threads=template.threads) as ctx:
+            if template.kind is JobKind.JOIN:
+                build, probe = generate_join_relation_pair(
+                    template.build_bytes,
+                    template.probe_bytes,
+                    seed=self.pricing_seed,
+                    physical_row_cap=self.row_cap,
+                )
+                result = RadixJoin(self.variant).run(ctx, build, probe)
+                seconds = result.seconds(sim.frequency_hz)
+            elif template.kind is JobKind.SCAN:
+                logical_rows = int(template.scan_bytes // 4)
+                physical = max(1, min(self.row_cap, logical_rows))
+                column = Column(
+                    "values", np.arange(physical, dtype=np.int32)
+                )
+                predicate = RangePredicate(0, physical // 10)
+                result = BitvectorScan(CodeVariant.SIMD).run(
+                    ctx,
+                    column,
+                    predicate,
+                    sim_scale=logical_rows / physical,
+                )
+                seconds = result.seconds(sim.frequency_hz)
+            elif template.kind is JobKind.TPCH:
+                data = generate_tpch(
+                    template.scale_factor,
+                    seed=self.pricing_seed,
+                    physical_sf_cap=self.sf_cap,
+                )
+                tables = {
+                    "customer": data.customer,
+                    "orders": data.orders,
+                    "lineitem": data.lineitem,
+                    "part": data.part,
+                }
+                plan = TPCH_QUERIES[template.query]()
+                result = QueryExecutor(self.variant).run(ctx, plan, tables)
+                seconds = result.seconds(sim.frequency_hz)
+            else:  # pragma: no cover - enum is exhaustive
+                raise ConfigurationError(f"unknown job kind {template.kind!r}")
+            footprint = None
+            if ctx.enclave is not None:
+                # Everything the query allocated came out of the statically
+                # committed heap; the consumed share is its EPC working set.
+                footprint = int(
+                    ctx.enclave.config.heap_bytes - ctx.enclave.heap_free_bytes
+                )
+        return seconds, footprint
+
+
+def serving_templates() -> Dict[str, JobTemplate]:
+    """The canonical multi-tenant template set the wl experiments draw from.
+
+    Sizes are chosen to span three regimes: a sub-100-ms single-threaded
+    scan (the interactive tenant), a mid-size parallel ad-hoc join, and two
+    full TPC-H plans whose working sets dominate an EPC budget.
+    """
+    return {
+        "scan-small": JobTemplate(
+            name="scan-small", kind=JobKind.SCAN, threads=1, scan_bytes=64e6
+        ),
+        "join-medium": JobTemplate(
+            name="join-medium",
+            kind=JobKind.JOIN,
+            threads=4,
+            build_bytes=50e6,
+            probe_bytes=200e6,
+        ),
+        "join-big": JobTemplate(
+            name="join-big",
+            kind=JobKind.JOIN,
+            threads=4,
+            build_bytes=200e6,
+            probe_bytes=800e6,
+        ),
+        "q12": JobTemplate(
+            name="q12", kind=JobKind.TPCH, threads=4, query="Q12",
+            scale_factor=1.0,
+        ),
+        "q3": JobTemplate(
+            name="q3", kind=JobKind.TPCH, threads=4, query="Q3",
+            scale_factor=1.0,
+        ),
+    }

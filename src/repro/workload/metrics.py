@@ -1,0 +1,156 @@
+"""Serving metrics: per-query latency records and their aggregations.
+
+Every completed query leaves one :class:`QueryRecord` carrying its arrival,
+dispatch, and completion times, so queueing delay and service time are
+separable — the distinction the admission-policy experiments turn on (an
+EPC-aware policy trades queueing for service speed).  Aggregations are
+deterministic: percentiles use the nearest-rank method, never
+interpolation, so golden-shape tests see bit-identical values across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BenchmarkError
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100])."""
+    if not samples:
+        raise BenchmarkError("cannot take a percentile of zero samples")
+    if not 0 <= p <= 100:
+        raise BenchmarkError(f"percentile {p} outside [0, 100]")
+    ordered = sorted(samples)
+    if p == 0:
+        return ordered[0]
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One served query, from arrival to completion."""
+
+    query_id: int
+    stream: str
+    template: str
+    client: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    working_set_bytes: int
+    overflow_bytes: int = 0  # EPC demand beyond the budget at admission
+    bypassed: bool = False  # dispatched through the small-query lane
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass
+class SchedulerCounters:
+    """Decision counts the scheduler accumulates while serving."""
+
+    arrivals: int = 0
+    completed: int = 0
+    dispatched_immediately: int = 0
+    queued: int = 0
+    bypass_dispatches: int = 0
+    edmm_admissions: int = 0  # admitted although the EPC budget was exceeded
+    blocked_on_cores: int = 0  # dispatch rounds ending with a core-bound head
+    blocked_on_epc: int = 0  # dispatch rounds ending with an EPC-bound head
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "dispatched_immediately": self.dispatched_immediately,
+            "queued": self.queued,
+            "bypass_dispatches": self.bypass_dispatches,
+            "edmm_admissions": self.edmm_admissions,
+            "blocked_on_cores": self.blocked_on_cores,
+            "blocked_on_epc": self.blocked_on_epc,
+        }
+
+
+@dataclass
+class WorkloadMetrics:
+    """Everything one serving run measured."""
+
+    setting_label: str
+    policy: str
+    records: List[QueryRecord] = field(default_factory=list)
+    counters: SchedulerCounters = field(default_factory=SchedulerCounters)
+    epc_budget_bytes: float = 0.0
+    epc_high_water_bytes: int = 0
+    duration_s: float = 0.0  # submission window of the workload
+
+    @property
+    def makespan_s(self) -> float:
+        """Time from the first arrival to the last completion."""
+        if not self.records:
+            return 0.0
+        return max(r.finish_s for r in self.records)
+
+    def _filtered(
+        self, stream: Optional[str] = None, template: Optional[str] = None
+    ) -> List[QueryRecord]:
+        records = self.records
+        if stream is not None:
+            records = [r for r in records if r.stream == stream]
+        if template is not None:
+            records = [r for r in records if r.template == template]
+        return records
+
+    def latencies_s(
+        self, stream: Optional[str] = None, template: Optional[str] = None
+    ) -> List[float]:
+        return [r.latency_s for r in self._filtered(stream, template)]
+
+    def latency_percentile_s(
+        self,
+        p: float,
+        stream: Optional[str] = None,
+        template: Optional[str] = None,
+    ) -> float:
+        return percentile(self.latencies_s(stream, template), p)
+
+    def mean_queue_wait_s(self, stream: Optional[str] = None) -> float:
+        records = self._filtered(stream)
+        if not records:
+            raise BenchmarkError("no records to average")
+        return sum(r.queue_wait_s for r in records) / len(records)
+
+    def achieved_qps(self, stream: Optional[str] = None) -> float:
+        """Completed queries per second of total serving time (incl. drain).
+
+        Under overload the makespan stretches past the submission window,
+        so achieved QPS converges to the service capacity — the saturation
+        plateau of a latency-throughput curve.
+        """
+        records = self._filtered(stream)
+        span = self.makespan_s
+        if span <= 0:
+            raise BenchmarkError("no completed queries to rate")
+        return len(records) / span
+
+    def summary(self) -> str:
+        """One-line digest for report notes."""
+        return (
+            f"{self.counters.completed} queries, "
+            f"p50 {self.latency_percentile_s(50) * 1e3:.1f} ms, "
+            f"p99 {self.latency_percentile_s(99) * 1e3:.1f} ms, "
+            f"{self.achieved_qps():.1f} QPS achieved, "
+            f"EPC high water {self.epc_high_water_bytes / 1e9:.2f} GB"
+        )

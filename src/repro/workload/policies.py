@@ -1,0 +1,164 @@
+"""Admission policies: which pending query (if any) gets dispatched next.
+
+The scheduler keeps one arrival-ordered queue and asks its policy for the
+next admissible query whenever resources change.  Policies differ in what
+"admissible" means:
+
+* :class:`FifoPolicy` — strict arrival order, cores are the only gate.  A
+  query whose working set exceeds the remaining EPC budget is admitted
+  anyway and pays the EDMM/paging penalty for the overflowing share (the
+  Fig. 11 failure mode: the enclave grows mid-query).
+* :class:`EpcAwarePolicy` — arrival order, but a query is held back until
+  both cores *and* EPC headroom fit its measured working set, so no
+  admitted query ever grows the enclave.  Queueing delay is traded for
+  full-speed service.
+
+Both accept a **small-query bypass lane**: when the head of the queue is
+blocked, the first queued query whose working set is at most
+``bypass_bytes`` (and which fits the policy's gates) may jump ahead —
+interactive point-queries are not stuck behind a bulk join waiting for
+half the EPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourceState:
+    """What the scheduler exposes to a policy at decision time."""
+
+    free_cores: int
+    total_cores: int
+    epc_used_bytes: float
+    epc_budget_bytes: float
+
+    @property
+    def epc_headroom_bytes(self) -> float:
+        return self.epc_budget_bytes - self.epc_used_bytes
+
+
+@dataclass
+class AdmissionDecision:
+    """The policy's pick: a queue index plus how it may be admitted."""
+
+    queue_index: int
+    overflow_bytes: int = 0  # EPC demand beyond the budget (FIFO only)
+    bypassed: bool = False
+
+
+class AdmissionPolicy:
+    """Base policy: arrival order with an optional small-query bypass lane."""
+
+    name = "base"
+
+    def __init__(self, bypass_bytes: Optional[int] = None) -> None:
+        if bypass_bytes is not None and bypass_bytes <= 0:
+            raise ConfigurationError("bypass threshold must be positive")
+        self.bypass_bytes = bypass_bytes
+        #: Why the last ``pick`` returned nothing ("cores" / "epc" / None).
+        self.last_block_reason: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.name + ("+bypass" if self.bypass_bytes else "")
+
+    # -- hooks -----------------------------------------------------------
+
+    def _admissible(self, pending, state: ResourceState) -> Optional[AdmissionDecision]:
+        """A decision for ``pending`` if this policy would admit it now."""
+        raise NotImplementedError
+
+    def _block_reason(self, pending, state: ResourceState) -> str:
+        """Why ``pending`` cannot be admitted (diagnostic counter key)."""
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------
+
+    def pick(self, queue: Deque, state: ResourceState) -> Optional[AdmissionDecision]:
+        """The next query to dispatch, or None (with a block reason)."""
+        self.last_block_reason = None
+        if not queue:
+            return None
+        head = self._admissible(queue[0], state)
+        if head is not None:
+            head.queue_index = 0
+            return head
+        if self.bypass_bytes is not None:
+            for index, pending in enumerate(queue):
+                if index == 0 or pending.working_set_bytes > self.bypass_bytes:
+                    continue
+                decision = self._admissible(pending, state)
+                if decision is not None:
+                    decision.queue_index = index
+                    decision.bypassed = True
+                    return decision
+        self.last_block_reason = self._block_reason(queue[0], state)
+        return None
+
+
+class FifoPolicy(AdmissionPolicy):
+    """First come, first served; EPC overflow is admitted and penalized."""
+
+    name = "fifo"
+
+    def _admissible(self, pending, state: ResourceState) -> Optional[AdmissionDecision]:
+        if pending.threads > state.free_cores:
+            return None
+        overflow = max(
+            0.0,
+            pending.working_set_bytes - state.epc_headroom_bytes,
+        )
+        return AdmissionDecision(queue_index=0, overflow_bytes=int(overflow))
+
+    def _block_reason(self, pending, state: ResourceState) -> str:
+        return "cores"
+
+
+class EpcAwarePolicy(AdmissionPolicy):
+    """Admit only queries whose working set fits the remaining EPC budget."""
+
+    name = "epc-aware"
+
+    def _admissible(self, pending, state: ResourceState) -> Optional[AdmissionDecision]:
+        if pending.threads > state.free_cores:
+            return None
+        if pending.working_set_bytes > state.epc_headroom_bytes:
+            return None
+        return AdmissionDecision(queue_index=0)
+
+    def _block_reason(self, pending, state: ResourceState) -> str:
+        if pending.threads > state.free_cores:
+            return "cores"
+        return "epc"
+
+
+def make_policy(name: str, *, bypass_bytes: Optional[int] = None) -> AdmissionPolicy:
+    """Policy factory: ``fifo`` or ``epc-aware``, optionally ``+bypass``.
+
+    The ``+bypass`` suffix requires ``bypass_bytes`` (the small-query
+    threshold comes from the workload, not from the policy).
+    """
+    base = name
+    if name.endswith("+bypass"):
+        base = name[: -len("+bypass")]
+        if bypass_bytes is None:
+            raise ConfigurationError(
+                f"policy {name!r} needs an explicit bypass_bytes threshold"
+            )
+    elif bypass_bytes is not None:
+        # Caller may also opt in via the parameter alone.
+        pass
+    policies = {"fifo": FifoPolicy, "epc-aware": EpcAwarePolicy}
+    try:
+        cls = policies[base]
+    except KeyError:
+        known = ", ".join(sorted(policies))
+        raise ConfigurationError(
+            f"unknown admission policy {name!r}; known: {known}"
+        ) from None
+    return cls(bypass_bytes=bypass_bytes)

@@ -1,0 +1,273 @@
+"""The enclave-aware serving scheduler: a simulated-time event loop.
+
+Queries arrive (open-loop streams are pre-generated, closed-loop clients
+resubmit on completion), wait in one arrival-ordered queue, and are
+dispatched by an admission policy against two shared resources:
+
+* a **core pool** — each running query reserves its template's thread
+  count for its whole service time (the paper pins threads to physical
+  cores before entering the enclave, Sec. 3; a serving system must
+  partition them);
+* an **EPC budget** — each running query holds its measured working set.
+  Admitting past the budget means the enclave grows mid-query (EDMM) or
+  pages: the overflowing share of the working set is served at a heavy
+  penalty (Fig. 11 measures the collapse; we charge
+  :data:`EDMM_OVERFLOW_SLOWDOWN` per overflowing byte fraction).
+
+Service times are the catalog's priced per-query times, adjusted by two
+deterministic factors frozen at dispatch: the EDMM overflow penalty and a
+mild memory-bandwidth interference term proportional to how many other
+cores are already busy (concurrent streams share the bandwidth domains the
+cost model otherwise prices per-phase).
+
+Everything — arrivals, mixes, dispatch order, tie-breaking — is a pure
+function of the workload configuration and its seeds: two runs of the same
+config produce identical metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workload.generators import Arrival, ClosedLoopStream, OpenLoopStream
+from repro.workload.jobs import JobCost
+from repro.workload.metrics import QueryRecord, SchedulerCounters, WorkloadMetrics
+from repro.workload.policies import AdmissionPolicy, ResourceState
+
+#: Service-time multiplier per fraction of the working set beyond the EPC
+#: budget.  Fig. 11 measures a 22x collapse when the *whole* working set is
+#: EDMM-grown; a query overflowing by fraction f pays 1 + f * this factor
+#: (fully overflowing -> 10x, a conservative stand-in for growth + paging).
+EDMM_OVERFLOW_SLOWDOWN = 9.0
+
+#: Service-time multiplier per fraction of other cores busy at dispatch.
+#: Concurrent queries share the memory bandwidth the cost model assumes a
+#: lone query owns; 0.25 caps the penalty at +25 % on a fully busy machine.
+INTERFERENCE_FACTOR = 0.25
+
+# Event ordering: completions free resources before same-instant arrivals.
+_FINISH = 0
+_ARRIVAL = 1
+
+
+@dataclass
+class PendingQuery:
+    """One submitted query waiting for (or holding) resources."""
+
+    query_id: int
+    stream: str
+    template: str
+    client: int
+    arrival_s: float
+    threads: int
+    service_s: float
+    working_set_bytes: int
+
+
+class WorkloadScheduler:
+    """Serves one workload configuration over simulated time."""
+
+    def __init__(
+        self,
+        costs: Mapping[str, JobCost],
+        policy: AdmissionPolicy,
+        *,
+        cores: int,
+        epc_budget_bytes: float,
+        setting_label: str,
+    ) -> None:
+        if cores < 1:
+            raise ConfigurationError("the core pool needs at least one core")
+        if epc_budget_bytes <= 0:
+            raise ConfigurationError("the EPC budget must be positive")
+        for cost in costs.values():
+            if cost.threads > cores:
+                raise ConfigurationError(
+                    f"job {cost.name!r} needs {cost.threads} cores but the "
+                    f"pool has {cores}"
+                )
+        self._costs = dict(costs)
+        self._policy = policy
+        self._cores = cores
+        self._epc_budget = float(epc_budget_bytes)
+        self._setting_label = setting_label
+
+    # -- the event loop --------------------------------------------------
+
+    def run(
+        self,
+        *,
+        open_streams: Sequence[OpenLoopStream] = (),
+        closed_streams: Sequence[ClosedLoopStream] = (),
+        duration_s: float,
+    ) -> WorkloadMetrics:
+        """Simulate until every submitted query completes."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not open_streams and not closed_streams:
+            raise ConfigurationError("the workload needs at least one stream")
+        counters = SchedulerCounters()
+        records: List[QueryRecord] = []
+        queue: Deque[PendingQuery] = deque()
+        running: Dict[int, PendingQuery] = {}
+        closed_by_name = {s.name: s for s in closed_streams}
+        closed_rngs: Dict[str, random.Random] = {
+            s.name: s.session_rng() for s in closed_streams
+        }
+        free_cores = self._cores
+        epc_used = 0.0
+        epc_high_water = 0.0
+        next_id = 0
+        seq = 0
+
+        # (time, kind, seq, payload): kind breaks same-instant ties so a
+        # finishing query releases its cores before a new arrival is seen.
+        events: List[Tuple[float, int, int, object]] = []
+
+        def push(time_s: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time_s, kind, seq, payload))
+            seq += 1
+
+        for stream in open_streams:
+            for arrival in stream.arrivals(duration_s):
+                push(arrival.time_s, _ARRIVAL, arrival)
+        for stream in closed_streams:
+            for arrival in stream.initial_arrivals(closed_rngs[stream.name]):
+                push(arrival.time_s, _ARRIVAL, arrival)
+
+        def dispatch(now: float) -> None:
+            nonlocal free_cores, epc_used, epc_high_water
+            while True:
+                state = ResourceState(
+                    free_cores=free_cores,
+                    total_cores=self._cores,
+                    epc_used_bytes=epc_used,
+                    epc_budget_bytes=self._epc_budget,
+                )
+                decision = self._policy.pick(queue, state)
+                if decision is None:
+                    if queue:
+                        if self._policy.last_block_reason == "epc":
+                            counters.blocked_on_epc += 1
+                        elif self._policy.last_block_reason == "cores":
+                            counters.blocked_on_cores += 1
+                    return
+                pending = queue[decision.queue_index]
+                del queue[decision.queue_index]
+                busy_before = self._cores - free_cores
+                service = pending.service_s * (
+                    1.0 + INTERFERENCE_FACTOR * busy_before / self._cores
+                )
+                if decision.overflow_bytes > 0:
+                    overflow_fraction = (
+                        decision.overflow_bytes / pending.working_set_bytes
+                    )
+                    service *= 1.0 + EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
+                    counters.edmm_admissions += 1
+                if decision.bypassed:
+                    counters.bypass_dispatches += 1
+                if now == pending.arrival_s:
+                    counters.dispatched_immediately += 1
+                free_cores -= pending.threads
+                epc_used += pending.working_set_bytes
+                epc_high_water = max(epc_high_water, epc_used)
+                running[pending.query_id] = pending
+                push(
+                    now + service,
+                    _FINISH,
+                    _Finish(
+                        query_id=pending.query_id,
+                        start_s=now,
+                        overflow_bytes=decision.overflow_bytes,
+                        bypassed=decision.bypassed,
+                    ),
+                )
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                arrival = payload
+                cost = self._cost_of(arrival.template)
+                counters.arrivals += 1
+                pending = PendingQuery(
+                    query_id=next_id,
+                    stream=arrival.stream,
+                    template=arrival.template,
+                    client=arrival.client,
+                    arrival_s=now,
+                    threads=cost.threads,
+                    service_s=cost.service_s,
+                    working_set_bytes=cost.working_set_bytes,
+                )
+                next_id += 1
+                queue.append(pending)
+                dispatch(now)
+                if pending in queue:
+                    counters.queued += 1
+            else:
+                finish = payload
+                pending = running.pop(finish.query_id)
+                free_cores += pending.threads
+                epc_used -= pending.working_set_bytes
+                counters.completed += 1
+                records.append(
+                    QueryRecord(
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        client=pending.client,
+                        arrival_s=pending.arrival_s,
+                        start_s=finish.start_s,
+                        finish_s=now,
+                        working_set_bytes=pending.working_set_bytes,
+                        overflow_bytes=finish.overflow_bytes,
+                        bypassed=finish.bypassed,
+                    )
+                )
+                stream = closed_by_name.get(pending.stream)
+                if stream is not None and now < duration_s:
+                    push(
+                        *_arrival_event(
+                            stream.next_arrival(
+                                closed_rngs[stream.name], pending.client, now
+                            )
+                        )
+                    )
+                dispatch(now)
+
+        return WorkloadMetrics(
+            setting_label=self._setting_label,
+            policy=self._policy.label,
+            records=sorted(records, key=lambda r: r.query_id),
+            counters=counters,
+            epc_budget_bytes=self._epc_budget,
+            epc_high_water_bytes=int(epc_high_water),
+            duration_s=duration_s,
+        )
+
+    def _cost_of(self, template: str) -> JobCost:
+        try:
+            return self._costs[template]
+        except KeyError:
+            known = ", ".join(sorted(self._costs))
+            raise ConfigurationError(
+                f"no priced cost for template {template!r}; known: {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class _Finish:
+    query_id: int
+    start_s: float
+    overflow_bytes: int
+    bypassed: bool
+
+
+def _arrival_event(arrival: Arrival) -> Tuple[float, int, Arrival]:
+    return arrival.time_s, _ARRIVAL, arrival

@@ -41,3 +41,24 @@ class TestWriteReport:
         path = write_report(tmp_path / "sub" / "REPORT.md", ["tab01"])
         assert path.exists()
         assert "# SGXv2" in path.read_text()
+
+    def test_accepts_string_path_and_returns_pathlib(self, tmp_path):
+        import pathlib
+
+        path = write_report(str(tmp_path / "REPORT.md"), ["tab01"])
+        assert isinstance(path, pathlib.Path)
+        assert path.read_text() == build_report(["tab01"])
+
+    def test_section_per_requested_experiment(self, tmp_path):
+        text = write_report(
+            tmp_path / "R.md", ["tab01", "wl01"]
+        ).read_text()
+        assert "## tab01:" in text
+        assert "## wl01:" in text
+        assert "| native p99 |" in text
+
+    def test_unknown_experiment_writes_nothing(self, tmp_path):
+        target = tmp_path / "R.md"
+        with pytest.raises(BenchmarkError):
+            write_report(target, ["fig99"])
+        assert not target.exists()

@@ -65,3 +65,62 @@ class TestCli:
         args = parser.parse_args(["fig08", "--full"])
         assert args.experiments == ["fig08"]
         assert args.full
+
+    def test_parser_seed_flag(self):
+        args = build_parser().parse_args(["fig08", "--seed", "123"])
+        assert args.seed == 123
+        assert build_parser().parse_args(["fig08"]).seed is None
+
+
+class TestCliRobustness:
+    def test_unknown_id_exits_2_and_names_known_ones(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment ids: fig99" in err
+        assert "known experiments:" in err
+        assert "fig08" in err and "wl01" in err
+
+    def test_mixed_known_and_unknown_rejected(self, capsys):
+        assert main(["tab01", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_typo_leaves_no_csv_dir_behind(self, tmp_path, capsys):
+        target = tmp_path / "results"
+        assert main(["fig99", "--csv", str(target)]) == 2
+        capsys.readouterr()
+        assert not target.exists()
+
+    def test_seed_flag_threads_to_runner(self, capsys):
+        from repro.bench import runner
+
+        original = runner.DEFAULT_BASE_SEED
+        try:
+            assert main(["tab01", "--seed", "7"]) == 0
+            capsys.readouterr()
+            assert runner.DEFAULT_BASE_SEED == 7
+        finally:
+            runner.set_default_base_seed(original)
+
+    def test_seed_rejects_non_integers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tab01", "--seed", "abc"])
+        capsys.readouterr()
+
+
+class TestCsvRoundTrip:
+    def test_cli_csv_parses_back(self, tmp_path, capsys):
+        import csv
+
+        from repro.bench.registry import run_experiment
+
+        assert main(["tab01", "--csv", str(tmp_path)]) == 0
+        capsys.readouterr()
+        with open(tmp_path / "tab01.csv", newline="") as handle:
+            parsed = list(csv.DictReader(handle))
+        report = run_experiment("tab01", quick=True)
+        assert len(parsed) == len(report.rows)
+        for got, expected in zip(parsed, report.rows):
+            assert got["series"] == expected.series
+            assert got["unit"] == expected.unit
+            assert float(got["value"]) == pytest.approx(expected.value)
+            assert float(got["std"]) == pytest.approx(expected.std)

@@ -1,0 +1,339 @@
+"""The serving-workload subsystem: generators, policies, scheduler, engine."""
+
+import random
+
+import pytest
+
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import BenchmarkError, ConfigurationError
+from repro.workload import (
+    ClosedLoopStream,
+    EpcAwarePolicy,
+    FifoPolicy,
+    JobCatalog,
+    JobCost,
+    JobKind,
+    JobTemplate,
+    OpenLoopStream,
+    QueryMix,
+    ResourceState,
+    ServingEngine,
+    WorkloadConfig,
+    WorkloadScheduler,
+    make_policy,
+    percentile,
+)
+
+MB = 1_000_000
+
+#: Synthetic priced costs: scheduler tests need no operator runs.
+COSTS = {
+    "small": JobCost("small", threads=1, service_s=0.01,
+                     working_set_bytes=10 * MB),
+    "big": JobCost("big", threads=4, service_s=0.10,
+                   working_set_bytes=400 * MB),
+}
+
+
+def scheduler(policy="fifo", *, cores=8, epc=1_000 * MB, bypass=None):
+    return WorkloadScheduler(
+        COSTS,
+        make_policy(policy, bypass_bytes=bypass),
+        cores=cores,
+        epc_budget_bytes=epc,
+        setting_label="test",
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 50) == 20.0
+        assert percentile(samples, 99) == 40.0
+        assert percentile(samples, 0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            percentile([], 50)
+        with pytest.raises(BenchmarkError):
+            percentile([1.0], 101)
+
+
+class TestQueryMix:
+    def test_sampling_follows_weights(self):
+        mix = QueryMix.of({"a": 3.0, "b": 1.0})
+        rng = random.Random(0)
+        draws = [mix.sample(rng) for _ in range(4000)]
+        assert 0.70 < draws.count("a") / len(draws) < 0.80
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            QueryMix.of({})
+        with pytest.raises(ConfigurationError):
+            QueryMix.of({"a": 0.0})
+
+
+class TestStreams:
+    def test_open_loop_deterministic_per_seed(self):
+        mix = QueryMix.of({"small": 1.0})
+        a = OpenLoopStream("s", qps=100.0, mix=mix, seed=7).arrivals(2.0)
+        b = OpenLoopStream("s", qps=100.0, mix=mix, seed=7).arrivals(2.0)
+        c = OpenLoopStream("s", qps=100.0, mix=mix, seed=8).arrivals(2.0)
+        assert a == b
+        assert a != c
+        assert len(a) == pytest.approx(200, rel=0.3)
+        assert all(0 <= arr.time_s < 2.0 for arr in a)
+
+    def test_closed_loop_initial_arrivals(self):
+        mix = QueryMix.of({"small": 1.0})
+        stream = ClosedLoopStream("c", clients=5, think_s=0.1, mix=mix, seed=3)
+        arrivals = stream.initial_arrivals(stream.session_rng())
+        assert sorted(a.client for a in arrivals) == [0, 1, 2, 3, 4]
+        assert all(0 <= a.time_s <= 0.1 for a in arrivals)
+
+    def test_closed_loop_next_arrival_after_finish(self):
+        mix = QueryMix.of({"small": 1.0})
+        stream = ClosedLoopStream("c", clients=1, think_s=0.1, mix=mix)
+        nxt = stream.next_arrival(stream.session_rng(), client=0,
+                                  finished_at_s=5.0)
+        assert nxt.time_s >= 5.0
+        assert nxt.client == 0
+
+    def test_stream_validation(self):
+        mix = QueryMix.of({"small": 1.0})
+        with pytest.raises(ConfigurationError):
+            OpenLoopStream("s", qps=0.0, mix=mix)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopStream("c", clients=0, think_s=0.1, mix=mix)
+
+
+class TestPolicies:
+    def state(self, free_cores=8, epc_used=0.0):
+        return ResourceState(
+            free_cores=free_cores,
+            total_cores=8,
+            epc_used_bytes=epc_used,
+            epc_budget_bytes=500 * MB,
+        )
+
+    def pending(self, name="big"):
+        from repro.workload.scheduler import PendingQuery
+
+        cost = COSTS[name]
+        return PendingQuery(
+            query_id=0, stream="s", template=name, client=-1, arrival_s=0.0,
+            threads=cost.threads, service_s=cost.service_s,
+            working_set_bytes=cost.working_set_bytes,
+        )
+
+    def test_fifo_admits_overflow_with_penalty(self):
+        from collections import deque
+
+        queue = deque([self.pending("big")])
+        decision = FifoPolicy().pick(queue, self.state(epc_used=300 * MB))
+        assert decision is not None
+        assert decision.overflow_bytes == 200 * MB  # 400 demanded, 200 left
+
+    def test_epc_aware_holds_until_headroom(self):
+        from collections import deque
+
+        policy = EpcAwarePolicy()
+        queue = deque([self.pending("big")])
+        assert policy.pick(queue, self.state(epc_used=300 * MB)) is None
+        assert policy.last_block_reason == "epc"
+        decision = policy.pick(queue, self.state(epc_used=0.0))
+        assert decision is not None and decision.overflow_bytes == 0
+
+    def test_bypass_lane_jumps_blocked_head(self):
+        from collections import deque
+
+        policy = EpcAwarePolicy(bypass_bytes=50 * MB)
+        queue = deque([self.pending("big"), self.pending("small")])
+        decision = policy.pick(queue, self.state(epc_used=300 * MB))
+        assert decision is not None
+        assert decision.queue_index == 1
+        assert decision.bypassed
+
+    def test_make_policy(self):
+        assert make_policy("fifo").label == "fifo"
+        assert make_policy("epc-aware+bypass", bypass_bytes=1).label == \
+            "epc-aware+bypass"
+        with pytest.raises(ConfigurationError):
+            make_policy("epc-aware+bypass")  # no threshold supplied
+        with pytest.raises(ConfigurationError):
+            make_policy("lifo")
+
+
+class TestScheduler:
+    MIX = QueryMix.of({"small": 0.7, "big": 0.3})
+
+    def run(self, policy="fifo", *, epc=1_000 * MB, bypass=None, qps=120.0):
+        return scheduler(policy, epc=epc, bypass=bypass).run(
+            open_streams=(OpenLoopStream("t", qps=qps, mix=self.MIX, seed=5),),
+            duration_s=2.0,
+        )
+
+    def test_every_arrival_completes(self):
+        metrics = self.run()
+        assert metrics.counters.arrivals == metrics.counters.completed
+        assert len(metrics.records) == metrics.counters.completed
+        assert metrics.counters.dispatched_immediately \
+            + metrics.counters.queued == metrics.counters.arrivals
+
+    def test_deterministic_given_seed(self):
+        a, b = self.run(), self.run()
+        assert a.records == b.records
+        assert a.counters.as_dict() == b.counters.as_dict()
+        assert a.epc_high_water_bytes == b.epc_high_water_bytes
+
+    def test_records_internally_consistent(self):
+        for r in self.run().records:
+            assert r.arrival_s <= r.start_s < r.finish_s
+            assert r.queue_wait_s >= 0
+            assert r.service_s > 0
+
+    def test_epc_aware_never_exceeds_budget(self):
+        metrics = self.run("epc-aware", epc=500 * MB)
+        assert metrics.epc_high_water_bytes <= 500 * MB
+        assert metrics.counters.edmm_admissions == 0
+
+    def test_fifo_overflows_and_pays(self):
+        tight = self.run("fifo", epc=500 * MB)
+        roomy = self.run("fifo", epc=100_000 * MB)
+        assert tight.epc_high_water_bytes > 500 * MB
+        assert tight.counters.edmm_admissions > 0
+        # The overflow penalty stretches service times.
+        assert tight.latency_percentile_s(99) > roomy.latency_percentile_s(99)
+
+    def test_bypass_improves_small_query_latency(self):
+        plain = self.run("epc-aware", epc=500 * MB)
+        lane = self.run("epc-aware+bypass", epc=500 * MB, bypass=20 * MB)
+        assert lane.counters.bypass_dispatches > 0
+        assert lane.latency_percentile_s(99, template="small") < \
+            plain.latency_percentile_s(99, template="small")
+
+    def test_closed_loop_in_flight_never_exceeds_clients(self):
+        mix = QueryMix.of({"small": 1.0})
+        sched = WorkloadScheduler(
+            {"small": COSTS["small"]},
+            make_policy("fifo"),
+            cores=2,
+            epc_budget_bytes=1_000 * MB,
+            setting_label="test",
+        )
+        metrics = sched.run(
+            closed_streams=(
+                ClosedLoopStream("c", clients=2, think_s=0.01, mix=mix, seed=2),
+            ),
+            duration_s=1.0,
+        )
+        events = sorted(
+            [(r.arrival_s, 1) for r in metrics.records]
+            + [(r.finish_s, -1) for r in metrics.records]
+        )
+        in_flight = peak = 0
+        for _, delta in events:
+            in_flight += delta
+            peak = max(peak, in_flight)
+        assert peak <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scheduler(cores=0)
+        with pytest.raises(ConfigurationError):
+            scheduler(epc=0)
+        with pytest.raises(ConfigurationError):
+            scheduler(cores=2)  # big needs 4 threads
+        with pytest.raises(ConfigurationError):
+            scheduler().run(open_streams=(), duration_s=1.0)
+
+
+class TestJobs:
+    def test_template_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobTemplate("bad", JobKind.TPCH, query="Q99")
+        with pytest.raises(ConfigurationError):
+            JobTemplate("bad", JobKind.JOIN, build_bytes=0, probe_bytes=1)
+        with pytest.raises(ConfigurationError):
+            JobTemplate("bad", JobKind.SCAN, scan_bytes=0)
+        with pytest.raises(ConfigurationError):
+            JobTemplate("bad", JobKind.SCAN, threads=0, scan_bytes=1)
+
+    def test_catalog_prices_and_caches(self):
+        catalog = JobCatalog(quick=True)
+        template = JobTemplate("tiny-scan", JobKind.SCAN, threads=1,
+                               scan_bytes=4e6)
+        first = catalog.profile(template)
+        assert catalog.profile(template) is first  # cached
+        plain = catalog.cost(template, ExecutionSetting.plain_cpu())
+        sgx = catalog.cost(template, ExecutionSetting.sgx_data_in_enclave())
+        assert plain.service_s > 0
+        assert sgx.service_s >= plain.service_s
+        assert sgx.working_set_bytes > 0
+
+    def test_unpriced_setting_rejected(self):
+        from repro.workload.jobs import JobProfile
+
+        profile = JobProfile("x", threads=1, working_set_bytes=0,
+                             service_seconds_by_setting={})
+        with pytest.raises(ConfigurationError):
+            profile.service_seconds(ExecutionSetting.plain_cpu())
+
+
+class TestServingEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        templates = {
+            "tiny-scan": JobTemplate("tiny-scan", JobKind.SCAN, threads=1,
+                                     scan_bytes=4e6),
+        }
+        return ServingEngine(JobCatalog(quick=True), templates)
+
+    def config(self, setting, **kwargs):
+        mix = QueryMix.of({"tiny-scan": 1.0})
+        return WorkloadConfig(
+            setting=setting,
+            open_streams=(OpenLoopStream("t", qps=50.0, mix=mix, seed=9),),
+            duration_s=2.0,
+            cores=4,
+            **kwargs,
+        )
+
+    def test_run_is_deterministic(self, engine):
+        config = self.config(ExecutionSetting.sgx_data_in_enclave())
+        a, b = engine.run(config), engine.run(config)
+        assert a.records == b.records
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_epc_budget_defaults(self, engine):
+        import math
+
+        plain = self.config(ExecutionSetting.plain_cpu())
+        sgx = self.config(ExecutionSetting.sgx_data_in_enclave())
+        capped = self.config(ExecutionSetting.sgx_data_in_enclave(),
+                             epc_budget_bytes=123.0)
+        assert engine.epc_budget(plain) == math.inf
+        assert engine.epc_budget(sgx) == 64 * 2**30  # socket EPC (Table 1)
+        assert engine.epc_budget(capped) == 123.0
+
+    def test_unknown_template_rejected(self, engine):
+        mix = QueryMix.of({"no-such": 1.0})
+        config = WorkloadConfig(
+            setting=ExecutionSetting.plain_cpu(),
+            open_streams=(OpenLoopStream("t", qps=1.0, mix=mix),),
+        )
+        with pytest.raises(ConfigurationError):
+            engine.run(config)
+
+    def test_config_validation(self):
+        mix = QueryMix.of({"tiny-scan": 1.0})
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(setting=ExecutionSetting.plain_cpu())
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(
+                setting=ExecutionSetting.plain_cpu(),
+                open_streams=(
+                    OpenLoopStream("dup", qps=1.0, mix=mix),
+                    OpenLoopStream("dup", qps=2.0, mix=mix),
+                ),
+            )

@@ -1,0 +1,94 @@
+"""Golden-shape checks for the serving-workload experiments (wl01-wl03)."""
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+# One quick run of each wl experiment, shared across the module's tests
+# (quick-mode serving metrics are deterministic per seed).
+_cache = {}
+
+
+def report_for(experiment_id):
+    if experiment_id not in _cache:
+        _cache[experiment_id] = run_experiment(experiment_id, quick=True)
+    return _cache[experiment_id]
+
+
+class TestRegistry:
+    def test_wl_experiments_registered(self):
+        for eid in ("wl01", "wl02", "wl03"):
+            assert eid in EXPERIMENTS
+
+
+class TestWl01LatencyThroughput:
+    def test_sgx_saturates_at_lower_qps(self):
+        report = report_for("wl01")
+        top = 1.3  # well past both capacities
+        native = report.value("native achieved QPS", top)
+        sgx = report.value("SGX achieved QPS", top)
+        assert sgx < 0.8 * native
+
+    def test_achieved_qps_tracks_offered_load_below_saturation(self):
+        report = report_for("wl01")
+        low, high = 0.4, 0.9
+        assert report.value("native achieved QPS", low) < \
+            report.value("native achieved QPS", high)
+
+    def test_tails_blow_up_under_overload(self):
+        report = report_for("wl01")
+        for prefix in ("native", "SGX"):
+            assert report.value(f"{prefix} p99", 1.3) > \
+                3 * report.value(f"{prefix} p99", 0.4)
+            assert report.value(f"{prefix} p99", 0.4) >= \
+                report.value(f"{prefix} p50", 0.4)
+
+    def test_sgx_latency_above_native_at_every_load(self):
+        report = report_for("wl01")
+        for fraction in (0.4, 0.7, 0.9, 1.1, 1.3):
+            assert report.value("SGX p50", fraction) > \
+                report.value("native p50", fraction)
+
+    def test_deterministic_across_runs(self):
+        first = report_for("wl01")
+        second = run_experiment("wl01", quick=True)
+        assert [(r.series, r.x, r.value) for r in first.rows] == \
+            [(r.series, r.x, r.value) for r in second.rows]
+
+
+class TestWl02AdmissionPolicies:
+    def test_epc_aware_beats_fifo_on_p99(self):
+        report = report_for("wl02")
+        assert report.value("epc-aware p99", "latency") < \
+            0.5 * report.value("fifo p99", "latency")
+
+    def test_fifo_pays_edmm_penalties(self):
+        report = report_for("wl02")
+        assert report.value("fifo EDMM admissions", "latency") > 0
+        assert report.value("epc-aware EDMM admissions", "latency") == 0
+
+    def test_bypass_rescues_small_queries(self):
+        report = report_for("wl02")
+        assert report.value("epc-aware+bypass scan p99", "latency") < \
+            0.1 * report.value("epc-aware scan p99", "latency")
+
+    def test_epc_aware_sustains_higher_throughput(self):
+        report = report_for("wl02")
+        assert report.value("epc-aware achieved QPS", "latency") > \
+            report.value("fifo achieved QPS", "latency")
+
+
+class TestWl03TenantInterference:
+    def test_sharing_inflates_interactive_tail(self):
+        report = report_for("wl03")
+        for prefix in ("native", "SGX"):
+            assert report.value(f"{prefix} tenant-A p99", "shared") > \
+                report.value(f"{prefix} tenant-A p99", "alone")
+
+    def test_interference_is_worse_inside_the_enclave(self):
+        report = report_for("wl03")
+        assert report.value("SGX tenant-A p99 inflation", "shared") > \
+            2 * report.value("native tenant-A p99 inflation", "shared")
+
+    def test_interactive_tenant_alone_is_fast(self):
+        report = report_for("wl03")
+        for prefix in ("native", "SGX"):
+            assert report.value(f"{prefix} tenant-A p99", "alone") < 20  # ms
