@@ -16,6 +16,7 @@ from repro.core.joins import RadixJoin
 from repro.machine import SimMachine
 from repro.memory.access import CodeVariant
 from repro.tables import generate_join_relation_pair
+from repro.trace import Tracer, current_tracer, phase_breakdown, tee, use_tracer
 
 EXPERIMENT_ID = "fig06"
 TITLE = "RHO phase breakdown (1 thread), naive vs unrolled"
@@ -25,6 +26,12 @@ PHASES = ("hist1", "copy1", "hist2", "copy2", "build", "join")
 
 
 def _phases(machine, config, variant, setting, seed=42):
+    """One traced RHO run: (total cycles, phase -> cycles from the trace).
+
+    The per-phase numbers are read back from the trace's operator-phase
+    spans — the same records ``--trace`` exports — so the figure and any
+    offline breakdown of the trace file agree by construction.
+    """
     sim = common.make_machine(machine)
     build, probe = generate_join_relation_pair(
         common.BUILD_BYTES,
@@ -32,9 +39,11 @@ def _phases(machine, config, variant, setting, seed=42):
         seed=seed,
         physical_row_cap=config.row_cap,
     )
-    with sim.context(setting, threads=1) as ctx:
-        result = RadixJoin(variant).run(ctx, build, probe)
-    return result
+    tracer = Tracer(label=f"fig06-{variant.value}")
+    with use_tracer(tee(current_tracer(), tracer)):
+        with sim.context(setting, threads=1) as ctx:
+            result = RadixJoin(variant).run(ctx, build, probe)
+    return result.cycles, phase_breakdown(tracer, setting=setting.label)
 
 
 def run(
@@ -53,24 +62,23 @@ def run(
                 machine, config, variant, setting
             )
     for variant in (CodeVariant.NAIVE, CodeVariant.UNROLLED):
-        plain = results[(variant, "plain")]
-        sgx = results[(variant, "sgx")]
+        _, plain = results[(variant, "plain")]
+        _, sgx = results[(variant, "sgx")]
         for phase in PHASES:
             report.add(
-                f"{variant.value}: plain", phase, plain.phase_cycles[phase],
-                "cycles",
+                f"{variant.value}: plain", phase, plain[phase], "cycles",
             )
             report.add(
-                f"{variant.value}: sgx", phase, sgx.phase_cycles[phase], "cycles"
+                f"{variant.value}: sgx", phase, sgx[phase], "cycles"
             )
             report.add(
                 f"{variant.value}: sgx slowdown", phase,
-                sgx.phase_cycles[phase] / plain.phase_cycles[phase], "x",
+                sgx[phase] / plain[phase], "x",
             )
-    naive = results[(CodeVariant.NAIVE, "sgx")]
-    opt = results[(CodeVariant.UNROLLED, "sgx")]
+    naive_cycles, _ = results[(CodeVariant.NAIVE, "sgx")]
+    opt_cycles, _ = results[(CodeVariant.UNROLLED, "sgx")]
     report.notes.append(
         f"unrolling cuts in-enclave run time by "
-        f"{(1 - opt.cycles / naive.cycles) * 100:.0f} % (paper: 43 %)"
+        f"{(1 - opt_cycles / naive_cycles) * 100:.0f} % (paper: 43 %)"
     )
     return report

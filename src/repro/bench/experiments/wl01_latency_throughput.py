@@ -22,6 +22,7 @@ from repro.bench.experiments import common, workload_common
 from repro.bench.report import ExperimentReport
 from repro.machine import SimMachine
 from repro.memory.access import CodeVariant
+from repro.trace import Tracer, current_tracer, serving_breakdown, tee, use_tracer
 from repro.workload import (
     JobCatalog,
     OpenLoopStream,
@@ -88,12 +89,21 @@ def run(
                 cores=16,
                 policy="fifo",
             )
-            metrics = engine.run(config)
+            # Each serving run records into its own tracer (tee'd with any
+            # CLI-level tracer), and the queueing/service/EDMM/interference
+            # decomposition is read back from the trace — the same records
+            # ``--trace`` exports — instead of bespoke bookkeeping.
+            run_tracer = Tracer(label=f"{short}@{fraction}")
+            with use_tracer(tee(current_tracer(), run_tracer)):
+                metrics = engine.run(config)
             workload_common.add_latency_rows(
                 report, metrics, short, fraction
             )
             report.add(f"{short} achieved QPS", fraction,
                        metrics.achieved_qps(), "QPS")
+            workload_common.add_breakdown_rows(
+                report, serving_breakdown(run_tracer), short, fraction
+            )
     report.notes.append(
         f"mix capacity: native {native_capacity:.1f} QPS, SGX "
         f"{sgx_capacity:.1f} QPS ({sgx_capacity / native_capacity:.0%}); "
@@ -106,5 +116,11 @@ def run(
         f"{report.value('SGX achieved QPS', top):.1f} QPS; p99 native "
         f"{report.value('native p99', top):.0f} vs SGX "
         f"{report.value('SGX p99', top):.0f} ms"
+    )
+    report.notes.append(
+        f"trace decomposition at {top:.1f}x: queueing share native "
+        f"{report.value('native queueing share', top):.0%} vs SGX "
+        f"{report.value('SGX queueing share', top):.0%} — the enclave's "
+        "lower capacity converts offered load into queue time first"
     )
     return report

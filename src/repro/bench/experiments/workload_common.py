@@ -13,6 +13,7 @@ from typing import Dict, Mapping
 
 from repro.bench import runner
 from repro.bench.report import ExperimentReport
+from repro.trace.breakdown import ServingBreakdown
 from repro.workload.jobs import JobCost
 from repro.workload.metrics import WorkloadMetrics
 
@@ -63,6 +64,29 @@ def add_latency_rows(
             metrics.latency_percentile_s(p) * 1e3,
             "ms",
         )
+
+
+def add_breakdown_rows(
+    report: ExperimentReport,
+    breakdown: ServingBreakdown,
+    series_prefix: str,
+    x,
+) -> None:
+    """Append a trace-derived time decomposition of one serving run.
+
+    The four shares (queueing / service / EDMM penalty / interference) sum
+    to 1 and come from the trace's dispatch events — the generic Fig. 6
+    style decomposition for the serving layer.
+    """
+    shares = breakdown.fractions()
+    report.add(f"{series_prefix} queueing share", x, shares["queueing"], "frac")
+    report.add(f"{series_prefix} service share", x, shares["service"], "frac")
+    report.add(
+        f"{series_prefix} EDMM penalty share", x, shares["edmm_penalty"], "frac"
+    )
+    report.add(
+        f"{series_prefix} interference share", x, shares["interference"], "frac"
+    )
 
 
 def counters_note(label: str, metrics: WorkloadMetrics) -> str:

@@ -89,7 +89,19 @@ def run_experiment(
     machine: Optional[SimMachine] = None,
     *,
     quick: bool = True,
+    tracer=None,
 ) -> ExperimentReport:
-    """Run one experiment and return its report."""
+    """Run one experiment and return its report.
+
+    When ``tracer`` is given it is installed as the current tracer for the
+    run, so every instrumented layer (operator phases, enclave charges,
+    serving scheduler) records into it.  Tracing is observation-only: the
+    report is bit-identical with and without it.
+    """
     module = get_experiment(experiment_id)
-    return module.run(machine, quick=quick)
+    if tracer is None:
+        return module.run(machine, quick=quick)
+    from repro.trace import use_tracer
+
+    with use_tracer(tracer):
+        return module.run(machine, quick=quick)

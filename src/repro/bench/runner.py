@@ -80,7 +80,18 @@ def repeat_runs(
         raise BenchmarkError("need at least one run")
     if base_seed is None:
         base_seed = DEFAULT_BASE_SEED
+    from repro.trace.tracer import current_tracer
+
+    tracer = current_tracer()
     samples: List[float] = []
     for i in range(runs):
         samples.append(float(measure(base_seed + i)))
+        if tracer.enabled:
+            tracer.event(
+                "bench.repetition",
+                repetition=i,
+                seed=base_seed + i,
+                sample=samples[-1],
+            )
+            tracer.count("bench.repetitions")
     return summarize(samples)

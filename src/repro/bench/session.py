@@ -52,12 +52,26 @@ def build_report(
     machine: Optional[SimMachine] = None,
     *,
     quick: bool = True,
+    csv_dir: Optional[Union[str, pathlib.Path]] = None,
+    trace_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> str:
-    """Render the full Markdown report for ``experiment_ids`` (default all)."""
+    """Render the full Markdown report for ``experiment_ids`` (default all).
+
+    ``csv_dir`` additionally writes one CSV per experiment (the same rows
+    the report's tables show) from the *same* runs — the report never runs
+    an experiment twice.  ``trace_dir`` runs each experiment under a fresh
+    tracer and exports its trace as JSON-lines and CSV.
+    """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
         if experiment_id not in EXPERIMENTS:
             raise BenchmarkError(f"unknown experiment {experiment_id!r}")
+    csv_dir = pathlib.Path(csv_dir) if csv_dir is not None else None
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
     validator = CalibrationValidator(machine)
     checks = validator.run()
     held = sum(1 for check in checks if check.passed)
@@ -79,7 +93,19 @@ def build_report(
         "",
     ]
     for experiment_id in ids:
-        report = run_experiment(experiment_id, machine, quick=quick)
+        tracer = None
+        if trace_dir is not None:
+            from repro.trace import Tracer
+
+            tracer = Tracer(label=experiment_id)
+        report = run_experiment(experiment_id, machine, quick=quick, tracer=tracer)
+        if csv_dir is not None:
+            (csv_dir / f"{experiment_id}.csv").write_text(report.to_csv())
+        if tracer is not None:
+            from repro.trace import write_csv, write_jsonl
+
+            write_jsonl(tracer, trace_dir / f"{experiment_id}.trace.jsonl")
+            write_csv(tracer, trace_dir / f"{experiment_id}.trace.csv")
         sections.append(_experiment_section(report))
     return "\n".join(sections)
 
@@ -90,9 +116,19 @@ def write_report(
     machine: Optional[SimMachine] = None,
     *,
     quick: bool = True,
+    csv_dir: Optional[Union[str, pathlib.Path]] = None,
+    trace_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(build_report(experiment_ids, machine, quick=quick))
+    path.write_text(
+        build_report(
+            experiment_ids,
+            machine,
+            quick=quick,
+            csv_dir=csv_dir,
+            trace_dir=trace_dir,
+        )
+    )
     return path

@@ -54,6 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the experiments and write one Markdown report to FILE",
     )
     parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help=(
+            "record a structured trace per experiment into DIR "
+            "(JSON-lines + CSV: operator phases, enclave charges, "
+            "scheduler decisions)"
+        ),
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="check every calibration anchor against the cost model and exit",
@@ -103,16 +112,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     if args.report:
+        if args.chart:
+            # The Markdown report embeds every experiment's chart already;
+            # a silent no-op here hid that from users for a whole release.
+            print(
+                "--chart cannot be combined with --report (the report "
+                "embeds each experiment's chart); drop one of the flags",
+                file=sys.stderr,
+            )
+            return 2
         from repro.bench.session import write_report
 
-        path = write_report(args.report, requested, quick=not args.full)
+        path = write_report(
+            args.report,
+            requested,
+            quick=not args.full,
+            csv_dir=args.csv,
+            trace_dir=args.trace,
+        )
         print(f"wrote {path}")
         return 0
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir is not None:
         csv_dir.mkdir(parents=True, exist_ok=True)
+    trace_dir = pathlib.Path(args.trace) if args.trace else None
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
     for experiment_id in requested:
-        report = run_experiment(experiment_id, quick=not args.full)
+        tracer = None
+        if trace_dir is not None:
+            from repro.trace import Tracer
+
+            tracer = Tracer(label=experiment_id)
+        report = run_experiment(experiment_id, quick=not args.full, tracer=tracer)
         print(report.print_table())
         if args.chart:
             from repro.bench.charts import render
@@ -122,6 +154,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         if csv_dir is not None:
             (csv_dir / f"{experiment_id}.csv").write_text(report.to_csv())
+        if tracer is not None:
+            from repro.trace import write_csv, write_jsonl
+
+            trace_path = write_jsonl(
+                tracer, trace_dir / f"{experiment_id}.trace.jsonl"
+            )
+            write_csv(tracer, trace_dir / f"{experiment_id}.trace.csv")
+            print(f"wrote {trace_path} ({len(tracer.snapshot())} records)")
     return 0
 
 

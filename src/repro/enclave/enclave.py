@@ -19,6 +19,7 @@ from typing import List
 from repro.errors import CapacityError, ConfigurationError, EnclaveStateError
 from repro.memory.access import AccessProfile
 from repro.memory.allocator import MemoryAllocator, Region
+from repro.trace.tracer import current_tracer
 from repro.units import PAGE_BYTES
 
 
@@ -76,6 +77,15 @@ class Enclave:
         if self.state is not EnclaveState.CREATED:
             raise EnclaveStateError(f"cannot initialize enclave in state {self.state}")
         self.state = EnclaveState.INITIALIZED
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "enclave.init",
+                heap_bytes=self.config.heap_bytes,
+                dynamic=self.config.dynamic,
+                max_bytes=self.config.max_bytes,
+                node=self.config.node,
+            )
 
     def destroy(self) -> None:
         """Tear the enclave down and release all EPC."""
@@ -160,6 +170,19 @@ class Enclave:
         if profile is not None:
             profile.sync.pages_touched_statically += pages - dynamic_pages
             profile.sync.pages_added_dynamically += dynamic_pages
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "enclave.alloc",
+                region=name,
+                bytes=size_bytes,
+                pages_static=pages - dynamic_pages,
+                pages_dynamic=dynamic_pages,
+                heap_free_bytes=self.heap_free_bytes,
+            )
+            tracer.count("enclave.allocations")
+            if dynamic_pages:
+                tracer.count("enclave.pages_added_dynamically", dynamic_pages)
         return region
 
     def release_heap(self, size_bytes: int) -> None:

@@ -43,6 +43,19 @@ class ExecutionSetting:
         """True when code executes inside an enclave."""
         return self.mode is Mode.SGX
 
+    def trace_attrs(self) -> dict:
+        """Stable identifying attributes for trace records.
+
+        Every charge the cost model prices under this setting is tagged
+        with these keys, so a breakdown reporter can slice one exported
+        trace by setting without re-running anything.
+        """
+        return {
+            "setting": self.label,
+            "mode": self.mode.value,
+            "data_in_enclave": self.data_in_enclave,
+        }
+
     @classmethod
     def plain_cpu(cls) -> "ExecutionSetting":
         """Native execution over untrusted memory (the baseline)."""

@@ -18,6 +18,7 @@ from repro.enclave.runtime import ExecutionSetting
 from repro.exec.placement import Placement
 from repro.memory.access import AccessProfile
 from repro.memory.cost_model import CostEnvironment, MemoryCostModel
+from repro.trace.tracer import current_tracer
 
 #: Fixed cycles for one barrier rendezvous, plus a per-thread component.
 _BARRIER_BASE_CYCLES = 200.0
@@ -123,6 +124,21 @@ class ParallelExecutor:
         if barrier and self.threads > 1:
             cycles += _BARRIER_BASE_CYCLES + _BARRIER_PER_THREAD_CYCLES * self.threads
         result = PhaseResult(name=name, cycles=cycles, per_thread_cycles=tuple(per_thread))
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Span start is the executor-relative cycle count: phases are
+            # bulk-synchronous, so the accumulated total is the phase's
+            # begin time on this executor's simulated clock.
+            tracer.span(
+                name,
+                category="operator-phase",
+                start=self.trace.total_cycles,
+                duration=cycles,
+                unit="cycles",
+                threads=concurrency,
+                imbalance=result.imbalance,
+                **self.setting.trace_attrs(),
+            )
         self.trace.phases.append(result)
         return result
 

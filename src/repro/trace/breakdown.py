@@ -1,0 +1,159 @@
+"""The breakdown reporter: turn any trace into the paper's decompositions.
+
+The paper's root-cause figures decompose run time rather than just report
+it: Fig. 6 splits a join into phases, Fig. 11 attributes the EDMM collapse
+to page growth.  This module reproduces both styles generically from the
+records any traced run emits:
+
+* :func:`serving_breakdown` — aggregates the scheduler's ``query.dispatch``
+  events into **queueing vs. service vs. EDMM-penalty vs. interference**
+  seconds, the serving-layer analogue of Fig. 6 (every dispatched query's
+  time is fully attributed to exactly one of the four buckets).
+* :func:`phase_breakdown` — sums operator-phase spans per phase name, the
+  literal Fig. 6 decomposition for any traced operator run.
+* :func:`serving_runs` — splits a multi-run trace (e.g. one exported by
+  ``sgxv2-bench wl01 --trace DIR``) at its ``serving.run_start`` markers so
+  each serving configuration gets its own breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.records import Event, Span
+from repro.trace.exporters import _records
+
+#: Event names the scheduler emits (kept in one place for reporters).
+RUN_START = "serving.run_start"
+RUN_END = "serving.run_end"
+ARRIVAL = "query.arrival"
+DISPATCH = "query.dispatch"
+EDMM_OVERFLOW = "query.edmm_overflow"
+FINISH = "query.finish"
+
+
+@dataclass(frozen=True)
+class ServingBreakdown:
+    """Where the served queries' time went, in summed seconds."""
+
+    queueing_s: float
+    service_s: float
+    edmm_penalty_s: float
+    interference_s: float
+    dispatched: int
+    completed: int
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.queueing_s
+            + self.service_s
+            + self.edmm_penalty_s
+            + self.interference_s
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Each bucket's share of the total (all zero for an empty trace)."""
+        total = self.total_s
+        if total <= 0:
+            return {
+                "queueing": 0.0,
+                "service": 0.0,
+                "edmm_penalty": 0.0,
+                "interference": 0.0,
+            }
+        return {
+            "queueing": self.queueing_s / total,
+            "service": self.service_s / total,
+            "edmm_penalty": self.edmm_penalty_s / total,
+            "interference": self.interference_s / total,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queueing_s": self.queueing_s,
+            "service_s": self.service_s,
+            "edmm_penalty_s": self.edmm_penalty_s,
+            "interference_s": self.interference_s,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: shares of the total attributed time."""
+        shares = self.fractions()
+        return (
+            f"{self.completed} queries: "
+            f"queueing {shares['queueing']:.0%}, "
+            f"service {shares['service']:.0%}, "
+            f"EDMM penalty {shares['edmm_penalty']:.0%}, "
+            f"interference {shares['interference']:.0%} "
+            f"of {self.total_s:.2f} attributed seconds"
+        )
+
+
+def serving_breakdown(source, *, stream: Optional[str] = None) -> ServingBreakdown:
+    """Aggregate a trace's dispatch/finish events into a time breakdown.
+
+    ``source`` is a tracer or record iterable; ``stream`` restricts the
+    aggregation to one stream's queries (per-tenant decompositions).
+    """
+    queueing = service = edmm = interference = 0.0
+    dispatched = completed = 0
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if stream is not None and record.attrs.get("stream") != stream:
+            continue
+        if record.name == DISPATCH:
+            attrs = record.attrs
+            queueing += attrs.get("queue_wait_s", 0.0)
+            service += attrs.get("base_service_s", 0.0)
+            edmm += attrs.get("edmm_penalty_s", 0.0)
+            interference += attrs.get("interference_s", 0.0)
+            dispatched += 1
+        elif record.name == FINISH:
+            completed += 1
+    return ServingBreakdown(
+        queueing_s=queueing,
+        service_s=service,
+        edmm_penalty_s=edmm,
+        interference_s=interference,
+        dispatched=dispatched,
+        completed=completed,
+    )
+
+
+def phase_breakdown(
+    source, *, category: str = "operator-phase", setting: Optional[str] = None
+) -> Dict[str, float]:
+    """Phase-name -> summed span duration (cycles) of one traced run.
+
+    Mirrors :meth:`repro.exec.executor.ExecutionTrace.breakdown` but works
+    on any exported trace: equal names are summed, insertion order is kept.
+    ``setting`` filters spans to one execution setting's label.
+    """
+    result: Dict[str, float] = {}
+    for record in _records(source):
+        if not isinstance(record, Span) or record.category != category:
+            continue
+        if setting is not None and record.attrs.get("setting") != setting:
+            continue
+        result[record.name] = result.get(record.name, 0.0) + record.duration
+    return result
+
+
+def serving_runs(source) -> List[Tuple[Dict[str, object], ServingBreakdown]]:
+    """Per-run breakdowns of a trace holding several serving runs.
+
+    Returns ``(run_start_attrs, breakdown)`` per ``serving.run_start``
+    marker; records before the first marker are ignored.
+    """
+    runs: List[Tuple[Dict[str, object], List]] = []
+    for record in _records(source):
+        if isinstance(record, Event) and record.name == RUN_START:
+            runs.append((dict(record.attrs), []))
+        elif runs:
+            runs[-1][1].append(record)
+    return [(attrs, serving_breakdown(records)) for attrs, records in runs]

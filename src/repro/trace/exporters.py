@@ -1,0 +1,100 @@
+"""Trace exporters: JSON-lines and CSV, plus the JSON-lines reader.
+
+JSON-lines is the canonical interchange format: one record per line,
+keys sorted, so two identical runs produce byte-identical files (the
+determinism the golden-shape tests rely on).  CSV flattens the same
+records into a fixed column set for spreadsheet triage; nested ``attrs``
+are carried as one JSON-encoded column.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Iterable, List, Union
+
+from repro.errors import BenchmarkError
+from repro.trace.records import record_from_dict
+from repro.trace.tracer import TraceRecord
+
+#: Flat CSV column set shared by every record kind.
+CSV_COLUMNS = (
+    "kind",
+    "name",
+    "category",
+    "start",
+    "duration",
+    "unit",
+    "time_s",
+    "value",
+    "attrs",
+)
+
+
+def _records(source) -> List[TraceRecord]:
+    """Normalize a tracer or a record iterable into a record list."""
+    snapshot = getattr(source, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    return list(source)
+
+
+def to_jsonl(source) -> str:
+    """The JSON-lines text of ``source`` (a tracer or record iterable)."""
+    lines = [
+        json.dumps(record.as_dict(), sort_keys=True) for record in _records(source)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(source, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``source`` as JSON-lines to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_jsonl(source))
+    return path
+
+
+def read_jsonl(
+    source: Union[str, pathlib.Path, Iterable[str]]
+) -> List[TraceRecord]:
+    """Load typed records back from a JSON-lines file (or line iterable)."""
+    if isinstance(source, (str, pathlib.Path)):
+        lines = pathlib.Path(source).read_text().splitlines()
+    else:
+        lines = list(source)
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise BenchmarkError(f"trace line {number} is not JSON: {exc}") from None
+        records.append(record_from_dict(payload))
+    return records
+
+
+def to_csv(source) -> str:
+    """The CSV text of ``source`` (a tracer or record iterable)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for record in _records(source):
+        payload = record.as_dict()
+        attrs = payload.pop("attrs", {})
+        row = {column: payload.get(column, "") for column in CSV_COLUMNS}
+        row["attrs"] = json.dumps(attrs, sort_keys=True) if attrs else ""
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(source, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``source`` as CSV to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(source))
+    return path

@@ -98,10 +98,17 @@ class WorkloadMetrics:
 
     @property
     def makespan_s(self) -> float:
-        """Time from the first arrival to the last completion."""
+        """Time from the first arrival to the last completion.
+
+        Anchored at the first *arrival*, not t=0: a stream whose first
+        query arrives late (a staggered tenant, a warm-up gap) must not
+        have the idle lead-in billed against its throughput.
+        """
         if not self.records:
             return 0.0
-        return max(r.finish_s for r in self.records)
+        return max(r.finish_s for r in self.records) - min(
+            r.arrival_s for r in self.records
+        )
 
     def _filtered(
         self, stream: Optional[str] = None, template: Optional[str] = None
@@ -137,16 +144,28 @@ class WorkloadMetrics:
 
         Under overload the makespan stretches past the submission window,
         so achieved QPS converges to the service capacity — the saturation
-        plateau of a latency-throughput curve.
+        plateau of a latency-throughput curve.  The span is computed from
+        the *filtered* records' own first arrival and last completion, so
+        a stream that overlaps the run only partially is rated over its
+        own active window, not the global makespan.
         """
         records = self._filtered(stream)
-        span = self.makespan_s
+        if not records:
+            raise BenchmarkError("no completed queries to rate")
+        span = max(r.finish_s for r in records) - min(
+            r.arrival_s for r in records
+        )
         if span <= 0:
             raise BenchmarkError("no completed queries to rate")
         return len(records) / span
 
     def summary(self) -> str:
-        """One-line digest for report notes."""
+        """One-line digest for report notes (also for zero-query runs)."""
+        if not self.records:
+            return (
+                f"0 queries completed ({self.setting_label}, "
+                f"policy {self.policy})"
+            )
         return (
             f"{self.counters.completed} queries, "
             f"p50 {self.latency_percentile_s(50) * 1e3:.1f} ms, "

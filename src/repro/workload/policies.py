@@ -26,6 +26,12 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from repro.errors import ConfigurationError
+from repro.units import GiB
+
+#: Upper bound for a plausible small-query bypass threshold: one socket's
+#: EPC (Table 1, 64 GB).  A threshold above the whole EPC would classify
+#: every query as "small" and turn the bypass lane into queue reordering.
+MAX_BYPASS_BYTES = 64 * GiB
 
 
 @dataclass(frozen=True)
@@ -57,8 +63,15 @@ class AdmissionPolicy:
     name = "base"
 
     def __init__(self, bypass_bytes: Optional[int] = None) -> None:
-        if bypass_bytes is not None and bypass_bytes <= 0:
-            raise ConfigurationError("bypass threshold must be positive")
+        if bypass_bytes is not None:
+            if bypass_bytes <= 0:
+                raise ConfigurationError("bypass threshold must be positive")
+            if bypass_bytes > MAX_BYPASS_BYTES:
+                raise ConfigurationError(
+                    f"bypass threshold {bypass_bytes} B exceeds any "
+                    f"plausible EPC budget (max {MAX_BYPASS_BYTES} B, one "
+                    "socket's EPC)"
+                )
         self.bypass_bytes = bypass_bytes
         #: Why the last ``pick`` returned nothing ("cores" / "epc" / None).
         self.last_block_reason: Optional[str] = None
@@ -150,9 +163,6 @@ def make_policy(name: str, *, bypass_bytes: Optional[int] = None) -> AdmissionPo
             raise ConfigurationError(
                 f"policy {name!r} needs an explicit bypass_bytes threshold"
             )
-    elif bypass_bytes is not None:
-        # Caller may also opt in via the parameter alone.
-        pass
     policies = {"fifo": FifoPolicy, "epc-aware": EpcAwarePolicy}
     try:
         cls = policies[base]

@@ -34,6 +34,15 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.trace.breakdown import (
+    ARRIVAL,
+    DISPATCH,
+    EDMM_OVERFLOW,
+    FINISH,
+    RUN_END,
+    RUN_START,
+)
+from repro.trace.tracer import current_tracer
 from repro.workload.generators import Arrival, ClosedLoopStream, OpenLoopStream
 from repro.workload.jobs import JobCost
 from repro.workload.metrics import QueryRecord, SchedulerCounters, WorkloadMetrics
@@ -111,6 +120,17 @@ class WorkloadScheduler:
             raise ConfigurationError("duration must be positive")
         if not open_streams and not closed_streams:
             raise ConfigurationError("the workload needs at least one stream")
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                RUN_START,
+                time_s=0.0,
+                setting=self._setting_label,
+                policy=self._policy.label,
+                cores=self._cores,
+                epc_budget_bytes=self._epc_budget,
+                duration_s=duration_s,
+            )
         counters = SchedulerCounters()
         records: List[QueryRecord] = []
         queue: Deque[PendingQuery] = deque()
@@ -161,15 +181,38 @@ class WorkloadScheduler:
                 pending = queue[decision.queue_index]
                 del queue[decision.queue_index]
                 busy_before = self._cores - free_cores
-                service = pending.service_s * (
-                    1.0 + INTERFERENCE_FACTOR * busy_before / self._cores
+                # The dispatch-time service decomposition: a frozen base
+                # service time, plus two additive penalties the trace
+                # attributes separately (the breakdown reporter re-derives
+                # the paper-style split from exactly these three terms).
+                interference_s = (
+                    pending.service_s
+                    * INTERFERENCE_FACTOR
+                    * busy_before
+                    / self._cores
                 )
+                service = pending.service_s + interference_s
+                edmm_penalty_s = 0.0
                 if decision.overflow_bytes > 0:
                     overflow_fraction = (
                         decision.overflow_bytes / pending.working_set_bytes
                     )
-                    service *= 1.0 + EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
+                    edmm_penalty_s = (
+                        service * EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
+                    )
+                    service += edmm_penalty_s
                     counters.edmm_admissions += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            EDMM_OVERFLOW,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            overflow_bytes=decision.overflow_bytes,
+                            overflow_fraction=overflow_fraction,
+                            penalty_s=edmm_penalty_s,
+                        )
                 if decision.bypassed:
                     counters.bypass_dispatches += 1
                 if now == pending.arrival_s:
@@ -177,6 +220,23 @@ class WorkloadScheduler:
                 free_cores -= pending.threads
                 epc_used += pending.working_set_bytes
                 epc_high_water = max(epc_high_water, epc_used)
+                if tracer.enabled:
+                    tracer.event(
+                        DISPATCH,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        queue_wait_s=now - pending.arrival_s,
+                        base_service_s=pending.service_s,
+                        interference_s=interference_s,
+                        edmm_penalty_s=edmm_penalty_s,
+                        overflow_bytes=decision.overflow_bytes,
+                        bypassed=decision.bypassed,
+                        free_cores=free_cores,
+                        epc_used_bytes=epc_used,
+                    )
+                    tracer.gauge("scheduler.epc_high_water_bytes", epc_high_water)
                 running[pending.query_id] = pending
                 push(
                     now + service,
@@ -206,9 +266,23 @@ class WorkloadScheduler:
                     working_set_bytes=cost.working_set_bytes,
                 )
                 next_id += 1
+                if tracer.enabled:
+                    tracer.event(
+                        ARRIVAL,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        queue_depth=len(queue),
+                    )
                 queue.append(pending)
+                # No resources were freed since the last dispatch round, so
+                # the only query this round can admit is the new arrival:
+                # an unchanged queue length means it stayed queued (an O(1)
+                # check; scanning the deque re-compared every field).
+                depth_before = len(queue)
                 dispatch(now)
-                if pending in queue:
+                if len(queue) == depth_before:
                     counters.queued += 1
             else:
                 finish = payload
@@ -216,6 +290,16 @@ class WorkloadScheduler:
                 free_cores += pending.threads
                 epc_used -= pending.working_set_bytes
                 counters.completed += 1
+                if tracer.enabled:
+                    tracer.event(
+                        FINISH,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        latency_s=now - pending.arrival_s,
+                        service_s=now - finish.start_s,
+                    )
                 records.append(
                     QueryRecord(
                         query_id=pending.query_id,
@@ -241,7 +325,7 @@ class WorkloadScheduler:
                     )
                 dispatch(now)
 
-        return WorkloadMetrics(
+        metrics = WorkloadMetrics(
             setting_label=self._setting_label,
             policy=self._policy.label,
             records=sorted(records, key=lambda r: r.query_id),
@@ -250,6 +334,18 @@ class WorkloadScheduler:
             epc_high_water_bytes=int(epc_high_water),
             duration_s=duration_s,
         )
+        if tracer.enabled:
+            for name, value in counters.as_dict().items():
+                tracer.count(f"scheduler.{name}", value)
+            tracer.event(
+                RUN_END,
+                time_s=metrics.makespan_s,
+                setting=self._setting_label,
+                policy=self._policy.label,
+                completed=counters.completed,
+                epc_high_water_bytes=int(epc_high_water),
+            )
+        return metrics
 
     def _cost_of(self, template: str) -> JobCost:
         try:

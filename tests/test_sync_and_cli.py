@@ -124,3 +124,68 @@ class TestCsvRoundTrip:
             assert got["unit"] == expected.unit
             assert float(got["value"]) == pytest.approx(expected.value)
             assert float(got["std"]) == pytest.approx(expected.std)
+
+
+class TestCliTrace:
+    def test_trace_writes_parseable_jsonl_and_csv(self, tmp_path, capsys):
+        import json
+
+        assert main(["fig06", "--trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig06.trace.jsonl" in out
+        lines = (tmp_path / "fig06.trace.jsonl").read_text().splitlines()
+        assert lines  # a traced figure run is never empty
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "span" in kinds
+        csv_text = (tmp_path / "fig06.trace.csv").read_text()
+        assert csv_text.startswith("kind,name,category")
+
+    def test_trace_reproduces_phase_breakdown(self, tmp_path, capsys):
+        from repro.bench.registry import run_experiment
+        from repro.trace import phase_breakdown, read_jsonl
+
+        assert main(["fig06", "--trace", str(tmp_path)]) == 0
+        capsys.readouterr()
+        records = read_jsonl(tmp_path / "fig06.trace.jsonl")
+        phases = phase_breakdown(records, setting="SGX (Data in Enclave)")
+        report = run_experiment("fig06", quick=True)
+        # The exported trace holds naive + unrolled runs; the figure's
+        # per-phase rows must be recoverable from (subsets of) it.
+        for phase in ("hist1", "copy1", "build", "join"):
+            assert phases[phase] >= report.value("naive: sgx", phase)
+
+    def test_typo_leaves_no_trace_dir_behind(self, tmp_path, capsys):
+        target = tmp_path / "traces"
+        assert main(["fig99", "--trace", str(target)]) == 2
+        capsys.readouterr()
+        assert not target.exists()
+
+
+class TestCliReportFlagCombinations:
+    def test_report_honors_csv(self, tmp_path, capsys):
+        report_path = tmp_path / "report.md"
+        csv_dir = tmp_path / "csv"
+        assert main(
+            ["tab01", "--report", str(report_path), "--csv", str(csv_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert report_path.exists()
+        csv_text = (csv_dir / "tab01.csv").read_text()
+        assert csv_text.startswith("series,x,value,std,unit")
+
+    def test_report_honors_trace(self, tmp_path, capsys):
+        report_path = tmp_path / "report.md"
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["fig06", "--report", str(report_path), "--trace", str(trace_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert report_path.exists()
+        assert (trace_dir / "fig06.trace.jsonl").read_text().strip()
+
+    def test_report_with_chart_exits_2(self, tmp_path, capsys):
+        report_path = tmp_path / "report.md"
+        assert main(["tab01", "--report", str(report_path), "--chart"]) == 2
+        err = capsys.readouterr().err
+        assert "--chart" in err and "--report" in err
+        assert not report_path.exists()

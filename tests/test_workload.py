@@ -163,6 +163,19 @@ class TestPolicies:
         with pytest.raises(ConfigurationError):
             make_policy("lifo")
 
+    def test_bypass_threshold_validated_against_plausible_epc(self):
+        from repro.workload.policies import MAX_BYPASS_BYTES
+
+        # Regression: thresholds beyond any plausible EPC budget used to be
+        # silently accepted, turning the "small-query" lane into a full
+        # queue reorder.
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo", bypass_bytes=MAX_BYPASS_BYTES + 1)
+        with pytest.raises(ConfigurationError):
+            EpcAwarePolicy(bypass_bytes=2 * MAX_BYPASS_BYTES)
+        assert make_policy("fifo", bypass_bytes=MAX_BYPASS_BYTES) \
+            .bypass_bytes == MAX_BYPASS_BYTES
+
 
 class TestScheduler:
     MIX = QueryMix.of({"small": 0.7, "big": 0.3})
@@ -246,6 +259,71 @@ class TestScheduler:
             scheduler(cores=2)  # big needs 4 threads
         with pytest.raises(ConfigurationError):
             scheduler().run(open_streams=(), duration_s=1.0)
+
+
+class TestMetricsRegressions:
+    """Regressions for the PR-1 serving-metrics bugs."""
+
+    @staticmethod
+    def record(query_id, stream, arrival_s, finish_s, start_s=None):
+        from repro.workload.metrics import QueryRecord
+
+        return QueryRecord(
+            query_id=query_id,
+            stream=stream,
+            template="small",
+            client=-1,
+            arrival_s=arrival_s,
+            start_s=arrival_s if start_s is None else start_s,
+            finish_s=finish_s,
+            working_set_bytes=MB,
+        )
+
+    @staticmethod
+    def metrics(records):
+        from repro.workload.metrics import WorkloadMetrics
+
+        return WorkloadMetrics(
+            setting_label="test", policy="fifo", records=records
+        )
+
+    def test_per_stream_qps_uses_stream_own_span(self):
+        # Stream A serves 10 queries over [0, 10]; stream B starts only at
+        # t=20 and serves 5 over [20, 30].  Dividing by the global makespan
+        # (the old bug) would understate both streams' throughput.
+        records = [
+            self.record(i, "A", float(i), float(i) + 1.0) for i in range(10)
+        ] + [
+            self.record(10 + i, "B", 20.0 + 2.0 * i, 22.0 + 2.0 * i)
+            for i in range(5)
+        ]
+        metrics = self.metrics(records)
+        assert metrics.achieved_qps(stream="A") == pytest.approx(10 / 10.0)
+        assert metrics.achieved_qps(stream="B") == pytest.approx(5 / 10.0)
+        # The global rate still spans first arrival to last completion.
+        assert metrics.achieved_qps() == pytest.approx(15 / 30.0)
+
+    def test_makespan_anchored_at_first_arrival(self):
+        # Every query arrives at t=5: the 5 idle lead-in seconds are not
+        # serving time (the docstring always said so; the code disagreed).
+        records = [self.record(i, "A", 5.0, 15.0) for i in range(3)]
+        metrics = self.metrics(records)
+        assert metrics.makespan_s == pytest.approx(10.0)
+        assert metrics.achieved_qps() == pytest.approx(3 / 10.0)
+
+    def test_zero_query_summary_does_not_raise(self):
+        metrics = self.metrics([])
+        digest = metrics.summary()
+        assert "0 queries" in digest
+        assert "fifo" in digest
+
+    def test_empty_rate_still_raises(self):
+        with pytest.raises(BenchmarkError):
+            self.metrics([]).achieved_qps()
+        with pytest.raises(BenchmarkError):
+            self.metrics([self.record(0, "A", 0.0, 1.0)]).achieved_qps(
+                stream="ghost"
+            )
 
 
 class TestJobs:
