@@ -1,15 +1,26 @@
 """Benchmark harness: experiment registry, repetition runner, reporting."""
 
-from repro.bench.runner import RunStats, repeat_runs
+from repro.bench.runner import (
+    RunStats,
+    repeat_runs,
+    use_base_seed,
+    use_repetition_jobs,
+)
 from repro.bench.report import ExperimentReport, ReportRow
 from repro.bench.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.bench.parallel import ExperimentRun, SessionResult, run_session
 
 __all__ = [
     "RunStats",
     "repeat_runs",
+    "use_base_seed",
+    "use_repetition_jobs",
     "ExperimentReport",
     "ReportRow",
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "ExperimentRun",
+    "SessionResult",
+    "run_session",
 ]

@@ -90,6 +90,7 @@ def run_experiment(
     *,
     quick: bool = True,
     tracer=None,
+    base_seed: Optional[int] = None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -97,11 +98,18 @@ def run_experiment(
     run, so every instrumented layer (operator phases, enclave charges,
     serving scheduler) records into it.  Tracing is observation-only: the
     report is bit-identical with and without it.
+
+    ``base_seed`` pins the repetition/stream base seed for this run (the
+    explicit channel parallel workers use; ``None`` keeps the process
+    default).
     """
     module = get_experiment(experiment_id)
-    if tracer is None:
-        return module.run(machine, quick=quick)
-    from repro.trace import use_tracer
+    from repro.bench.runner import use_base_seed
 
-    with use_tracer(tracer):
-        return module.run(machine, quick=quick)
+    with use_base_seed(base_seed):
+        if tracer is None:
+            return module.run(machine, quick=quick)
+        from repro.trace import use_tracer
+
+        with use_tracer(tracer):
+            return module.run(machine, quick=quick)

@@ -33,6 +33,29 @@ class ReportRow:
             return f"{self.value:.4g} ± {self.std:.2g} {self.unit}"
         return f"{self.value:.4g} {self.unit}"
 
+    def as_dict(self) -> Dict[str, Union[str, int, float]]:
+        """JSON-safe representation (cache entries, worker transfer)."""
+        return {
+            "series": self.series,
+            "x": self.x,
+            "value": self.value,
+            "unit": self.unit,
+            "std": self.std,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ReportRow":
+        try:
+            return cls(
+                series=payload["series"],
+                x=payload["x"],
+                value=float(payload["value"]),
+                unit=payload["unit"],
+                std=float(payload.get("std", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchmarkError(f"malformed report row {payload!r}: {exc}") from None
+
 
 @dataclass
 class ExperimentReport:
@@ -56,6 +79,29 @@ class ExperimentReport:
             self.rows.append(ReportRow(series, x, value.mean, unit, value.std))
         else:
             self.rows.append(ReportRow(series, x, float(value), unit))
+
+    def as_dict(self) -> Dict:
+        """JSON-safe representation; :meth:`from_dict` round-trips it."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "rows": [row.as_dict() for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ExperimentReport":
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                paper_reference=payload["paper_reference"],
+                rows=[ReportRow.from_dict(row) for row in payload["rows"]],
+                notes=list(payload["notes"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise BenchmarkError(f"malformed report payload: {exc}") from None
 
     def series(self, name: str) -> List[ReportRow]:
         """All rows of one series, in insertion order."""

@@ -9,9 +9,10 @@ carefully as the paper controls it (fixed frequency, pinned threads).
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.errors import BenchmarkError
 
@@ -20,8 +21,17 @@ PAPER_REPETITIONS = 10
 
 #: Seed of the first repetition (repetition i uses base + i).  The CLI's
 #: ``--seed`` flag overrides it process-wide via :func:`set_default_base_seed`
-#: so runs are reproducible-but-variable.
+#: so runs are reproducible-but-variable.  Parallel workers must NOT rely on
+#: this global surviving into them (spawned processes re-import the module
+#: fresh); the session driver threads the seed explicitly and installs it in
+#: each worker with :func:`use_base_seed`.
 DEFAULT_BASE_SEED = 42
+
+#: Thread-pool width for the repetitions of one :func:`repeat_runs` call.
+#: 1 means strictly serial; the parallel session driver raises it (via
+#: :func:`use_repetition_jobs`) when there are more worker slots than
+#: experiments.
+DEFAULT_REPETITION_JOBS = 1
 
 
 def set_default_base_seed(seed: int) -> None:
@@ -30,6 +40,46 @@ def set_default_base_seed(seed: int) -> None:
     if not isinstance(seed, int) or isinstance(seed, bool):
         raise BenchmarkError(f"base seed must be an integer, got {seed!r}")
     DEFAULT_BASE_SEED = seed
+
+
+def set_default_repetition_jobs(jobs: int) -> None:
+    """Set the process-wide repetition thread count used when callers pass none."""
+    global DEFAULT_REPETITION_JOBS
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise BenchmarkError(f"repetition jobs must be a positive integer, got {jobs!r}")
+    DEFAULT_REPETITION_JOBS = jobs
+
+
+@contextlib.contextmanager
+def use_base_seed(seed: Optional[int]) -> Iterator[int]:
+    """Install ``seed`` as the process base seed for the ``with`` scope.
+
+    ``None`` leaves the current default untouched.  This is how the parallel
+    session driver threads ``--seed`` into worker processes explicitly: the
+    CLI's one-shot :func:`set_default_base_seed` mutation happens in the
+    parent and does not survive into spawned workers.
+    """
+    global DEFAULT_BASE_SEED
+    previous = DEFAULT_BASE_SEED
+    if seed is not None:
+        set_default_base_seed(seed)
+    try:
+        yield DEFAULT_BASE_SEED
+    finally:
+        DEFAULT_BASE_SEED = previous
+
+
+@contextlib.contextmanager
+def use_repetition_jobs(jobs: Optional[int]) -> Iterator[int]:
+    """Install ``jobs`` as the repetition thread count for the ``with`` scope."""
+    global DEFAULT_REPETITION_JOBS
+    previous = DEFAULT_REPETITION_JOBS
+    if jobs is not None:
+        set_default_repetition_jobs(jobs)
+    try:
+        yield DEFAULT_REPETITION_JOBS
+    finally:
+        DEFAULT_REPETITION_JOBS = previous
 
 
 @dataclass(frozen=True)
@@ -46,9 +96,14 @@ class RunStats:
 
     @property
     def relative_std(self) -> float:
-        """Coefficient of variation (0 when the mean is 0)."""
+        """Coefficient of variation.
+
+        0 only when the spread truly is zero; a zero mean with nonzero
+        spread (samples straddling zero) has no meaningful coefficient of
+        variation and reports ``nan`` rather than fake perfect stability.
+        """
         if self.mean == 0:
-            return 0.0
+            return 0.0 if self.std == 0 else math.nan
         return self.std / abs(self.mean)
 
     def __format__(self, spec: str) -> str:
@@ -70,28 +125,64 @@ def repeat_runs(
     *,
     runs: int = PAPER_REPETITIONS,
     base_seed: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> RunStats:
     """Call ``measure(seed)`` ``runs`` times and summarize the results.
 
     ``base_seed`` defaults to the process-wide :data:`DEFAULT_BASE_SEED`
-    (42, unless the CLI's ``--seed`` changed it).
+    (42, unless the CLI's ``--seed`` changed it) and ``jobs`` to
+    :data:`DEFAULT_REPETITION_JOBS`.  With ``jobs > 1`` the repetitions run
+    on a thread pool; samples are collected in repetition order, so the
+    summary is identical to a serial run.  A tracer forces serial execution:
+    measurements emit spans into the process-current tracer, and only a
+    serial sweep keeps the exported record order deterministic.
+
+    A failing repetition is re-raised as :class:`BenchmarkError` carrying
+    the repetition index and seed, so a crash deep inside an operator (or a
+    pool worker) still names the exact input that triggered it.
     """
     if runs < 1:
         raise BenchmarkError("need at least one run")
     if base_seed is None:
         base_seed = DEFAULT_BASE_SEED
+    if jobs is None:
+        jobs = DEFAULT_REPETITION_JOBS
     from repro.trace.tracer import current_tracer
 
     tracer = current_tracer()
-    samples: List[float] = []
-    for i in range(runs):
-        samples.append(float(measure(base_seed + i)))
-        if tracer.enabled:
-            tracer.event(
-                "bench.repetition",
-                repetition=i,
-                seed=base_seed + i,
-                sample=samples[-1],
-            )
-            tracer.count("bench.repetitions")
+    seeds = [base_seed + i for i in range(runs)]
+
+    def run_one(index: int) -> float:
+        seed = seeds[index]
+        try:
+            return float(measure(seed))
+        except Exception as exc:
+            if tracer.enabled:
+                tracer.event(
+                    "bench.repetition_failed",
+                    repetition=index,
+                    seed=seed,
+                    error=type(exc).__name__,
+                )
+            raise BenchmarkError(
+                f"repetition {index} (seed {seed}) failed: {exc}"
+            ) from exc
+
+    if jobs > 1 and runs > 1 and not tracer.enabled:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(jobs, runs)) as pool:
+            samples: List[float] = list(pool.map(run_one, range(runs)))
+    else:
+        samples = []
+        for i in range(runs):
+            samples.append(run_one(i))
+            if tracer.enabled:
+                tracer.event(
+                    "bench.repetition",
+                    repetition=i,
+                    seed=seeds[i],
+                    sample=samples[-1],
+                )
+                tracer.count("bench.repetitions")
     return summarize(samples)

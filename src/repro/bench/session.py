@@ -12,9 +12,11 @@ import pathlib
 from typing import Iterable, List, Optional, Union
 
 from repro.bench.charts import render
-from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.parallel import run_session
+from repro.bench.registry import EXPERIMENTS
 from repro.bench.report import ExperimentReport
 from repro.bench.validate import CalibrationValidator
+from repro.cache import MemoStore
 from repro.errors import BenchmarkError
 from repro.machine import SimMachine
 
@@ -54,6 +56,9 @@ def build_report(
     quick: bool = True,
     csv_dir: Optional[Union[str, pathlib.Path]] = None,
     trace_dir: Optional[Union[str, pathlib.Path]] = None,
+    jobs: int = 1,
+    cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
+    base_seed: Optional[int] = None,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
 
@@ -61,6 +66,11 @@ def build_report(
     the report's tables show) from the *same* runs — the report never runs
     an experiment twice.  ``trace_dir`` runs each experiment under a fresh
     tracer and exports its trace as JSON-lines and CSV.
+
+    ``jobs`` fans the experiments out across worker processes and ``cache``
+    memoizes their results (see :func:`repro.bench.parallel.run_session`);
+    the rendered report is byte-identical for any ``jobs``/``cache``
+    combination.
     """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
@@ -92,21 +102,30 @@ def build_report(
         "```",
         "",
     ]
-    for experiment_id in ids:
-        tracer = None
-        if trace_dir is not None:
-            from repro.trace import Tracer
-
-            tracer = Tracer(label=experiment_id)
-        report = run_experiment(experiment_id, machine, quick=quick, tracer=tracer)
+    session = run_session(
+        ids,
+        machine,
+        quick=quick,
+        jobs=jobs,
+        cache=cache,
+        base_seed=base_seed,
+        traced=trace_dir is not None,
+    )
+    for run in session.runs:
         if csv_dir is not None:
-            (csv_dir / f"{experiment_id}.csv").write_text(report.to_csv())
-        if tracer is not None:
-            from repro.trace import write_csv, write_jsonl
-
-            write_jsonl(tracer, trace_dir / f"{experiment_id}.trace.jsonl")
-            write_csv(tracer, trace_dir / f"{experiment_id}.trace.csv")
-        sections.append(_experiment_section(report))
+            (csv_dir / f"{run.experiment_id}.csv").write_text(run.report.to_csv())
+        if trace_dir is not None and run.trace_jsonl is not None:
+            (trace_dir / f"{run.experiment_id}.trace.jsonl").write_text(
+                run.trace_jsonl
+            )
+            (trace_dir / f"{run.experiment_id}.trace.csv").write_text(
+                run.trace_csv
+            )
+        sections.append(_experiment_section(run.report))
+    if trace_dir is not None and (cache is not None or jobs > 1):
+        # Cache/worker telemetry; wall-clock gauges make it the one trace
+        # file outside the byte-determinism guarantee.
+        session.write_session_trace(trace_dir)
     return "\n".join(sections)
 
 
@@ -118,6 +137,9 @@ def write_report(
     quick: bool = True,
     csv_dir: Optional[Union[str, pathlib.Path]] = None,
     trace_dir: Optional[Union[str, pathlib.Path]] = None,
+    jobs: int = 1,
+    cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
+    base_seed: Optional[int] = None,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
@@ -129,6 +151,9 @@ def write_report(
             quick=quick,
             csv_dir=csv_dir,
             trace_dir=trace_dir,
+            jobs=jobs,
+            cache=cache,
+            base_seed=base_seed,
         )
     )
     return path

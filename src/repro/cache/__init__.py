@@ -1,0 +1,29 @@
+"""Content-addressed result caching for the bench stack.
+
+``repro.cache`` memoizes costed experiment results and their exported
+traces under canonical content hashes: :mod:`repro.cache.keys` turns an
+(experiment id, operator params, execution setting, seed, calibration
+digest) tuple into a SHA-256 key, and :class:`~repro.cache.store.MemoStore`
+serves those keys from an in-memory LRU backed by an on-disk JSON store.
+Calibration changes rotate the keys, so invalidation is automatic — a
+modified cost model can never be answered from stale results.
+"""
+
+from repro.cache.keys import (
+    CACHE_FORMAT,
+    calibration_digest,
+    canonical,
+    experiment_key,
+    fingerprint,
+)
+from repro.cache.store import DEFAULT_MEMORY_ENTRIES, MemoStore
+
+__all__ = [
+    "CACHE_FORMAT",
+    "DEFAULT_MEMORY_ENTRIES",
+    "MemoStore",
+    "calibration_digest",
+    "canonical",
+    "experiment_key",
+    "fingerprint",
+]

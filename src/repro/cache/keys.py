@@ -1,0 +1,109 @@
+"""Canonical cache keys: content-addressed hashes of run configurations.
+
+A cache key is the SHA-256 of a canonical JSON rendering of everything
+that determines a costed result: the experiment id, the operator/fidelity
+parameters, the :class:`~repro.enclave.runtime.ExecutionSetting`, the base
+seed, and a digest of the calibration constants plus hardware spec.  Keys
+are *content-addressed*: changing any calibration constant (or the cache
+format) changes every key, so stale entries are never served — they are
+simply never looked up again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import CacheError
+from repro.hardware.calibration import CostParameters, paper_calibration
+from repro.hardware.spec import HardwareSpec, paper_testbed
+
+#: Bump to invalidate every existing cache entry (serialization changes,
+#: cost-model semantics changes that the calibration digest cannot see).
+CACHE_FORMAT = 1
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-safe form with a stable rendering.
+
+    Dataclasses (settings, calibrations, specs) and enums carry their type
+    name so two structurally identical but semantically different objects
+    never collide; dict keys must be strings (JSON cannot represent
+    anything else losslessly).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise CacheError("cache-key dicts must have string keys")
+        return {key: canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CacheError(
+        f"cannot build a canonical cache key from {type(value).__name__!r}"
+    )
+
+
+def fingerprint(**components: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``components``."""
+    payload = json.dumps(
+        {name: canonical(value) for name, value in components.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def calibration_digest(
+    params: Optional[CostParameters] = None,
+    spec: Optional[HardwareSpec] = None,
+) -> str:
+    """Digest of the calibration constants and hardware spec in effect.
+
+    Part of every experiment key, so editing any constant (a
+    ``dataclasses.replace`` calibration, a different testbed) automatically
+    invalidates all results priced under the old model.
+    """
+    return fingerprint(
+        params=params or paper_calibration(),
+        spec=spec or paper_testbed(),
+    )
+
+
+def experiment_key(
+    experiment_id: str,
+    *,
+    quick: bool,
+    base_seed: int,
+    traced: bool = False,
+    params: Optional[CostParameters] = None,
+    spec: Optional[HardwareSpec] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """The cache key of one experiment run.
+
+    ``quick`` folds in the fidelity mode (repetition count and physical row
+    caps), ``traced`` whether the entry must carry a replayable trace, and
+    ``extra`` any additional operator parameters a caller wants keyed
+    (e.g. an :class:`~repro.enclave.runtime.ExecutionSetting`).
+    """
+    return fingerprint(
+        format=CACHE_FORMAT,
+        experiment=experiment_id,
+        quick=bool(quick),
+        base_seed=int(base_seed),
+        traced=bool(traced),
+        calibration=calibration_digest(params, spec),
+        extra=extra or {},
+    )

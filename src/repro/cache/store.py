@@ -1,0 +1,124 @@
+"""The memo store: an in-memory LRU in front of an on-disk JSON store.
+
+Values are JSON-safe dicts (costed reports, access-profile summaries,
+exported trace texts) addressed by the content hashes of
+:mod:`repro.cache.keys`.  The LRU bounds resident memory; the disk tier —
+one ``<key>.json`` file per entry under the cache directory — persists
+across processes and survives restarts.  Disk writes are atomic (write to
+a temp file, then rename), so a crashed run never leaves a half-written
+entry behind; an unreadable entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import CacheError
+
+#: Default number of entries the in-memory tier keeps resident.
+DEFAULT_MEMORY_ENTRIES = 64
+
+
+class MemoStore:
+    """Content-addressed memo cache: memory LRU over an optional disk tier.
+
+    ``directory=None`` gives a purely in-memory store (tests, throwaway
+    sessions); with a directory, entries evicted from memory remain on disk
+    and are transparently re-promoted on the next :meth:`get`.
+
+    The store counts its own traffic (:attr:`hits` / :attr:`misses`); the
+    session driver mirrors those counts into trace counters so ``--trace``
+    shows exactly what was recomputed.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, pathlib.Path]] = None,
+        *,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        if memory_entries < 1:
+            raise CacheError("memory_entries must be at least 1")
+        self.directory = pathlib.Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ------------------------------------------------------
+
+    def path_for(self, key: str) -> Optional[pathlib.Path]:
+        """The on-disk file backing ``key`` (None for memory-only stores)."""
+        if self.directory is None:
+            return None
+        if not key or any(c in key for c in "/\\."):
+            raise CacheError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}.json"
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached value for ``key``, or None (counted as hit/miss)."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return self._memory[key]
+        path = self.path_for(key)
+        if path is not None and path.exists():
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                # A torn or corrupt entry must never poison a run: recompute.
+                self.misses += 1
+                return None
+            self._remember(key, value)
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Store ``value`` under ``key`` in both tiers."""
+        if not isinstance(value, dict):
+            raise CacheError(f"cache values must be dicts, got {type(value).__name__}")
+        try:
+            text = json.dumps(value, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise CacheError(f"cache value is not JSON-serializable: {exc}") from None
+        path = self.path_for(key)
+        if path is not None:
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        self._remember(key, value)
+
+    def _remember(self, key: str, value: Dict[str, Any]) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- inspection ------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        """Number of distinct entries across both tiers."""
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*.json"))
+        return len(keys)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

@@ -14,7 +14,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.registry import EXPERIMENTS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,12 +73,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="base seed for repetition and workload streams (default 42)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run experiments across up to N worker processes (leftover "
+            "slots fan out as repetition threads inside each experiment); "
+            "results merge in request order, so output is byte-identical "
+            "to --jobs 1"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help=(
+            "content-addressed result cache in DIR: identical (experiment, "
+            "params, seed, calibration) runs are served from the cache "
+            "instead of re-simulated; calibration changes invalidate "
+            "entries automatically"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
     if args.seed is not None:
         from repro.bench import runner
 
@@ -111,6 +136,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    store = None
+    if args.cache:
+        from repro.cache import MemoStore
+
+        store = MemoStore(args.cache)
     if args.report:
         if args.chart:
             # The Markdown report embeds every experiment's chart already;
@@ -129,8 +159,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             quick=not args.full,
             csv_dir=args.csv,
             trace_dir=args.trace,
+            jobs=args.jobs,
+            cache=store,
+            base_seed=args.seed,
         )
         print(f"wrote {path}")
+        _print_cache_summary(store, args.cache)
         return 0
     csv_dir = pathlib.Path(args.csv) if args.csv else None
     if csv_dir is not None:
@@ -138,31 +172,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_dir = pathlib.Path(args.trace) if args.trace else None
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
-    for experiment_id in requested:
-        tracer = None
-        if trace_dir is not None:
-            from repro.trace import Tracer
+    from repro.bench.parallel import run_session
 
-            tracer = Tracer(label=experiment_id)
-        report = run_experiment(experiment_id, quick=not args.full, tracer=tracer)
-        print(report.print_table())
+    session = run_session(
+        requested,
+        quick=not args.full,
+        jobs=args.jobs,
+        cache=store,
+        base_seed=args.seed,
+        traced=trace_dir is not None,
+    )
+    for run in session.runs:
+        print(run.report.print_table())
         if args.chart:
             from repro.bench.charts import render
 
             print()
-            print(render(report))
+            print(render(run.report))
         print()
         if csv_dir is not None:
-            (csv_dir / f"{experiment_id}.csv").write_text(report.to_csv())
-        if tracer is not None:
-            from repro.trace import write_csv, write_jsonl
-
-            trace_path = write_jsonl(
-                tracer, trace_dir / f"{experiment_id}.trace.jsonl"
+            (csv_dir / f"{run.experiment_id}.csv").write_text(run.report.to_csv())
+        if trace_dir is not None and run.trace_jsonl is not None:
+            trace_path = trace_dir / f"{run.experiment_id}.trace.jsonl"
+            trace_path.write_text(run.trace_jsonl)
+            (trace_dir / f"{run.experiment_id}.trace.csv").write_text(
+                run.trace_csv
             )
-            write_csv(tracer, trace_dir / f"{experiment_id}.trace.csv")
-            print(f"wrote {trace_path} ({len(tracer.snapshot())} records)")
+            records = len(run.trace_jsonl.splitlines())
+            print(f"wrote {trace_path} ({records} records)")
+    if trace_dir is not None and (store is not None or args.jobs > 1):
+        session_trace = session.write_session_trace(trace_dir)
+        print(f"wrote {session_trace} (session cache/worker telemetry)")
+    _print_cache_summary(store, args.cache)
     return 0
+
+
+def _print_cache_summary(store, cache_dir: Optional[str]) -> None:
+    """One line of cache traffic, mirroring the session trace counters."""
+    if store is None:
+        return
+    print(
+        f"cache: {store.hits} hits, {store.misses} misses, "
+        f"{len(store)} entries ({cache_dir})"
+    )
 
 
 if __name__ == "__main__":

@@ -51,3 +51,7 @@ class PlanError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark experiment was configured or invoked incorrectly."""
+
+
+class CacheError(ReproError):
+    """A result-cache key could not be built or an entry is malformed."""

@@ -81,7 +81,10 @@ def read_jsonl(
 def to_csv(source) -> str:
     """The CSV text of ``source`` (a tracer or record iterable)."""
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    # csv.DictWriter defaults to "\r\n" row endings; JSON-lines emits "\n".
+    # Pin the terminator so both exports of one trace are byte-deterministic
+    # across platforms and diff-based golden checks never see mixed EOLs.
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS, lineterminator="\n")
     writer.writeheader()
     for record in _records(source):
         payload = record.as_dict()

@@ -1,5 +1,7 @@
 """Bench harness: stats runner, report container, registry."""
 
+import math
+
 import pytest
 
 from repro.bench import (
@@ -9,7 +11,8 @@ from repro.bench import (
     get_experiment,
     repeat_runs,
 )
-from repro.bench.runner import summarize
+from repro.bench import runner
+from repro.bench.runner import summarize, use_base_seed, use_repetition_jobs
 from repro.errors import BenchmarkError
 
 
@@ -25,6 +28,19 @@ class TestRunner:
         assert stats.relative_std == 0.0
         assert summarize([0.0, 0.0]).relative_std == 0.0
 
+    def test_relative_std_zero_mean_nonzero_spread_is_nan(self):
+        # Samples straddling zero have no meaningful coefficient of
+        # variation; 0.0 here used to report fake perfect stability.
+        stats = summarize([-1.0, 1.0])
+        assert stats.mean == 0.0 and stats.std > 0.0
+        assert math.isnan(stats.relative_std)
+
+    def test_summarize_single_sample_std_is_zero(self):
+        stats = summarize([3.0])
+        assert stats.mean == 3.0
+        assert stats.std == 0.0
+        assert not math.isnan(stats.relative_std)
+
     def test_empty_rejected(self):
         with pytest.raises(BenchmarkError):
             summarize([])
@@ -38,6 +54,55 @@ class TestRunner:
     def test_zero_runs_rejected(self):
         with pytest.raises(BenchmarkError):
             repeat_runs(lambda seed: 0.0, runs=0)
+
+    def test_failing_repetition_names_its_seed(self):
+        def measure(seed: int) -> float:
+            if seed == 44:
+                raise ValueError("boom")
+            return float(seed)
+
+        with pytest.raises(BenchmarkError, match=r"repetition 2 \(seed 44\)"):
+            repeat_runs(measure, runs=5, base_seed=42)
+
+    def test_failing_repetition_traced_with_seed_context(self):
+        from repro.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(BenchmarkError):
+                repeat_runs(lambda seed: 1 / 0, runs=3, base_seed=7)
+        [event] = [r for r in tracer.records if r.name == "bench.repetition_failed"]
+        assert event.attrs["seed"] == 7
+        assert event.attrs["error"] == "ZeroDivisionError"
+
+    def test_threaded_repetitions_match_serial(self):
+        serial = repeat_runs(lambda seed: float(seed * seed), runs=6, jobs=1)
+        threaded = repeat_runs(lambda seed: float(seed * seed), runs=6, jobs=4)
+        assert threaded.samples == serial.samples
+
+    def test_threaded_failure_still_names_its_seed(self):
+        def measure(seed: int) -> float:
+            if seed == 43:
+                raise RuntimeError("bad input")
+            return 1.0
+
+        with pytest.raises(BenchmarkError, match=r"seed 43"):
+            repeat_runs(measure, runs=4, jobs=4, base_seed=42)
+
+    def test_use_base_seed_scopes_and_restores(self):
+        before = runner.DEFAULT_BASE_SEED
+        with use_base_seed(1000):
+            assert repeat_runs(lambda s: float(s), runs=1).mean == 1000.0
+        assert runner.DEFAULT_BASE_SEED == before
+        with use_base_seed(None):
+            assert runner.DEFAULT_BASE_SEED == before
+
+    def test_use_repetition_jobs_scopes_and_validates(self):
+        with use_repetition_jobs(3):
+            assert runner.DEFAULT_REPETITION_JOBS == 3
+        assert runner.DEFAULT_REPETITION_JOBS == 1
+        with pytest.raises(BenchmarkError):
+            runner.set_default_repetition_jobs(0)
 
     def test_format(self):
         stats = RunStats(mean=123.456, std=1.2, samples=(1,))
@@ -91,6 +156,31 @@ class TestReport:
         lines = csv.splitlines()
         assert lines[0] == "series,x,value,std,unit"
         assert len(lines) == 4
+
+    def test_dict_roundtrip_through_json(self):
+        import json
+
+        report = self._report()
+        report.notes.append("a note")
+        payload = json.loads(json.dumps(report.as_dict()))
+        clone = ExperimentReport.from_dict(payload)
+        assert clone.as_dict() == report.as_dict()
+        assert clone.rows[0].x == 1  # x keeps its type through JSON
+        assert clone.to_csv() == report.to_csv()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(BenchmarkError):
+            ExperimentReport.from_dict({"experiment_id": "x"})
+        with pytest.raises(BenchmarkError):
+            ExperimentReport.from_dict(
+                {
+                    "experiment_id": "x",
+                    "title": "t",
+                    "paper_reference": "r",
+                    "rows": [{"series": "a"}],
+                    "notes": [],
+                }
+            )
 
 
 class TestRegistry:

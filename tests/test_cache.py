@@ -1,0 +1,151 @@
+"""Content-addressed cache: canonical keys and the memo store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cache import (
+    MemoStore,
+    calibration_digest,
+    canonical,
+    experiment_key,
+    fingerprint,
+)
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import CacheError
+from repro.hardware.calibration import paper_calibration
+from repro.hardware.platforms import sgxv1_calibration
+
+
+class TestCanonical:
+    def test_scalars_pass_through(self):
+        assert canonical(3) == 3
+        assert canonical(2.5) == 2.5
+        assert canonical("x") == "x"
+        assert canonical(None) is None
+        assert canonical(True) is True
+
+    def test_sequences_and_dicts(self):
+        assert canonical((1, 2)) == [1, 2]
+        assert canonical({"b": 2, "a": (1,)}) == {"a": [1], "b": 2}
+
+    def test_dataclasses_carry_type_name(self):
+        setting = ExecutionSetting.sgx_data_in_enclave()
+        payload = canonical(setting)
+        assert payload["__dataclass__"] == "ExecutionSetting"
+        assert payload["data_in_enclave"] is True
+        assert payload["mode"] == {"__enum__": "Mode.SGX"}
+
+    def test_canonical_is_json_safe(self):
+        json.dumps(canonical(paper_calibration()), sort_keys=True)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(CacheError):
+            canonical({1: "x"})
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(CacheError):
+            canonical(object())
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_insensitive(self):
+        assert fingerprint(a=1, b=2) == fingerprint(b=2, a=1)
+        assert len(fingerprint(a=1)) == 64
+
+    def test_distinguishes_values_and_names(self):
+        assert fingerprint(a=1) != fingerprint(a=2)
+        assert fingerprint(a=1) != fingerprint(b=1)
+
+    def test_settings_distinguished(self):
+        inside = fingerprint(setting=ExecutionSetting.sgx_data_in_enclave())
+        outside = fingerprint(setting=ExecutionSetting.sgx_data_outside_enclave())
+        assert inside != outside
+
+
+class TestExperimentKey:
+    def test_every_component_rotates_the_key(self):
+        base = dict(quick=True, base_seed=42)
+        key = experiment_key("fig08", **base)
+        assert key != experiment_key("fig09", **base)
+        assert key != experiment_key("fig08", quick=False, base_seed=42)
+        assert key != experiment_key("fig08", quick=True, base_seed=43)
+        assert key != experiment_key("fig08", traced=True, **base)
+
+    def test_calibration_change_invalidates(self):
+        default = experiment_key("fig08", quick=True, base_seed=42)
+        nudged = dataclasses.replace(
+            paper_calibration(), transition_cycles=9_000.0
+        )
+        assert default != experiment_key(
+            "fig08", quick=True, base_seed=42, params=nudged
+        )
+
+    def test_calibration_digest_differs_across_platforms(self):
+        assert calibration_digest() != calibration_digest(sgxv1_calibration())
+
+    def test_extra_operator_params_keyed(self):
+        plain = experiment_key("fig08", quick=True, base_seed=42)
+        with_setting = experiment_key(
+            "fig08",
+            quick=True,
+            base_seed=42,
+            extra={"setting": ExecutionSetting.plain_cpu()},
+        )
+        assert plain != with_setting
+
+
+class TestMemoStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = MemoStore(tmp_path)
+        assert store.get("a" * 64) is None
+        store.put("a" * 64, {"value": 1})
+        assert store.get("a" * 64) == {"value": 1}
+        assert store.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_memory_only_store(self):
+        store = MemoStore()
+        store.put("k", {"v": 2})
+        assert store.get("k") == {"v": 2}
+        assert store.path_for("k") is None
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        MemoStore(tmp_path).put("key1", {"x": [1, 2]})
+        fresh = MemoStore(tmp_path)
+        assert fresh.get("key1") == {"x": [1, 2]}
+        assert fresh.hits == 1
+
+    def test_lru_evicts_memory_not_disk(self, tmp_path):
+        store = MemoStore(tmp_path, memory_entries=2)
+        for i in range(4):
+            store.put(f"key{i}", {"i": i})
+        assert len(store._memory) == 2
+        # Evicted entries re-promote from disk.
+        assert store.get("key0") == {"i": 0}
+        assert len(store) == 4
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = MemoStore(tmp_path)
+        store.put("key1", {"ok": True})
+        store.path_for("key1").write_text("{not json")
+        fresh = MemoStore(tmp_path)
+        assert fresh.get("key1") is None
+        assert fresh.misses == 1
+
+    def test_malformed_keys_rejected(self, tmp_path):
+        store = MemoStore(tmp_path)
+        for bad in ("", "../escape", "a/b", "a.b"):
+            with pytest.raises(CacheError):
+                store.path_for(bad)
+
+    def test_non_json_value_rejected(self, tmp_path):
+        store = MemoStore(tmp_path)
+        with pytest.raises(CacheError):
+            store.put("key1", {"bad": object()})
+        with pytest.raises(CacheError):
+            store.put("key1", [1, 2])
+
+    def test_zero_capacity_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            MemoStore(tmp_path, memory_entries=0)

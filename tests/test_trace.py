@@ -22,6 +22,7 @@ from repro.trace import (
     to_csv,
     to_jsonl,
     use_tracer,
+    write_csv,
     write_jsonl,
 )
 from repro.workload import (
@@ -146,6 +147,21 @@ class TestExporters:
         lines = to_csv(tracer).strip().splitlines()
         assert lines[0].startswith("kind,name,category")
         assert len(lines) == 1 + len(tracer.snapshot())
+
+    def test_csv_uses_unix_line_endings(self):
+        # csv.DictWriter defaults to "\r\n": mixed-EOL trace exports broke
+        # byte-level golden comparisons on non-Windows platforms.
+        tracer, _ = traced_run()
+        text = to_csv(tracer)
+        assert "\r" not in text
+        assert text.endswith("\n")
+
+    def test_csv_export_is_byte_deterministic(self, tmp_path):
+        first, _ = traced_run(seed=5)
+        second, _ = traced_run(seed=5)
+        assert to_csv(first).encode() == to_csv(second).encode()
+        path = write_csv(first, tmp_path / "run.trace.csv")
+        assert path.read_bytes() == to_csv(first).encode()
 
     def test_empty_tracer_exports_empty(self):
         assert to_jsonl(Tracer()) == ""

@@ -52,11 +52,22 @@ class TestPercentile:
         assert percentile(samples, 99) == 40.0
         assert percentile(samples, 0) == 10.0
 
+    def test_extremes_hit_min_and_max(self):
+        samples = [30.0, 10.0, 20.0, 40.0]
+        assert percentile(samples, 0) == 10.0
+        assert percentile(samples, 100) == 40.0
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.5], p) == 7.5
+
     def test_validation(self):
         with pytest.raises(BenchmarkError):
             percentile([], 50)
         with pytest.raises(BenchmarkError):
             percentile([1.0], 101)
+        with pytest.raises(BenchmarkError):
+            percentile([1.0], -0.1)
 
 
 class TestQueryMix:
