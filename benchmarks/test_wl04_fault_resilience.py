@@ -1,0 +1,15 @@
+"""wl04: serving under injected faults, resilience on vs off.
+
+Regenerates the fault-resilience extension of Fig. 11 / Sec. 6; the
+rendered table lands in ``benchmarks/results/wl04.txt``.
+"""
+
+
+def test_wl04(run_figure):
+    report = run_figure("wl04")
+    base = report.value("baseline latency", 99)
+    faults = report.value("faults latency", 99)
+    mitigated = report.value("mitigated latency", 99)
+    assert faults > 3 * base
+    assert mitigated <= base + 0.5 * (faults - base)  # >=50% gap recovered
+    assert report.value("goodput", "mitigated") > report.value("goodput", "faults")

@@ -36,11 +36,15 @@ from repro.bench.report import ExperimentReport
 from repro.bench.runner import DEFAULT_BASE_SEED, use_repetition_jobs
 from repro.cache import MemoStore, calibration_digest, experiment_key
 from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan
 from repro.machine import SimMachine
 from repro.trace import Tracer
 
-#: Worker payload: (experiment_id, quick, base_seed, traced, repetition_jobs).
-_Task = Tuple[str, bool, int, bool, int]
+#: Worker payload: (experiment_id, quick, base_seed, traced,
+#: repetition_jobs, fault_plan).  The plan rides into spawned workers as a
+#: pickled frozen dataclass — spawn inherits no ambient ``use_fault_plan``
+#: state, so the explicit slot is the only channel.
+_Task = Tuple[str, bool, int, bool, int, Optional[FaultPlan]]
 
 
 @dataclass
@@ -95,6 +99,7 @@ def _execute(
     traced: bool,
     repetition_jobs: int,
     machine: Optional[SimMachine] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -106,6 +111,7 @@ def _execute(
             quick=quick,
             tracer=tracer,
             base_seed=base_seed,
+            fault_plan=fault_plan,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -123,13 +129,14 @@ def _execute(
 
 def _worker(task: _Task) -> Dict:
     """Process-pool entry point (top-level so spawn can pickle it)."""
-    experiment_id, quick, base_seed, traced, repetition_jobs = task
+    experiment_id, quick, base_seed, traced, repetition_jobs, fault_plan = task
     return _execute(
         experiment_id,
         quick=quick,
         base_seed=base_seed,
         traced=traced,
         repetition_jobs=repetition_jobs,
+        fault_plan=fault_plan,
     )
 
 
@@ -155,6 +162,7 @@ def run_session(
     cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
     base_seed: Optional[int] = None,
     traced: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
 
@@ -165,6 +173,10 @@ def run_session(
     and returns its exported texts on each :class:`ExperimentRun`.  A
     non-default ``machine`` runs in-process (live machine objects stay out
     of worker pickles) but still keys the cache by its calibration digest.
+    ``faults`` installs a session fault plan for every run — threaded
+    explicitly into workers and hashed into every cache key, so serial,
+    parallel, and cached-replay runs of one plan stay byte-identical while
+    differently-faulted runs never collide.
     """
     ids = list(experiment_ids)
     for experiment_id in ids:
@@ -198,6 +210,7 @@ def run_session(
                 traced=traced,
                 params=params,
                 spec=spec,
+                faults=faults,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -234,6 +247,7 @@ def run_session(
                     traced=traced,
                     repetition_jobs=repetition_jobs,
                     machine=machine,
+                    fault_plan=faults,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -248,7 +262,14 @@ def run_session(
                 futures = {
                     experiment_id: pool.submit(
                         _worker,
-                        (experiment_id, quick, base_seed, traced, repetition_jobs),
+                        (
+                            experiment_id,
+                            quick,
+                            base_seed,
+                            traced,
+                            repetition_jobs,
+                            faults,
+                        ),
                     )
                     for experiment_id in pending
                 }

@@ -35,6 +35,7 @@ from repro.bench.experiments import (
     wl01_latency_throughput,
     wl02_admission_policies,
     wl03_tenant_interference,
+    wl04_fault_resilience,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -69,6 +70,7 @@ EXPERIMENTS: Dict[str, object] = {
         wl01_latency_throughput,
         wl02_admission_policies,
         wl03_tenant_interference,
+        wl04_fault_resilience,
     )
 }
 
@@ -91,6 +93,7 @@ def run_experiment(
     quick: bool = True,
     tracer=None,
     base_seed: Optional[int] = None,
+    fault_plan=None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -101,12 +104,23 @@ def run_experiment(
 
     ``base_seed`` pins the repetition/stream base seed for this run (the
     explicit channel parallel workers use; ``None`` keeps the process
-    default).
+    default).  ``fault_plan`` installs a session fault plan
+    (:class:`~repro.faults.FaultPlan`) for the run's scope — serving runs
+    whose configs leave ``faults=None`` inject from it; experiments that
+    pin explicit plans (wl04's arms) are unaffected.
     """
     module = get_experiment(experiment_id)
-    from repro.bench.runner import use_base_seed
+    import contextlib
 
-    with use_base_seed(base_seed):
+    from repro.bench.runner import use_base_seed
+    from repro.faults import use_fault_plan
+
+    plan_scope = (
+        use_fault_plan(fault_plan)
+        if fault_plan is not None
+        else contextlib.nullcontext()
+    )
+    with plan_scope, use_base_seed(base_seed):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

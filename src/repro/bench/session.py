@@ -18,6 +18,7 @@ from repro.bench.report import ExperimentReport
 from repro.bench.validate import CalibrationValidator
 from repro.cache import MemoStore
 from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan
 from repro.machine import SimMachine
 
 
@@ -59,6 +60,7 @@ def build_report(
     jobs: int = 1,
     cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
     base_seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
 
@@ -70,7 +72,8 @@ def build_report(
     ``jobs`` fans the experiments out across worker processes and ``cache``
     memoizes their results (see :func:`repro.bench.parallel.run_session`);
     the rendered report is byte-identical for any ``jobs``/``cache``
-    combination.
+    combination.  ``faults`` applies a session fault plan to every run
+    (the ``--faults`` channel).
     """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
@@ -110,6 +113,7 @@ def build_report(
         cache=cache,
         base_seed=base_seed,
         traced=trace_dir is not None,
+        faults=faults,
     )
     for run in session.runs:
         if csv_dir is not None:
@@ -140,6 +144,7 @@ def write_report(
     jobs: int = 1,
     cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
     base_seed: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
@@ -154,6 +159,7 @@ def write_report(
             jobs=jobs,
             cache=cache,
             base_seed=base_seed,
+            faults=faults,
         )
     )
     return path

@@ -18,12 +18,14 @@ import json
 from typing import Any, Dict, Optional
 
 from repro.errors import CacheError
+from repro.faults.plan import FaultPlan
 from repro.hardware.calibration import CostParameters, paper_calibration
 from repro.hardware.spec import HardwareSpec, paper_testbed
 
 #: Bump to invalidate every existing cache entry (serialization changes,
 #: cost-model semantics changes that the calibration digest cannot see).
-CACHE_FORMAT = 1
+#: 2: keys gained a fault-plan component.
+CACHE_FORMAT = 2
 
 
 def canonical(value: Any) -> Any:
@@ -89,14 +91,17 @@ def experiment_key(
     traced: bool = False,
     params: Optional[CostParameters] = None,
     spec: Optional[HardwareSpec] = None,
+    faults: Optional[FaultPlan] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
 
     ``quick`` folds in the fidelity mode (repetition count and physical row
-    caps), ``traced`` whether the entry must carry a replayable trace, and
-    ``extra`` any additional operator parameters a caller wants keyed
-    (e.g. an :class:`~repro.enclave.runtime.ExecutionSetting`).
+    caps), ``traced`` whether the entry must carry a replayable trace,
+    ``faults`` the session fault plan (every spec and the plan seed hash
+    into the key, so a faulted run never replays an un-faulted entry or
+    vice versa), and ``extra`` any additional operator parameters a caller
+    wants keyed (e.g. an :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
     return fingerprint(
         format=CACHE_FORMAT,
@@ -105,5 +110,6 @@ def experiment_key(
         base_seed=int(base_seed),
         traced=bool(traced),
         calibration=calibration_digest(params, spec),
+        faults=faults,
         extra=extra or {},
     )

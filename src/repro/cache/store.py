@@ -73,8 +73,21 @@ class MemoStore:
         if path is not None and path.exists():
             try:
                 value = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                # A torn or corrupt entry must never poison a run: recompute.
+            except (OSError, json.JSONDecodeError) as exc:
+                # A torn or corrupt entry must never poison a run: degrade
+                # to a miss and recompute — but leave an audit trail, or
+                # silent corruption (a flaky disk, a truncating crash)
+                # looks exactly like an expected cold cache.
+                from repro.trace.tracer import current_tracer
+
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.corrupt_entry",
+                        key=key,
+                        path=str(path),
+                        error=type(exc).__name__,
+                    )
                 self.misses += 1
                 return None
             self._remember(key, value)

@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
             "entries automatically"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help=(
+            "inject a named, seeded fault plan into every serving run "
+            "(AEX storms, EDMM denials, enclave crashes, EPC squeezes, "
+            "poisoned jobs); same plan + same seed is bit-reproducible; "
+            "see repro.faults.fault_plans for the catalog"
+        ),
+    )
     return parser
 
 
@@ -104,6 +114,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.faults:
+        # Resolve before creating any output dirs/files so an unknown
+        # plan name leaves the filesystem untouched (same contract as
+        # unknown experiment ids below).
+        from repro.errors import ConfigurationError
+        from repro.faults import get_fault_plan
+
+        try:
+            fault_plan = get_fault_plan(args.faults)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.seed is not None:
         from repro.bench import runner
 
@@ -162,6 +185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             cache=store,
             base_seed=args.seed,
+            faults=fault_plan,
         )
         print(f"wrote {path}")
         _print_cache_summary(store, args.cache)
@@ -181,6 +205,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache=store,
         base_seed=args.seed,
         traced=trace_dir is not None,
+        faults=fault_plan,
     )
     for run in session.runs:
         print(run.report.print_table())

@@ -88,9 +88,14 @@ class Enclave:
             )
 
     def destroy(self) -> None:
-        """Tear the enclave down and release all EPC."""
+        """Tear the enclave down and release all EPC (idempotent).
+
+        Crash-recovery paths tear enclaves down from error handlers that
+        cannot know whether a previous handler already ran; a second
+        ``destroy`` must therefore be a no-op, never an error.
+        """
         if self.state is EnclaveState.DESTROYED:
-            raise EnclaveStateError("enclave already destroyed")
+            return
         for region in self._regions:
             if not region.freed:
                 self._allocator.free(region)
@@ -147,15 +152,7 @@ class Enclave:
                 )
         # Dynamically added pages occupy EPC beyond the pre-reserved heap.
         if dynamic_pages:
-            region = self._allocator.allocate(
-                name,
-                dynamic_pages * PAGE_BYTES,
-                node=self.config.node,
-                in_enclave=True,
-            )
-            self._regions.append(region)
-            self._dynamic_bytes += dynamic_pages * PAGE_BYTES
-            self.pages_added_total += dynamic_pages
+            region = self._commit_dynamic(name, dynamic_pages)
         else:
             # Heap-backed allocations reuse the big heap region; hand out a
             # zero-cost view with the heap's placement.
@@ -185,8 +182,58 @@ class Enclave:
                 tracer.count("enclave.pages_added_dynamically", dynamic_pages)
         return region
 
+    def grow(self, name: str, size_bytes: int, profile: AccessProfile = None) -> Region:
+        """EDMM growth (``EAUG`` + ``EACCEPT``): commit new EPC pages.
+
+        The public growth primitive the mid-query EDMM path uses: rounds
+        ``size_bytes`` up to whole pages, charges them to ``profile`` when
+        given, and raises :class:`~repro.errors.CapacityError` when the
+        enclave is statically sized or the dynamic limit is exceeded —
+        the failure the EDMM_DENIED fault injects at the serving layer.
+        """
+        self._require_initialized()
+        if size_bytes <= 0:
+            raise ConfigurationError("growth size must be positive")
+        if not self.config.dynamic:
+            raise CapacityError(
+                f"cannot grow {name!r}: enclave is statically sized"
+            )
+        pages = math.ceil(size_bytes / PAGE_BYTES)
+        if self.total_bytes + pages * PAGE_BYTES > self.config.max_bytes:
+            raise CapacityError(
+                f"dynamic enclave limit exceeded growing {name!r}"
+            )
+        region = self._commit_dynamic(name, pages)
+        if profile is not None:
+            profile.sync.pages_added_dynamically += pages
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "enclave.grow",
+                region=name,
+                bytes=size_bytes,
+                pages=pages,
+                total_bytes=self.total_bytes,
+            )
+            tracer.count("enclave.pages_added_dynamically", pages)
+        return region
+
+    def _commit_dynamic(self, name: str, pages: int) -> Region:
+        """Ledger bookkeeping shared by ``allocate`` overflow and ``grow``."""
+        region = self._allocator.allocate(
+            name,
+            pages * PAGE_BYTES,
+            node=self.config.node,
+            in_enclave=True,
+        )
+        self._regions.append(region)
+        self._dynamic_bytes += pages * PAGE_BYTES
+        self.pages_added_total += pages
+        return region
+
     def release_heap(self, size_bytes: int) -> None:
         """Return heap bytes (simplified free for reusable scratch space)."""
+        self._require_initialized()
         if size_bytes < 0 or size_bytes > self._heap_used:
             raise ConfigurationError("invalid heap release size")
         self._heap_used -= size_bytes

@@ -1,0 +1,157 @@
+"""The fault injector: deterministic draws from a seeded fault plan.
+
+The scheduler consults the injector at well-defined points (dispatch,
+overflow admission, budget evaluation) and the injector answers from the
+plan alone.  Randomized faults (crashes, EDMM denials) are decided by
+**order-independent hashed draws**: each decision hashes ``(plan seed,
+salt, query id, attempt)`` into a uniform variate, so the outcome for a
+given query is a pure function of its identity — independent of event
+interleaving, retries of other queries, or whether the run executes
+serially, under ``--jobs N``, or is replayed from cache.  Two runs of the
+same plan are bit-identical by construction.
+
+:data:`NULL_INJECTOR` is the default: every answer is the identity, no
+hashing happens, and the scheduler's fault paths stay cold — an
+un-faulted run is byte-identical to one built before this module existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+
+class CrashDraw:
+    """One drawn mid-service crash: where it strikes and what it costs."""
+
+    __slots__ = ("fraction", "reinit_s")
+
+    def __init__(self, fraction: float, reinit_s: float) -> None:
+        self.fraction = fraction  # share of the service completed at abort
+        self.reinit_s = reinit_s  # enclave teardown + re-init delay
+
+
+class NullInjector:
+    """No faults: every hook is the identity and stays off the hot path."""
+
+    active = False
+    plan: Optional[FaultPlan] = None
+
+    def service_multiplier(
+        self, now: float, query_id: int, attempt: int
+    ) -> float:
+        return 1.0
+
+    def epc_multiplier(self, now: float) -> float:
+        return 1.0
+
+    def edmm_denied(self, now: float, query_id: int, attempt: int) -> bool:
+        return False
+
+    def squeezed(self, now: float) -> bool:
+        return False
+
+    def crash(
+        self, now: float, query_id: int, attempt: int
+    ) -> Optional[CrashDraw]:
+        return None
+
+    def poisoned(self, now: float, template: str) -> bool:
+        return False
+
+    def wake_times(self, duration_s: float) -> Tuple[float, ...]:
+        return ()
+
+
+class PlanInjector(NullInjector):
+    """Answers the scheduler's fault hooks from one seeded plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.active = not plan.empty
+        self._storms = plan.of_kind(FaultKind.AEX_STORM)
+        self._denials = plan.of_kind(FaultKind.EDMM_DENIED)
+        self._crashes = plan.of_kind(FaultKind.ENCLAVE_CRASH)
+        self._squeezes = plan.of_kind(FaultKind.EPC_SQUEEZE)
+        self._poisons = plan.of_kind(FaultKind.POISON_JOB)
+
+    # -- deterministic variates -------------------------------------------
+
+    def _draw(self, salt: str, query_id: int, attempt: int) -> float:
+        """A uniform [0, 1) variate, a pure function of the decision key."""
+        key = f"{self.plan.seed}:{salt}:{query_id}:{attempt}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    # -- hooks -------------------------------------------------------------
+
+    def service_multiplier(
+        self, now: float, query_id: int, attempt: int
+    ) -> float:
+        """AEX-storm inflation of a service dispatched at ``now``.
+
+        Storm multipliers compose (overlapping storms multiply) — every
+        asynchronous exit costs an enclave exit + re-entry regardless of
+        which storm produced the interrupt.
+        """
+        factor = 1.0
+        for spec in self._storms:
+            if spec.active(now):
+                factor *= spec.magnitude
+        return factor
+
+    def epc_multiplier(self, now: float) -> float:
+        """The EPC-budget multiplier in effect at ``now`` (squeezes stack)."""
+        factor = 1.0
+        for spec in self._squeezes:
+            if spec.active(now):
+                factor *= spec.magnitude
+        return factor
+
+    def squeezed(self, now: float) -> bool:
+        return any(spec.active(now) for spec in self._squeezes)
+
+    def edmm_denied(self, now: float, query_id: int, attempt: int) -> bool:
+        """Whether this attempt's EDMM growth request fails (per-attempt)."""
+        for spec in self._denials:
+            if spec.active(now) and (
+                self._draw("edmm", query_id, attempt) < spec.probability
+            ):
+                return True
+        return False
+
+    def crash(
+        self, now: float, query_id: int, attempt: int
+    ) -> Optional[CrashDraw]:
+        """A mid-service crash for this attempt, if one is drawn."""
+        for spec in self._crashes:
+            if spec.active(now) and (
+                self._draw("crash", query_id, attempt) < spec.probability
+            ):
+                fraction = self._draw("crash-frac", query_id, attempt)
+                # Strike strictly inside the service window.
+                fraction = 0.05 + 0.9 * fraction
+                return CrashDraw(fraction, spec.reinit_s)
+        return None
+
+    def poisoned(self, now: float, template: str) -> bool:
+        return any(
+            spec.active(now) and spec.template == template
+            for spec in self._poisons
+        )
+
+    def wake_times(self, duration_s: float) -> Tuple[float, ...]:
+        return self.plan.window_edges(duration_s)
+
+
+#: The shared no-fault injector (also the scheduler default).
+NULL_INJECTOR = NullInjector()
+
+
+def make_injector(plan: Optional[FaultPlan]) -> NullInjector:
+    """An injector for ``plan`` (None or an empty plan -> NULL_INJECTOR)."""
+    if plan is None or plan.empty:
+        return NULL_INJECTOR
+    return PlanInjector(plan)

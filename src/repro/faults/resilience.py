@@ -1,0 +1,128 @@
+"""Resilience machinery: retries, circuit breaking, graceful degradation.
+
+A production serving system does not just observe failures — it reacts.
+:class:`ResiliencePolicy` is the frozen configuration of three reactions
+the scheduler applies when a fault plan is active:
+
+* **retry with backoff** — a failed attempt re-enters the queue after an
+  exponentially growing, seeded-jittered delay (jitter prevents retry
+  synchronization: a crashed batch must not re-arrive as one thundering
+  herd).  Delays use the same order-independent hashed draws as the
+  injector, so retried schedules stay bit-deterministic.
+* **per-tenant circuit breaking** — after ``breaker_threshold``
+  consecutive failures on one stream, the breaker opens and new
+  submissions from that stream are shed on arrival (they fail instantly
+  instead of burning cores on a doomed service) until ``breaker_cooldown_s``
+  has passed.  The canonical defence against poisoned templates.
+* **graceful degradation** — during an EPC squeeze a query whose working
+  set no longer fits the shrunken budget is admitted at a *reduced EPC
+  reservation* with a mild slowdown instead of overflowing into the
+  Fig. 11 EDMM/paging collapse (or being denied growth outright).
+
+``timeout_s`` bounds any single service attempt: an attempt that would
+run longer (an EDMM-penalized monster, a storm-inflated join) is aborted
+at the timeout and handed to the retry path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Service-time multiplier per overflowing working-set fraction when a
+#: query is admitted at a reduced EPC reservation (graceful degradation).
+#: Far below :data:`repro.workload.scheduler.EDMM_OVERFLOW_SLOWDOWN` (9.0):
+#: the degraded query streams its overflow share through a bounded
+#: enclave buffer instead of growing the enclave page by page.
+DEGRADED_SLOWDOWN = 1.5
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the scheduler reacts to failures (frozen; hashable; picklable)."""
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5  # +- fraction of the nominal delay
+    timeout_s: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 2.0
+    degrade_on_squeeze: bool = True
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.backoff_base_s <= 0 or self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff needs a positive base and a multiplier >= 1"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout must be positive")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ConfigurationError("breaker cooldown must be non-negative")
+
+    def backoff_s(self, query_id: int, attempt: int) -> float:
+        """The seeded backoff delay before retry number ``attempt``.
+
+        Exponential in the attempt count, jittered by an order-independent
+        hashed draw so two runs of the same workload produce identical
+        retry schedules.
+        """
+        nominal = self.backoff_base_s * self.backoff_multiplier ** max(
+            0, attempt - 1
+        )
+        if not self.jitter:
+            return nominal
+        key = f"{self.seed}:backoff:{query_id}:{attempt}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0**64  # [0, 1)
+        return nominal * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+class CircuitBreaker:
+    """Per-stream consecutive-failure breaker with a cooldown window."""
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._consecutive: Dict[str, int] = {}
+        self._open_until: Dict[str, float] = {}
+        self.opened_total = 0
+
+    def is_open(self, stream: str, now: float) -> bool:
+        """Whether ``stream`` is shedding at ``now`` (cooldown re-closes)."""
+        until = self._open_until.get(stream)
+        if until is None:
+            return False
+        if now < until:
+            return True
+        # Cooldown elapsed: close and give the tenant a fresh budget.
+        del self._open_until[stream]
+        self._consecutive[stream] = 0
+        return False
+
+    def record_failure(self, stream: str, now: float) -> bool:
+        """Count one failure; returns True when this opens the breaker."""
+        count = self._consecutive.get(stream, 0) + 1
+        self._consecutive[stream] = count
+        if count >= self.threshold and stream not in self._open_until:
+            self._open_until[stream] = now + self.cooldown_s
+            self.opened_total += 1
+            return True
+        return False
+
+    def record_success(self, stream: str) -> None:
+        self._consecutive[stream] = 0
+
+    def open_until(self, stream: str) -> float:
+        return self._open_until.get(stream, -math.inf)

@@ -15,7 +15,9 @@ so traced and untraced runs produce bit-identical experiment results.
 """
 
 from repro.trace.breakdown import (
+    FaultBreakdown,
     ServingBreakdown,
+    fault_breakdown,
     phase_breakdown,
     serving_breakdown,
     serving_runs,
@@ -47,6 +49,7 @@ from repro.trace.tracer import (
 __all__ = [
     "Counter",
     "Event",
+    "FaultBreakdown",
     "Gauge",
     "NULL_TRACER",
     "NullTracer",
@@ -55,6 +58,7 @@ __all__ = [
     "TeeTracer",
     "Tracer",
     "current_tracer",
+    "fault_breakdown",
     "phase_breakdown",
     "read_jsonl",
     "record_from_dict",

@@ -32,6 +32,18 @@ DISPATCH = "query.dispatch"
 EDMM_OVERFLOW = "query.edmm_overflow"
 FINISH = "query.finish"
 
+#: Fault/resilience event names (emitted only under an active fault plan
+#: or resilience policy — never in an un-faulted run's trace).
+FAULT_AEX = "fault.aex_storm"
+FAULT_CRASH = "fault.enclave_crash"
+FAULT_EDMM_DENIED = "fault.edmm_denied"
+DEGRADED = "resilience.degraded"
+RETRY = "resilience.retry"
+SHED = "resilience.shed"
+BREAKER_OPEN = "resilience.breaker_open"
+ATTEMPT_FAILED = "query.attempt_failed"
+FAILED = "query.failed"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -122,6 +134,96 @@ def serving_breakdown(source, *, stream: Optional[str] = None) -> ServingBreakdo
         interference_s=interference,
         dispatched=dispatched,
         completed=completed,
+    )
+
+
+@dataclass(frozen=True)
+class FaultBreakdown:
+    """Where a faulted run's *lost* time went, in summed seconds.
+
+    The resilience analogue of :class:`ServingBreakdown`: instead of
+    attributing served time to serving phases, it attributes the overhead
+    a fault plan induced — retry waits, service time burned on aborted
+    attempts, and enclave re-init downtime — plus the terminal outcomes.
+    """
+
+    retry_wait_s: float  # summed backoff delays before re-queued attempts
+    wasted_service_s: float  # service burned on attempts that then failed
+    downtime_s: float  # summed enclave teardown + re-init time
+    retries: int
+    failed: int
+    shed: int
+    breaker_openings: int
+    degraded: int
+
+    @property
+    def lost_s(self) -> float:
+        return self.retry_wait_s + self.wasted_service_s + self.downtime_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "retry_wait_s": self.retry_wait_s,
+            "wasted_service_s": self.wasted_service_s,
+            "downtime_s": self.downtime_s,
+            "retries": self.retries,
+            "failed": self.failed,
+            "shed": self.shed,
+            "breaker_openings": self.breaker_openings,
+            "degraded": self.degraded,
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: the fault plan's induced overhead."""
+        return (
+            f"{self.lost_s:.2f} s lost "
+            f"(retry wait {self.retry_wait_s:.2f} s, "
+            f"wasted service {self.wasted_service_s:.2f} s, "
+            f"downtime {self.downtime_s:.2f} s); "
+            f"{self.retries} retries, {self.failed} failed, "
+            f"{self.shed} shed, {self.breaker_openings} breaker openings, "
+            f"{self.degraded} degraded"
+        )
+
+
+def fault_breakdown(source, *, stream: Optional[str] = None) -> FaultBreakdown:
+    """Aggregate a trace's fault/resilience events into a loss breakdown.
+
+    ``source`` is a tracer or record iterable; ``stream`` restricts the
+    aggregation to one stream's queries.  An un-faulted trace yields the
+    all-zero breakdown (its fault events simply never occur).
+    """
+    retry_wait = wasted = downtime = 0.0
+    retries = failed = shed = openings = degraded = 0
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if stream is not None and record.attrs.get("stream") != stream:
+            continue
+        if record.name == RETRY:
+            retry_wait += record.attrs.get("delay_s", 0.0)
+            retries += 1
+        elif record.name == ATTEMPT_FAILED:
+            wasted += record.attrs.get("wasted_s", 0.0)
+        elif record.name == FAULT_CRASH:
+            downtime += record.attrs.get("reinit_s", 0.0)
+        elif record.name == FAILED:
+            if record.attrs.get("outcome") == "shed":
+                shed += 1
+            else:
+                failed += 1
+        elif record.name == BREAKER_OPEN:
+            openings += 1
+        elif record.name == DEGRADED:
+            degraded += 1
+    return FaultBreakdown(
+        retry_wait_s=retry_wait,
+        wasted_service_s=wasted,
+        downtime_s=downtime,
+        retries=retries,
+        failed=failed,
+        shed=shed,
+        breaker_openings=openings,
+        degraded=degraded,
     )
 
 

@@ -25,6 +25,7 @@ from repro.workload.jobs import (
     serving_templates,
 )
 from repro.workload.metrics import (
+    FailureRecord,
     QueryRecord,
     SchedulerCounters,
     WorkloadMetrics,
@@ -49,6 +50,7 @@ __all__ = [
     "ClosedLoopStream",
     "EDMM_OVERFLOW_SLOWDOWN",
     "EpcAwarePolicy",
+    "FailureRecord",
     "FifoPolicy",
     "INTERFERENCE_FACTOR",
     "JobCatalog",

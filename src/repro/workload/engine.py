@@ -29,6 +29,9 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.enclave.runtime import ExecutionSetting
 from repro.errors import ConfigurationError
+from repro.faults.injector import make_injector
+from repro.faults.plan import FaultPlan, current_fault_plan
+from repro.faults.resilience import ResiliencePolicy
 from repro.workload.generators import ClosedLoopStream, OpenLoopStream
 from repro.workload.jobs import JobCatalog, JobCost, JobTemplate
 from repro.workload.metrics import WorkloadMetrics
@@ -51,6 +54,11 @@ class WorkloadConfig:
     policy: str = "fifo"
     bypass_bytes: Optional[int] = None  # small-query lane threshold
     epc_budget_bytes: Optional[float] = None  # None: socket EPC (or inf, plain)
+    #: None defers to the ambient plan (``use_fault_plan`` / ``--faults``);
+    #: an explicit plan — including :data:`~repro.faults.NO_FAULTS` — pins
+    #: this config regardless of context (wl04 pins all three of its arms).
+    faults: Optional[FaultPlan] = None
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         if not self.open_streams and not self.closed_streams:
@@ -107,12 +115,15 @@ class ServingEngine:
     def run(self, config: WorkloadConfig) -> WorkloadMetrics:
         """Serve ``config`` to completion and return its metrics."""
         policy = make_policy(config.policy, bypass_bytes=config.bypass_bytes)
+        plan = config.faults if config.faults is not None else current_fault_plan()
         scheduler = WorkloadScheduler(
             self.costs_for(config),
             policy,
             cores=config.cores,
             epc_budget_bytes=self.epc_budget(config),
             setting_label=config.setting.label,
+            injector=make_injector(plan),
+            resilience=config.resilience,
         )
         return scheduler.run(
             open_streams=config.open_streams,

@@ -44,6 +44,7 @@ class QueryRecord:
     working_set_bytes: int
     overflow_bytes: int = 0  # EPC demand beyond the budget at admission
     bypassed: bool = False  # dispatched through the small-query lane
+    attempts: int = 1  # service attempts including the successful one
 
     @property
     def queue_wait_s(self) -> float:
@@ -58,6 +59,26 @@ class QueryRecord:
         return self.finish_s - self.arrival_s
 
 
+@dataclass(frozen=True)
+class FailureRecord:
+    """One query that terminally failed (exhausted retries, or was shed).
+
+    ``arrival_s`` is the *first* submission, so a failure's wall-clock
+    cost — every burned attempt plus every backoff pause — is
+    ``failed_s - arrival_s``.  ``outcome`` names the final failure mode
+    (``crash``/``timeout``/``poison``/``edmm_denied``/``shed``).
+    """
+
+    query_id: int
+    stream: str
+    template: str
+    client: int
+    arrival_s: float
+    failed_s: float
+    attempts: int
+    outcome: str
+
+
 @dataclass
 class SchedulerCounters:
     """Decision counts the scheduler accumulates while serving."""
@@ -70,8 +91,24 @@ class SchedulerCounters:
     edmm_admissions: int = 0  # admitted although the EPC budget was exceeded
     blocked_on_cores: int = 0  # dispatch rounds ending with a core-bound head
     blocked_on_epc: int = 0  # dispatch rounds ending with an EPC-bound head
+    # -- fault/resilience decisions (all zero outside faulted runs) -------
+    failed: int = 0  # terminal failures (retries exhausted / not retryable)
+    shed: int = 0  # arrivals rejected by an open circuit breaker
+    retries: int = 0  # re-queued attempts
+    timeouts: int = 0  # attempts aborted at the per-query timeout
+    crashes: int = 0  # attempts killed by a mid-service enclave crash
+    edmm_denied: int = 0  # overflow admissions whose EDMM growth failed
+    poisoned: int = 0  # attempts of a poisoned template (always fail)
+    degraded: int = 0  # dispatches at a reduced EPC reservation
+    aex_inflations: int = 0  # dispatches inflated by an AEX storm
 
     def as_dict(self) -> Dict[str, int]:
+        """The steady-state counters (the pre-fault serving vocabulary).
+
+        Kept to exactly the original eight keys: the scheduler mirrors
+        this dict into trace counters on every run, so growing it would
+        change un-faulted trace artifacts byte-for-byte.
+        """
         return {
             "arrivals": self.arrivals,
             "completed": self.completed,
@@ -81,6 +118,20 @@ class SchedulerCounters:
             "edmm_admissions": self.edmm_admissions,
             "blocked_on_cores": self.blocked_on_cores,
             "blocked_on_epc": self.blocked_on_epc,
+        }
+
+    def fault_dict(self) -> Dict[str, int]:
+        """The fault-path counters (mirrored into traces only when faulting)."""
+        return {
+            "failed": self.failed,
+            "shed": self.shed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "edmm_denied": self.edmm_denied,
+            "poisoned": self.poisoned,
+            "degraded": self.degraded,
+            "aex_inflations": self.aex_inflations,
         }
 
 
@@ -95,6 +146,8 @@ class WorkloadMetrics:
     epc_budget_bytes: float = 0.0
     epc_high_water_bytes: int = 0
     duration_s: float = 0.0  # submission window of the workload
+    failures: List[FailureRecord] = field(default_factory=list)
+    downtime_s: float = 0.0  # summed enclave teardown + re-init time
 
     @property
     def makespan_s(self) -> float:
@@ -158,6 +211,54 @@ class WorkloadMetrics:
         if span <= 0:
             raise BenchmarkError("no completed queries to rate")
         return len(records) / span
+
+    # -- serving under faults ---------------------------------------------
+
+    @property
+    def availability(self) -> float:
+        """Completed share of terminally resolved queries (1.0 if none).
+
+        A retried-then-successful query counts as available; a shed or
+        retry-exhausted query counts against.  In-flight queries cannot
+        exist here (the scheduler drains every event before returning).
+        """
+        resolved = self.counters.completed + len(self.failures)
+        if resolved == 0:
+            return 1.0
+        return self.counters.completed / resolved
+
+    def goodput_qps(self) -> float:
+        """Successful completions per second of total serving activity.
+
+        Unlike :meth:`achieved_qps`, the span covers failures too — time
+        burned on doomed attempts stretches the denominator, which is
+        exactly why goodput (not raw throughput) is the metric that drops
+        under faults and recovers under mitigation.
+        """
+        if not self.records:
+            return 0.0
+        ends = [r.finish_s for r in self.records] + [
+            f.failed_s for f in self.failures
+        ]
+        starts = [r.arrival_s for r in self.records] + [
+            f.arrival_s for f in self.failures
+        ]
+        span = max(ends) - min(starts)
+        if span <= 0:
+            return 0.0
+        return len(self.records) / span
+
+    def fault_summary(self) -> str:
+        """One-line digest of the run's failure/mitigation activity."""
+        c = self.counters
+        return (
+            f"availability {self.availability:.2%}, "
+            f"goodput {self.goodput_qps():.1f} QPS, "
+            f"{c.retries} retries, {c.failed} failed, {c.shed} shed "
+            f"({c.crashes} crashes, {c.timeouts} timeouts, "
+            f"{c.edmm_denied} EDMM denials, {c.poisoned} poisoned, "
+            f"{c.degraded} degraded), downtime {self.downtime_s:.2f} s"
+        )
 
     def summary(self) -> str:
         """One-line digest for report notes (also for zero-query runs)."""

@@ -20,32 +20,62 @@ mild memory-bandwidth interference term proportional to how many other
 cores are already busy (concurrent streams share the bandwidth domains the
 cost model otherwise prices per-phase).
 
-Everything — arrivals, mixes, dispatch order, tie-breaking — is a pure
-function of the workload configuration and its seeds: two runs of the same
-config produce identical metrics.
+**Faults and resilience** (:mod:`repro.faults`): with an injector
+installed, dispatched services can be inflated by AEX storms, aborted by
+mid-service crashes, denied EDMM growth, poisoned per-template, or starved
+by an EPC squeeze; with a :class:`~repro.faults.ResiliencePolicy` the
+scheduler retries failed attempts with jittered backoff, sheds load
+through a per-tenant circuit breaker, bounds attempts with a timeout, and
+degrades gracefully under squeeze.  All fault paths stay cold under the
+default :data:`~repro.faults.NULL_INJECTOR`, so an un-faulted run is
+byte-identical to a pre-fault build.
+
+Everything — arrivals, mixes, dispatch order, tie-breaking, fault draws,
+retry jitter — is a pure function of the workload configuration and its
+seeds: two runs of the same config produce identical metrics.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from collections import deque
 from dataclasses import dataclass
+from collections import deque
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.injector import NULL_INJECTOR, CrashDraw, NullInjector
+from repro.faults.resilience import (
+    DEGRADED_SLOWDOWN,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 from repro.trace.breakdown import (
     ARRIVAL,
+    ATTEMPT_FAILED,
+    BREAKER_OPEN,
+    DEGRADED,
     DISPATCH,
     EDMM_OVERFLOW,
+    FAILED,
+    FAULT_AEX,
+    FAULT_CRASH,
+    FAULT_EDMM_DENIED,
     FINISH,
+    RETRY,
     RUN_END,
     RUN_START,
+    SHED,
 )
 from repro.trace.tracer import current_tracer
 from repro.workload.generators import Arrival, ClosedLoopStream, OpenLoopStream
 from repro.workload.jobs import JobCost
-from repro.workload.metrics import QueryRecord, SchedulerCounters, WorkloadMetrics
+from repro.workload.metrics import (
+    FailureRecord,
+    QueryRecord,
+    SchedulerCounters,
+    WorkloadMetrics,
+)
 from repro.workload.policies import AdmissionPolicy, ResourceState
 
 #: Service-time multiplier per fraction of the working set beyond the EPC
@@ -59,9 +89,11 @@ EDMM_OVERFLOW_SLOWDOWN = 9.0
 #: lone query owns; 0.25 caps the penalty at +25 % on a fully busy machine.
 INTERFERENCE_FACTOR = 0.25
 
-# Event ordering: completions free resources before same-instant arrivals.
+# Event ordering: completions free resources before same-instant wake-ups,
+# and both before same-instant arrivals.
 _FINISH = 0
-_ARRIVAL = 1
+_WAKE = 1
+_ARRIVAL = 2
 
 
 @dataclass
@@ -76,6 +108,7 @@ class PendingQuery:
     threads: int
     service_s: float
     working_set_bytes: int
+    attempt: int = 0  # retries already burned (0 = first attempt)
 
 
 class WorkloadScheduler:
@@ -89,6 +122,8 @@ class WorkloadScheduler:
         cores: int,
         epc_budget_bytes: float,
         setting_label: str,
+        injector: Optional[NullInjector] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if cores < 1:
             raise ConfigurationError("the core pool needs at least one core")
@@ -105,6 +140,12 @@ class WorkloadScheduler:
         self._cores = cores
         self._epc_budget = float(epc_budget_bytes)
         self._setting_label = setting_label
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self._resilience = resilience
+        #: Whether any fault machinery is live this run; every fault branch
+        #: hides behind this flag so an un-faulted run takes the exact
+        #: pre-fault code path (and emits the exact pre-fault trace).
+        self._faulting = self._injector.active or resilience is not None
 
     # -- the event loop --------------------------------------------------
 
@@ -115,12 +156,15 @@ class WorkloadScheduler:
         closed_streams: Sequence[ClosedLoopStream] = (),
         duration_s: float,
     ) -> WorkloadMetrics:
-        """Simulate until every submitted query completes."""
+        """Simulate until every submitted query completes or fails."""
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
         if not open_streams and not closed_streams:
             raise ConfigurationError("the workload needs at least one stream")
         tracer = current_tracer()
+        injector = self._injector
+        resilience = self._resilience
+        faulting = self._faulting
         if tracer.enabled:
             tracer.event(
                 RUN_START,
@@ -133,12 +177,19 @@ class WorkloadScheduler:
             )
         counters = SchedulerCounters()
         records: List[QueryRecord] = []
+        failures: List[FailureRecord] = []
+        downtime_s = 0.0
         queue: Deque[PendingQuery] = deque()
         running: Dict[int, PendingQuery] = {}
         closed_by_name = {s.name: s for s in closed_streams}
         closed_rngs: Dict[str, random.Random] = {
             s.name: s.session_rng() for s in closed_streams
         }
+        breaker: Optional[CircuitBreaker] = None
+        if resilience is not None:
+            breaker = CircuitBreaker(
+                resilience.breaker_threshold, resilience.breaker_cooldown_s
+            )
         free_cores = self._cores
         epc_used = 0.0
         epc_high_water = 0.0
@@ -160,15 +211,122 @@ class WorkloadScheduler:
         for stream in closed_streams:
             for arrival in stream.initial_arrivals(closed_rngs[stream.name]):
                 push(arrival.time_s, _ARRIVAL, arrival)
+        if faulting:
+            # Fault-window edges that change admission state (a squeeze
+            # ending frees budget) must re-run dispatch even if no other
+            # event lands on that instant.
+            for wake_s in injector.wake_times(duration_s):
+                push(wake_s, _WAKE, None)
+
+        def resubmit_closed(pending: PendingQuery, now: float) -> None:
+            """A closed-loop client moves on after a completion OR a
+            terminal failure — otherwise a failure would silently remove
+            the client from the workload and drain the stream."""
+            stream = closed_by_name.get(pending.stream)
+            if stream is not None and now < duration_s:
+                push(
+                    *_arrival_event(
+                        stream.next_arrival(
+                            closed_rngs[stream.name], pending.client, now
+                        )
+                    )
+                )
+
+        def fail_attempt(
+            pending: PendingQuery,
+            now: float,
+            outcome: str,
+            *,
+            wasted_s: float = 0.0,
+            reinit_s: float = 0.0,
+        ) -> None:
+            """One attempt failed: retry with backoff, or fail terminally."""
+            if tracer.enabled:
+                tracer.event(
+                    ATTEMPT_FAILED,
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    attempt=pending.attempt,
+                    outcome=outcome,
+                    wasted_s=wasted_s,
+                )
+            if breaker is not None and outcome != "shed":
+                if breaker.record_failure(pending.stream, now):
+                    if tracer.enabled:
+                        tracer.event(
+                            BREAKER_OPEN,
+                            time_s=now,
+                            stream=pending.stream,
+                            until_s=breaker.open_until(pending.stream),
+                            consecutive_failures=breaker.threshold,
+                        )
+            retryable = (
+                resilience is not None
+                and outcome != "shed"
+                and pending.attempt < resilience.max_retries
+            )
+            if retryable:
+                pending.attempt += 1
+                delay_s = (
+                    resilience.backoff_s(pending.query_id, pending.attempt)
+                    + reinit_s
+                )
+                counters.retries += 1
+                if tracer.enabled:
+                    tracer.event(
+                        RETRY,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        attempt=pending.attempt,
+                        delay_s=delay_s,
+                        outcome=outcome,
+                    )
+                push(now + delay_s, _ARRIVAL, _Retry(pending))
+                return
+            if outcome == "shed":
+                counters.shed += 1
+            else:
+                counters.failed += 1
+            failures.append(
+                FailureRecord(
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    client=pending.client,
+                    arrival_s=pending.arrival_s,
+                    failed_s=now,
+                    attempts=pending.attempt + 1,
+                    outcome=outcome,
+                )
+            )
+            if tracer.enabled:
+                tracer.event(
+                    FAILED,
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    attempts=pending.attempt + 1,
+                    outcome=outcome,
+                    latency_s=now - pending.arrival_s,
+                )
+            resubmit_closed(pending, now)
 
         def dispatch(now: float) -> None:
-            nonlocal free_cores, epc_used, epc_high_water
+            nonlocal free_cores, epc_used, epc_high_water, downtime_s
             while True:
+                budget = self._epc_budget
+                if faulting:
+                    budget = budget * injector.epc_multiplier(now)
                 state = ResourceState(
                     free_cores=free_cores,
                     total_cores=self._cores,
                     epc_used_bytes=epc_used,
-                    epc_budget_bytes=self._epc_budget,
+                    epc_budget_bytes=budget,
                 )
                 decision = self._policy.pick(queue, state)
                 if decision is None:
@@ -182,9 +340,9 @@ class WorkloadScheduler:
                 del queue[decision.queue_index]
                 busy_before = self._cores - free_cores
                 # The dispatch-time service decomposition: a frozen base
-                # service time, plus two additive penalties the trace
+                # service time, plus additive penalties the trace
                 # attributes separately (the breakdown reporter re-derives
-                # the paper-style split from exactly these three terms).
+                # the paper-style split from exactly these terms).
                 interference_s = (
                     pending.service_s
                     * INTERFERENCE_FACTOR
@@ -193,36 +351,137 @@ class WorkloadScheduler:
                 )
                 service = pending.service_s + interference_s
                 edmm_penalty_s = 0.0
+                degraded_penalty_s = 0.0
+                reserved_bytes = pending.working_set_bytes
                 if decision.overflow_bytes > 0:
                     overflow_fraction = (
                         decision.overflow_bytes / pending.working_set_bytes
                     )
-                    edmm_penalty_s = (
-                        service * EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
-                    )
-                    service += edmm_penalty_s
-                    counters.edmm_admissions += 1
-                    if tracer.enabled:
-                        tracer.event(
-                            EDMM_OVERFLOW,
-                            time_s=now,
-                            query_id=pending.query_id,
-                            stream=pending.stream,
-                            template=pending.template,
-                            overflow_bytes=decision.overflow_bytes,
-                            overflow_fraction=overflow_fraction,
-                            penalty_s=edmm_penalty_s,
+                    if (
+                        faulting
+                        and resilience is not None
+                        and resilience.degrade_on_squeeze
+                        and injector.squeezed(now)
+                    ):
+                        # Graceful degradation: admit at a reduced EPC
+                        # reservation (only what fits the squeezed budget)
+                        # and stream the shortfall through a bounded
+                        # buffer — a mild slowdown instead of the Fig. 11
+                        # EDMM/paging collapse.
+                        reserved_bytes = max(
+                            0,
+                            pending.working_set_bytes
+                            - decision.overflow_bytes,
                         )
+                        degraded_penalty_s = (
+                            service
+                            * DEGRADED_SLOWDOWN
+                            * min(1.0, overflow_fraction)
+                        )
+                        service += degraded_penalty_s
+                        counters.degraded += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                DEGRADED,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                reserved_bytes=reserved_bytes,
+                                shortfall_bytes=decision.overflow_bytes,
+                                penalty_s=degraded_penalty_s,
+                            )
+                    elif faulting and injector.edmm_denied(
+                        now, pending.query_id, pending.attempt
+                    ):
+                        # Enclave.grow raised CapacityError: the growth
+                        # request died before the query held any resources.
+                        counters.edmm_denied += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                FAULT_EDMM_DENIED,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                attempt=pending.attempt,
+                                overflow_bytes=decision.overflow_bytes,
+                            )
+                        fail_attempt(pending, now, "edmm_denied")
+                        continue
+                    else:
+                        edmm_penalty_s = (
+                            service * EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
+                        )
+                        service += edmm_penalty_s
+                        counters.edmm_admissions += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                EDMM_OVERFLOW,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                overflow_bytes=decision.overflow_bytes,
+                                overflow_fraction=overflow_fraction,
+                                penalty_s=edmm_penalty_s,
+                            )
+                aex_penalty_s = 0.0
+                if faulting:
+                    inflation = injector.service_multiplier(
+                        now, pending.query_id, pending.attempt
+                    )
+                    if inflation > 1.0:
+                        aex_penalty_s = service * (inflation - 1.0)
+                        service += aex_penalty_s
+                        counters.aex_inflations += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                FAULT_AEX,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                inflation=inflation,
+                                penalty_s=aex_penalty_s,
+                            )
+                # Freeze this attempt's fate at dispatch: poison and
+                # crashes are drawn now, and the timeout caps whatever
+                # service the faults produced.
+                outcome = "ok"
+                attempt_s = service
+                crash: Optional[CrashDraw] = None
+                if faulting:
+                    if injector.poisoned(now, pending.template):
+                        outcome = "poison"
+                        counters.poisoned += 1
+                    else:
+                        crash = injector.crash(
+                            now, pending.query_id, pending.attempt
+                        )
+                        if crash is not None:
+                            outcome = "crash"
+                            attempt_s = service * crash.fraction
+                            counters.crashes += 1
+                            downtime_s += crash.reinit_s
+                    if (
+                        resilience is not None
+                        and resilience.timeout_s is not None
+                        and attempt_s > resilience.timeout_s
+                    ):
+                        outcome = "timeout"
+                        attempt_s = resilience.timeout_s
+                        crash = None
+                        counters.timeouts += 1
                 if decision.bypassed:
                     counters.bypass_dispatches += 1
                 if now == pending.arrival_s:
                     counters.dispatched_immediately += 1
                 free_cores -= pending.threads
-                epc_used += pending.working_set_bytes
+                epc_used += reserved_bytes
                 epc_high_water = max(epc_high_water, epc_used)
                 if tracer.enabled:
-                    tracer.event(
-                        DISPATCH,
+                    dispatch_attrs = dict(
                         time_s=now,
                         query_id=pending.query_id,
                         stream=pending.stream,
@@ -236,22 +495,54 @@ class WorkloadScheduler:
                         free_cores=free_cores,
                         epc_used_bytes=epc_used,
                     )
+                    if faulting:
+                        dispatch_attrs.update(
+                            attempt=pending.attempt,
+                            aex_penalty_s=aex_penalty_s,
+                            degraded_penalty_s=degraded_penalty_s,
+                        )
+                    tracer.event(DISPATCH, **dispatch_attrs)
                     tracer.gauge("scheduler.epc_high_water_bytes", epc_high_water)
                 running[pending.query_id] = pending
                 push(
-                    now + service,
+                    now + attempt_s,
                     _FINISH,
                     _Finish(
                         query_id=pending.query_id,
                         start_s=now,
                         overflow_bytes=decision.overflow_bytes,
                         bypassed=decision.bypassed,
+                        outcome=outcome,
+                        reserved_bytes=reserved_bytes,
+                        crash=crash,
                     ),
                 )
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
             if kind == _ARRIVAL:
+                if isinstance(payload, _Retry):
+                    # A retried attempt re-enters the queue like a fresh
+                    # arrival but keeps its identity (and its original
+                    # arrival time, so latency covers every attempt).
+                    pending = payload.pending
+                    if breaker is not None and breaker.is_open(
+                        pending.stream, now
+                    ):
+                        if tracer.enabled:
+                            tracer.event(
+                                SHED,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                retry=True,
+                            )
+                        fail_attempt(pending, now, "shed")
+                        continue
+                    queue.append(pending)
+                    dispatch(now)
+                    continue
                 arrival = payload
                 cost = self._cost_of(arrival.template)
                 counters.arrivals += 1
@@ -275,6 +566,20 @@ class WorkloadScheduler:
                         template=pending.template,
                         queue_depth=len(queue),
                     )
+                if breaker is not None and breaker.is_open(pending.stream, now):
+                    # The tenant's breaker is open: fail fast instead of
+                    # burning cores on a service that is likely doomed.
+                    if tracer.enabled:
+                        tracer.event(
+                            SHED,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            retry=False,
+                        )
+                    fail_attempt(pending, now, "shed")
+                    continue
                 queue.append(pending)
                 # No resources were freed since the last dispatch round, so
                 # the only query this round can admit is the new arrival:
@@ -284,44 +589,76 @@ class WorkloadScheduler:
                 dispatch(now)
                 if len(queue) == depth_before:
                     counters.queued += 1
+            elif kind == _WAKE:
+                # A fault window edge changed the admission state (e.g. an
+                # EPC squeeze ended): give the queue another chance.
+                dispatch(now)
             else:
                 finish = payload
                 pending = running.pop(finish.query_id)
                 free_cores += pending.threads
-                epc_used -= pending.working_set_bytes
-                counters.completed += 1
-                if tracer.enabled:
-                    tracer.event(
-                        FINISH,
-                        time_s=now,
-                        query_id=pending.query_id,
-                        stream=pending.stream,
-                        template=pending.template,
-                        latency_s=now - pending.arrival_s,
-                        service_s=now - finish.start_s,
+                epc_used -= finish.reserved_bytes
+                if finish.outcome == "ok":
+                    counters.completed += 1
+                    if breaker is not None:
+                        breaker.record_success(pending.stream)
+                    if tracer.enabled:
+                        tracer.event(
+                            FINISH,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            latency_s=now - pending.arrival_s,
+                            service_s=now - finish.start_s,
+                        )
+                    records.append(
+                        QueryRecord(
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            client=pending.client,
+                            arrival_s=pending.arrival_s,
+                            start_s=finish.start_s,
+                            finish_s=now,
+                            working_set_bytes=pending.working_set_bytes,
+                            overflow_bytes=finish.overflow_bytes,
+                            bypassed=finish.bypassed,
+                            attempts=pending.attempt + 1,
+                        )
                     )
-                records.append(
-                    QueryRecord(
-                        query_id=pending.query_id,
-                        stream=pending.stream,
-                        template=pending.template,
-                        client=pending.client,
-                        arrival_s=pending.arrival_s,
-                        start_s=finish.start_s,
-                        finish_s=now,
-                        working_set_bytes=pending.working_set_bytes,
-                        overflow_bytes=finish.overflow_bytes,
-                        bypassed=finish.bypassed,
-                    )
-                )
-                stream = closed_by_name.get(pending.stream)
-                if stream is not None and now < duration_s:
-                    push(
-                        *_arrival_event(
-                            stream.next_arrival(
-                                closed_rngs[stream.name], pending.client, now
+                    stream = closed_by_name.get(pending.stream)
+                    if stream is not None and now < duration_s:
+                        push(
+                            *_arrival_event(
+                                stream.next_arrival(
+                                    closed_rngs[stream.name], pending.client, now
+                                )
                             )
                         )
+                else:
+                    wasted_s = now - finish.start_s
+                    reinit_s = 0.0
+                    if finish.crash is not None:
+                        reinit_s = finish.crash.reinit_s
+                        if tracer.enabled:
+                            tracer.event(
+                                FAULT_CRASH,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                attempt=pending.attempt,
+                                at_fraction=finish.crash.fraction,
+                                lost_s=wasted_s,
+                                reinit_s=reinit_s,
+                            )
+                    fail_attempt(
+                        pending,
+                        now,
+                        finish.outcome,
+                        wasted_s=wasted_s,
+                        reinit_s=reinit_s,
                     )
                 dispatch(now)
 
@@ -333,18 +670,30 @@ class WorkloadScheduler:
             epc_budget_bytes=self._epc_budget,
             epc_high_water_bytes=int(epc_high_water),
             duration_s=duration_s,
+            failures=sorted(failures, key=lambda f: f.query_id),
+            downtime_s=downtime_s,
         )
         if tracer.enabled:
             for name, value in counters.as_dict().items():
                 tracer.count(f"scheduler.{name}", value)
-            tracer.event(
-                RUN_END,
+            end_attrs = dict(
                 time_s=metrics.makespan_s,
                 setting=self._setting_label,
                 policy=self._policy.label,
                 completed=counters.completed,
                 epc_high_water_bytes=int(epc_high_water),
             )
+            if faulting:
+                for name, value in counters.fault_dict().items():
+                    tracer.count(f"scheduler.{name}", value)
+                end_attrs.update(
+                    failed=counters.failed,
+                    shed=counters.shed,
+                    retries=counters.retries,
+                    availability=metrics.availability,
+                    downtime_s=downtime_s,
+                )
+            tracer.event(RUN_END, **end_attrs)
         return metrics
 
     def _cost_of(self, template: str) -> JobCost:
@@ -363,6 +712,14 @@ class _Finish:
     start_s: float
     overflow_bytes: int
     bypassed: bool
+    outcome: str = "ok"
+    reserved_bytes: int = 0
+    crash: Optional[CrashDraw] = None
+
+
+@dataclass(frozen=True)
+class _Retry:
+    pending: PendingQuery
 
 
 def _arrival_event(arrival: Arrival) -> Tuple[float, int, Arrival]:

@@ -191,7 +191,7 @@ class TestRegistry:
         expected.update(
             {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06"}
         )  # extensions
-        expected.update({"wl01", "wl02", "wl03"})  # serving workloads
+        expected.update({"wl01", "wl02", "wl03", "wl04"})  # serving workloads
         assert set(EXPERIMENTS) == expected
 
     def test_modules_expose_interface(self):

@@ -65,6 +65,48 @@ class TestSeries:
             render_series(report)
 
 
+def wl04_latency_report():
+    # The shape of wl04's headline comparison: three arms as series over
+    # the shared percentile axis (50 / 95 / 99).
+    report = ExperimentReport("wl04", "faults", "Fig. 11 extension")
+    for series, scale in (
+        ("baseline latency", 1.0),
+        ("faults latency", 8.0),
+        ("mitigated latency", 2.5),
+    ):
+        for percentile in (50, 95, 99):
+            report.add(series, percentile, scale * percentile, "ms")
+    return report
+
+
+class TestWl04ThreeSeries:
+    def test_latency_comparison_renders_as_three_series(self):
+        chart = render(wl04_latency_report())
+        assert "o = baseline latency" in chart
+        assert "x = faults latency" in chart
+        assert "+ = mitigated latency" in chart
+
+    def test_percentile_axis_spans_50_to_99(self):
+        chart = render_series(wl04_latency_report())
+        assert "50 .. 99" in chart
+
+    def test_real_wl04_report_renders(self):
+        # The full report mixes the percentile axis with goodput /
+        # availability arm labels, so auto-render falls back to bars;
+        # the latency slice must still chart as a proper series.
+        from repro.bench.registry import run_experiment
+
+        full = run_experiment("wl04", quick=True)
+        assert "█" in render(full)
+        latency = ExperimentReport(
+            full.experiment_id, full.title, full.paper_reference
+        )
+        latency.rows = [r for r in full.rows if r.series.endswith("latency")]
+        chart = render(latency)
+        for arm in ("baseline", "faults", "mitigated"):
+            assert f"= {arm} latency" in chart
+
+
 class TestAutoRender:
     def test_sweep_becomes_series(self):
         assert "+" + "-" * 10 in render(sweep_report()) or "o = plain" in render(

@@ -47,11 +47,25 @@ class TestLifecycle:
         assert enclave.state is EnclaveState.DESTROYED
         assert allocator.epc_used(0) == 0
 
-    def test_double_destroy_rejected(self, allocator):
+    def test_double_destroy_is_idempotent(self, allocator):
         enclave = make_enclave(allocator)
         enclave.destroy()
+        enclave.destroy()  # crash-recovery handlers may race; must not raise
+        assert enclave.state is EnclaveState.DESTROYED
+        assert allocator.epc_used(0) == 0
+
+    def test_operations_on_destroyed_enclave_rejected(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB)
+        enclave.allocate("a", 512 * 1024)
+        enclave.destroy()
         with pytest.raises(EnclaveStateError):
-            enclave.destroy()
+            enclave.allocate("x", 100)
+        with pytest.raises(EnclaveStateError):
+            enclave.release_heap(1)
+        with pytest.raises(EnclaveStateError):
+            enclave.grow("x", 100)
+        with pytest.raises(EnclaveStateError):
+            enclave.initialize()
 
 
 class TestStaticHeap:
@@ -105,6 +119,32 @@ class TestEdmm:
     def test_config_requires_max_for_dynamic(self):
         with pytest.raises(ConfigurationError):
             EnclaveConfig(heap_bytes=2 * MiB, dynamic=True, max_bytes=1 * MiB)
+
+    def test_explicit_grow_commits_pages(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB, dynamic=True)
+        profile = AccessProfile()
+        enclave.grow("buffer", 2 * MiB, profile)
+        assert enclave.pages_added_total == 2 * MiB // PAGE_BYTES
+        assert enclave.total_bytes == 3 * MiB
+        assert profile.sync.pages_added_dynamically == 2 * MiB // PAGE_BYTES
+        assert allocator.epc_used(0) == 3 * MiB
+
+    def test_grow_static_enclave_rejected(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB)
+        with pytest.raises(CapacityError):
+            enclave.grow("buffer", PAGE_BYTES)
+
+    def test_grow_beyond_max_rejected(self, allocator):
+        enclave = make_enclave(
+            allocator, heap=1 * MiB, dynamic=True, max_bytes=2 * MiB
+        )
+        with pytest.raises(CapacityError):
+            enclave.grow("buffer", 2 * MiB)
+
+    def test_grow_needs_positive_size(self, allocator):
+        enclave = make_enclave(allocator, heap=1 * MiB, dynamic=True)
+        with pytest.raises(ConfigurationError):
+            enclave.grow("buffer", 0)
 
 
 class TestExecutionSettings:

@@ -107,6 +107,52 @@ class TestCliRobustness:
         capsys.readouterr()
 
 
+class TestCliFaults:
+    def test_parser_faults_flag(self):
+        args = build_parser().parse_args(["wl01", "--faults", "chaos"])
+        assert args.faults == "chaos"
+        assert build_parser().parse_args(["wl01"]).faults is None
+
+    def test_unknown_plan_exits_2_and_names_known_ones(self, capsys):
+        assert main(["wl01", "--faults", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+        assert "chaos" in err  # the catalog is listed
+
+    def test_unknown_plan_leaves_no_artifact_dirs_behind(self, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        trace_dir = tmp_path / "traces"
+        assert main(
+            [
+                "wl01",
+                "--faults", "nope",
+                "--csv", str(csv_dir),
+                "--trace", str(trace_dir),
+            ]
+        ) == 2
+        capsys.readouterr()
+        assert not csv_dir.exists()
+        assert not trace_dir.exists()
+
+    def test_faults_none_matches_baseline_byte_for_byte(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        none_dir = tmp_path / "none"
+        assert main(["wl01", "--csv", str(plain_dir)]) == 0
+        assert main(["wl01", "--faults", "none", "--csv", str(none_dir)]) == 0
+        capsys.readouterr()
+        assert (plain_dir / "wl01.csv").read_bytes() == \
+            (none_dir / "wl01.csv").read_bytes()
+
+    def test_fault_plan_changes_serving_results(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        chaos_dir = tmp_path / "chaos"
+        assert main(["wl01", "--csv", str(plain_dir)]) == 0
+        assert main(["wl01", "--faults", "chaos", "--csv", str(chaos_dir)]) == 0
+        capsys.readouterr()
+        assert (plain_dir / "wl01.csv").read_bytes() != \
+            (chaos_dir / "wl01.csv").read_bytes()
+
+
 class TestCsvRoundTrip:
     def test_cli_csv_parses_back(self, tmp_path, capsys):
         import csv

@@ -1,6 +1,7 @@
-"""Golden-shape checks for the serving-workload experiments (wl01-wl03)."""
+"""Golden-shape checks for the serving-workload experiments (wl01-wl04)."""
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.faults import get_fault_plan, use_fault_plan
 
 # One quick run of each wl experiment, shared across the module's tests
 # (quick-mode serving metrics are deterministic per seed).
@@ -15,7 +16,7 @@ def report_for(experiment_id):
 
 class TestRegistry:
     def test_wl_experiments_registered(self):
-        for eid in ("wl01", "wl02", "wl03"):
+        for eid in ("wl01", "wl02", "wl03", "wl04"):
             assert eid in EXPERIMENTS
 
 
@@ -92,3 +93,45 @@ class TestWl03TenantInterference:
         report = report_for("wl03")
         for prefix in ("native", "SGX"):
             assert report.value(f"{prefix} tenant-A p99", "alone") < 20  # ms
+
+
+class TestWl04FaultResilience:
+    def test_faults_inflate_p99(self):
+        report = report_for("wl04")
+        assert report.value("faults latency", 99) > \
+            3 * report.value("baseline latency", 99)
+
+    def test_mitigation_recovers_at_least_half_the_p99_gap(self):
+        # The PR's headline acceptance criterion.
+        report = report_for("wl04")
+        base = report.value("baseline latency", 99)
+        faults = report.value("faults latency", 99)
+        mitigated = report.value("mitigated latency", 99)
+        assert mitigated <= base + 0.5 * (faults - base)
+
+    def test_mitigation_strictly_improves_goodput(self):
+        report = report_for("wl04")
+        assert report.value("goodput", "mitigated") > \
+            report.value("goodput", "faults")
+
+    def test_baseline_arm_is_fully_available(self):
+        report = report_for("wl04")
+        assert report.value("availability", "baseline") == 100.0
+        assert report.value("availability", "faults") < 100.0
+        assert report.value("availability", "mitigated") > \
+            report.value("availability", "faults")
+
+    def test_baseline_arm_ignores_session_fault_plan(self):
+        # wl04 pins every arm's plan explicitly, so running it under a
+        # session-level --faults plan must not change a single row.
+        clean = report_for("wl04")
+        with use_fault_plan(get_fault_plan("chaos")):
+            contaminated = run_experiment("wl04", quick=True)
+        assert [(r.series, r.x, r.value) for r in clean.rows] == \
+            [(r.series, r.x, r.value) for r in contaminated.rows]
+
+    def test_deterministic_across_runs(self):
+        first = report_for("wl04")
+        second = run_experiment("wl04", quick=True)
+        assert [(r.series, r.x, r.value) for r in first.rows] == \
+            [(r.series, r.x, r.value) for r in second.rows]
