@@ -9,6 +9,7 @@ echoes it to stdout (visible with ``-s``).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -17,6 +18,8 @@ import pytest
 from repro.bench.registry import run_experiment
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCOREBOARD = RESULTS_DIR / "BENCH_planner.json"
 
 FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
@@ -47,3 +50,31 @@ def run_figure(benchmark, results_dir):
         return report
 
     return _run
+
+
+@pytest.fixture
+def planner_scoreboard(results_dir):
+    """Read-modify-write ``BENCH_planner.json``, the planner perf trajectory.
+
+    Each entry is ``{experiment, arm, p50, p99, goodput, ...}`` (``None``
+    where a metric does not apply); a bench replaces its own experiment's
+    entries and leaves the others, so partial reruns keep the file whole.
+    Future PRs regress against these numbers.
+    """
+
+    def _update(experiment_id: str, entries):
+        existing = []
+        if SCOREBOARD.exists():
+            existing = json.loads(SCOREBOARD.read_text())
+        kept = [e for e in existing if e["experiment"] != experiment_id]
+        for entry in entries:
+            entry.setdefault("p50", None)
+            entry.setdefault("p99", None)
+            entry.setdefault("goodput", None)
+        merged = sorted(
+            kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
+        )
+        SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
+        return merged
+
+    return _update

@@ -41,10 +41,11 @@ from repro.machine import SimMachine
 from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
-#: repetition_jobs, fault_plan).  The plan rides into spawned workers as a
-#: pickled frozen dataclass — spawn inherits no ambient ``use_fault_plan``
-#: state, so the explicit slot is the only channel.
-_Task = Tuple[str, bool, int, bool, int, Optional[FaultPlan]]
+#: repetition_jobs, fault_plan, planner).  The plan and the planner mode
+#: ride into spawned workers as pickled values — spawn inherits no ambient
+#: ``use_fault_plan``/``use_planner_mode`` state, so the explicit slots
+#: are the only channel.
+_Task = Tuple[str, bool, int, bool, int, Optional[FaultPlan], Optional[str]]
 
 
 @dataclass
@@ -100,6 +101,7 @@ def _execute(
     repetition_jobs: int,
     machine: Optional[SimMachine] = None,
     fault_plan: Optional[FaultPlan] = None,
+    planner: Optional[str] = None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -112,6 +114,7 @@ def _execute(
             tracer=tracer,
             base_seed=base_seed,
             fault_plan=fault_plan,
+            planner=planner,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -129,7 +132,15 @@ def _execute(
 
 def _worker(task: _Task) -> Dict:
     """Process-pool entry point (top-level so spawn can pickle it)."""
-    experiment_id, quick, base_seed, traced, repetition_jobs, fault_plan = task
+    (
+        experiment_id,
+        quick,
+        base_seed,
+        traced,
+        repetition_jobs,
+        fault_plan,
+        planner,
+    ) = task
     return _execute(
         experiment_id,
         quick=quick,
@@ -137,6 +148,7 @@ def _worker(task: _Task) -> Dict:
         traced=traced,
         repetition_jobs=repetition_jobs,
         fault_plan=fault_plan,
+        planner=planner,
     )
 
 
@@ -163,6 +175,7 @@ def run_session(
     base_seed: Optional[int] = None,
     traced: bool = False,
     faults: Optional[FaultPlan] = None,
+    planner: Optional[str] = None,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
 
@@ -176,7 +189,9 @@ def run_session(
     ``faults`` installs a session fault plan for every run — threaded
     explicitly into workers and hashed into every cache key, so serial,
     parallel, and cached-replay runs of one plan stay byte-identical while
-    differently-faulted runs never collide.
+    differently-faulted runs never collide.  ``planner`` installs a
+    session planner mode through the same three channels (in-process
+    scope, worker task slot, cache key) with the same guarantee.
     """
     ids = list(experiment_ids)
     for experiment_id in ids:
@@ -211,6 +226,7 @@ def run_session(
                 params=params,
                 spec=spec,
                 faults=faults,
+                planner=planner,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -248,6 +264,7 @@ def run_session(
                     repetition_jobs=repetition_jobs,
                     machine=machine,
                     fault_plan=faults,
+                    planner=planner,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -269,6 +286,7 @@ def run_session(
                             traced,
                             repetition_jobs,
                             faults,
+                            planner,
                         ),
                     )
                     for experiment_id in pending

@@ -32,10 +32,12 @@ from repro.bench.experiments import (
     ext04_skew,
     ext05_pipelining,
     ext06_epc_crossover,
+    ext07_planner_ablation,
     wl01_latency_throughput,
     wl02_admission_policies,
     wl03_tenant_interference,
     wl04_fault_resilience,
+    wl05_adaptive_planner,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -67,10 +69,12 @@ EXPERIMENTS: Dict[str, object] = {
         ext04_skew,
         ext05_pipelining,
         ext06_epc_crossover,
+        ext07_planner_ablation,
         wl01_latency_throughput,
         wl02_admission_policies,
         wl03_tenant_interference,
         wl04_fault_resilience,
+        wl05_adaptive_planner,
     )
 }
 
@@ -94,6 +98,7 @@ def run_experiment(
     tracer=None,
     base_seed: Optional[int] = None,
     fault_plan=None,
+    planner: Optional[str] = None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -107,20 +112,24 @@ def run_experiment(
     default).  ``fault_plan`` installs a session fault plan
     (:class:`~repro.faults.FaultPlan`) for the run's scope — serving runs
     whose configs leave ``faults=None`` inject from it; experiments that
-    pin explicit plans (wl04's arms) are unaffected.
+    pin explicit plans (wl04's arms) are unaffected.  ``planner`` installs
+    a session planner mode the same way — serving configs with
+    ``planner=None`` serve under it; experiments that pin modes (ext07,
+    wl05's arms) are unaffected.
     """
     module = get_experiment(experiment_id)
     import contextlib
 
     from repro.bench.runner import use_base_seed
     from repro.faults import use_fault_plan
+    from repro.planner import use_planner_mode
 
     plan_scope = (
         use_fault_plan(fault_plan)
         if fault_plan is not None
         else contextlib.nullcontext()
     )
-    with plan_scope, use_base_seed(base_seed):
+    with plan_scope, use_planner_mode(planner), use_base_seed(base_seed):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

@@ -61,6 +61,7 @@ def build_report(
     cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
     base_seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    planner: Optional[str] = None,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
 
@@ -73,7 +74,8 @@ def build_report(
     memoizes their results (see :func:`repro.bench.parallel.run_session`);
     the rendered report is byte-identical for any ``jobs``/``cache``
     combination.  ``faults`` applies a session fault plan to every run
-    (the ``--faults`` channel).
+    (the ``--faults`` channel); ``planner`` a session planner mode (the
+    ``--planner`` channel).
     """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
@@ -114,6 +116,7 @@ def build_report(
         base_seed=base_seed,
         traced=trace_dir is not None,
         faults=faults,
+        planner=planner,
     )
     for run in session.runs:
         if csv_dir is not None:
@@ -145,6 +148,7 @@ def write_report(
     cache: Optional[Union[MemoStore, str, pathlib.Path]] = None,
     base_seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
+    planner: Optional[str] = None,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
@@ -160,6 +164,7 @@ def write_report(
             cache=cache,
             base_seed=base_seed,
             faults=faults,
+            planner=planner,
         )
     )
     return path

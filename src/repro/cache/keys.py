@@ -25,7 +25,8 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #: Bump to invalidate every existing cache entry (serialization changes,
 #: cost-model semantics changes that the calibration digest cannot see).
 #: 2: keys gained a fault-plan component.
-CACHE_FORMAT = 2
+#: 3: keys gained a planner-mode component.
+CACHE_FORMAT = 3
 
 
 def canonical(value: Any) -> Any:
@@ -92,6 +93,7 @@ def experiment_key(
     params: Optional[CostParameters] = None,
     spec: Optional[HardwareSpec] = None,
     faults: Optional[FaultPlan] = None,
+    planner: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
@@ -100,8 +102,11 @@ def experiment_key(
     caps), ``traced`` whether the entry must carry a replayable trace,
     ``faults`` the session fault plan (every spec and the plan seed hash
     into the key, so a faulted run never replays an un-faulted entry or
-    vice versa), and ``extra`` any additional operator parameters a caller
-    wants keyed (e.g. an :class:`~repro.enclave.runtime.ExecutionSetting`).
+    vice versa), ``planner`` the session planner mode (``None`` and
+    ``"static"`` key identically: both serve the historical static plans,
+    so pre-planner entries stay valid for static sessions), and ``extra``
+    any additional operator parameters a caller wants keyed (e.g. an
+    :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
     return fingerprint(
         format=CACHE_FORMAT,
@@ -111,5 +116,6 @@ def experiment_key(
         traced=bool(traced),
         calibration=calibration_digest(params, spec),
         faults=faults,
+        planner=planner if planner not in (None, "static") else "static",
         extra=extra or {},
     )

@@ -28,7 +28,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e.g. fig08 fig17), or 'all'",
+        help=(
+            "experiment ids (e.g. fig08 fig17), or 'all'; or "
+            "'explain JOB' to print the planner's ranked candidate plans "
+            "for a serving job template"
+        ),
     )
     parser.add_argument(
         "--list", action="store_true", help="list known experiments and exit"
@@ -105,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
             "see repro.faults.fault_plans for the catalog"
         ),
     )
+    parser.add_argument(
+        "--planner",
+        metavar="MODE",
+        help=(
+            "plan serving queries with MODE: 'static' (the historical "
+            "hardcoded plans; the default), 'cost' (the SGX-aware cost "
+            "model picks each template's plan), or 'adaptive' (seeded "
+            "epsilon-greedy refinement of the cost ranking from observed "
+            "latencies; deterministic for a fixed --seed)"
+        ),
+    )
     return parser
 
 
@@ -127,6 +142,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ConfigurationError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.planner is not None:
+        # Same fail-fast contract as --faults: an unknown mode exits
+        # before any output dirs exist.  The oracle selector is not
+        # offered here — it is the experiment-only upper bound.
+        from repro.planner import PLANNER_MODES
+
+        if args.planner not in PLANNER_MODES:
+            print(
+                f"unknown planner mode {args.planner!r}; "
+                f"known: {', '.join(PLANNER_MODES)}",
+                file=sys.stderr,
+            )
+            return 2
     if args.seed is not None:
         from repro.bench import runner
 
@@ -143,6 +171,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             module = EXPERIMENTS[experiment_id]
             print(f"{experiment_id:8s} {module.TITLE}")
         return 0
+    if args.experiments and args.experiments[0] == "explain":
+        return _explain(args.experiments[1:], quick=not args.full)
     requested = args.experiments or ["all"]
     if "all" in requested:
         requested = sorted(EXPERIMENTS)
@@ -186,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache=store,
             base_seed=args.seed,
             faults=fault_plan,
+            planner=args.planner,
         )
         print(f"wrote {path}")
         _print_cache_summary(store, args.cache)
@@ -206,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         base_seed=args.seed,
         traced=trace_dir is not None,
         faults=fault_plan,
+        planner=args.planner,
     )
     for run in session.runs:
         print(run.report.print_table())
@@ -229,6 +261,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         session_trace = session.write_session_trace(trace_dir)
         print(f"wrote {session_trace} (session cache/worker telemetry)")
     _print_cache_summary(store, args.cache)
+    return 0
+
+
+def _explain(names: List[str], *, quick: bool) -> int:
+    """``sgxv2-bench explain JOB``: the planner's view of one template.
+
+    Prints the ranked candidate plans (estimated cycles, EPC working set,
+    chosen/rejected status) for each requested serving job template under
+    the data-in-enclave setting, against the machine's real EPC budget.
+    Unknown job names exit 2 without touching the filesystem.
+    """
+    from repro.bench.experiments.common import SETTING_SGX_IN
+    from repro.machine import SimMachine
+    from repro.planner import Planner
+    from repro.workload.jobs import serving_templates
+
+    templates = serving_templates()
+    if not names:
+        print(
+            "explain needs at least one job template name; "
+            f"known: {', '.join(sorted(templates))}",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [name for name in names if name not in templates]
+    if unknown:
+        print(
+            f"unknown job templates: {', '.join(unknown)}", file=sys.stderr
+        )
+        print(
+            f"known job templates: {', '.join(sorted(templates))}",
+            file=sys.stderr,
+        )
+        return 2
+    del quick  # plan estimates price tiny stand-ins either way
+    machine = SimMachine()
+    planner = Planner(
+        machine,
+        SETTING_SGX_IN,
+        epc_budget_bytes=float(machine.topology.node(0).epc_bytes),
+    )
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(planner.explain(templates[name]))
     return 0
 
 

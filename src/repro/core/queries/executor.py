@@ -9,10 +9,11 @@ a gather that materializes the surviving columns of both sides.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.core.joins.base import JoinAlgorithm
 from repro.core.joins.radix import RadixJoin
 from repro.core.queries.plan import CountStep, FilterStep, JoinStep, QueryPlan
 from repro.enclave.sync import LockKind
@@ -59,10 +60,23 @@ class QueryExecutor:
         *,
         queue_kind: LockKind = LockKind.LOCK_FREE,
         pipelined: bool = False,
+        join_factory: Optional[Callable[[], "JoinAlgorithm"]] = None,
     ) -> None:
         self.variant = variant
         self.queue_kind = queue_kind
         self.pipelined = pipelined
+        self.join_factory = join_factory
+
+    def _make_join(self) -> "JoinAlgorithm":
+        """The join operator for each join step.
+
+        Defaults to the paper's Sec. 6 configuration (RHO at the
+        executor's variant); a planner installs its chosen operator via
+        ``join_factory``.
+        """
+        if self.join_factory is not None:
+            return self.join_factory()
+        return RadixJoin(self.variant, queue_kind=self.queue_kind)
 
     # ------------------------------------------------------------------
 
@@ -252,7 +266,7 @@ class QueryExecutor:
             ],
             sim_scale=probe.sim_scale,
         )
-        join = RadixJoin(self.variant, queue_kind=self.queue_kind)
+        join = self._make_join()
         pages_before = ctx.enclave.pages_added_total if ctx.enclave else 0
         join_result = join.run(ctx, build_rowids, probe_rowids)
         join_pages = (

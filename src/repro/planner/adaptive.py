@@ -1,0 +1,282 @@
+"""Online refinement of plan choices from observed serving latencies.
+
+Analytical estimates are only as good as the calibration; a serving run
+additionally sees effects no single-query estimate prices (interference,
+momentary EPC squeeze).  The adaptive selector treats the planner's top-k
+candidates as bandit arms and refines per-template choices online with a
+seeded epsilon-greedy policy: exploit the arm with the best sliding-window
+mean of *observed* latencies, explore with a probability that decays as
+observations accumulate.
+
+Determinism is load-bearing (an acceptance criterion): every exploration
+draw derives from *decision identity* — a SHA-256 over the seed, the
+template, the query id, and the dispatch attempt — exactly like
+:class:`repro.faults.inject.FaultInjector`.  No RNG state is threaded
+through the run, so the same seed yields byte-identical choices whether
+the session runs serially, under ``--jobs 4``, or replays from cache; and
+because the serving event loop advances simulated time single-threadedly,
+the observation order (and therefore the window means) is deterministic
+too.
+
+:class:`OracleSelector` is the experiment-only upper bound: it picks per
+dispatch with knowledge of the momentary EPC headroom — information no
+production planner has.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.planner.candidates import PlanCandidate
+
+#: Default exploration rate at the first decision.
+DEFAULT_EPSILON = 0.08
+
+#: Observations at which the exploration rate has halved.
+DEFAULT_DECAY = 32
+
+#: Sliding-window length of the per-arm latency mean.
+DEFAULT_WINDOW = 16
+
+
+@dataclass(frozen=True)
+class ArmCost:
+    """One bandit arm: a candidate plus its analytical prior."""
+
+    candidate: PlanCandidate
+    label: str
+    service_s: float  # analytical no-contention estimate
+    working_set_bytes: int
+
+
+def _effective_service(arm: ArmCost, headroom_bytes: Optional[float]) -> float:
+    """The arm's prior under ``headroom_bytes`` of free EPC."""
+    from repro.planner.choose import overflow_fraction
+    from repro.workload.scheduler import EDMM_OVERFLOW_SLOWDOWN
+
+    if headroom_bytes is None:
+        return arm.service_s
+    fraction = overflow_fraction(arm.working_set_bytes, headroom_bytes)
+    return arm.service_s * (1.0 + EDMM_OVERFLOW_SLOWDOWN * fraction)
+
+
+def _check_arms(
+    arms_by_template: Mapping[str, Sequence[ArmCost]],
+) -> Dict[str, Tuple[ArmCost, ...]]:
+    checked: Dict[str, Tuple[ArmCost, ...]] = {}
+    for name, arms in arms_by_template.items():
+        if not arms:
+            raise ConfigurationError(
+                f"template {name!r} has no plan arms to select between"
+            )
+        labels = [arm.label for arm in arms]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"template {name!r} has duplicate arm labels: {labels}"
+            )
+        checked[name] = tuple(arms)
+    return checked
+
+
+class PlanSelector:
+    """Base contract the serving scheduler talks to.
+
+    ``select`` is called once per dispatch attempt; ``observe`` once per
+    successfully finished query with the latency the client saw.  Both
+    selectors keep the first arm of each template's sequence as the
+    analytical favorite, so arm order is part of the contract (the
+    planner hands arms best-first).
+    """
+
+    mode = "static"
+
+    def __init__(
+        self, arms_by_template: Mapping[str, Sequence[ArmCost]]
+    ) -> None:
+        self._arms = _check_arms(arms_by_template)
+
+    def arms(self, template_name: str) -> Tuple[ArmCost, ...]:
+        arms = self._arms.get(template_name)
+        if arms is None:
+            raise ConfigurationError(
+                f"no plan arms registered for template {template_name!r}"
+            )
+        return arms
+
+    def select(
+        self,
+        template_name: str,
+        query_id: int,
+        attempt: int,
+        *,
+        headroom_bytes: Optional[float] = None,
+    ) -> ArmCost:
+        raise NotImplementedError
+
+    def observe(
+        self, template_name: str, label: str, latency_s: float
+    ) -> None:
+        """Default: ignore observations (stateless selectors)."""
+
+
+class EpsilonGreedySelector(PlanSelector):
+    """Seeded epsilon-greedy bandit over each template's top-k arms."""
+
+    mode = "adaptive"
+
+    def __init__(
+        self,
+        arms_by_template: Mapping[str, Sequence[ArmCost]],
+        *,
+        seed: int,
+        epsilon: float = DEFAULT_EPSILON,
+        decay: int = DEFAULT_DECAY,
+        window: int = DEFAULT_WINDOW,
+        salt: str = "serving",
+    ) -> None:
+        super().__init__(arms_by_template)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError("epsilon must be within [0, 1]")
+        if decay < 1:
+            raise ConfigurationError("decay must be >= 1 observation")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1 observation")
+        self.seed = seed
+        self.epsilon = epsilon
+        self.decay = decay
+        self.window = window
+        self.salt = salt
+        self._latencies: Dict[str, Dict[str, Deque[float]]] = {
+            name: {arm.label: deque(maxlen=window) for arm in arms}
+            for name, arms in self._arms.items()
+        }
+        self._observations: Dict[str, int] = dict.fromkeys(self._arms, 0)
+
+    # -- deterministic randomness ----------------------------------------
+
+    def _draws(
+        self, template_name: str, query_id: int, attempt: int
+    ) -> Tuple[float, float]:
+        """Two uniform [0, 1) draws from decision identity (cf. faults)."""
+        token = (
+            f"{self.seed}:planner.{self.salt}:"
+            f"{template_name}:{query_id}:{attempt}"
+        )
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        scale = float(2**64)
+        return (
+            int.from_bytes(digest[:8], "big") / scale,
+            int.from_bytes(digest[8:16], "big") / scale,
+        )
+
+    # -- the policy -------------------------------------------------------
+
+    def exploration_rate(self, template_name: str) -> float:
+        """Current epsilon: halves every ``decay`` observations."""
+        seen = self._observations.get(template_name, 0)
+        return self.epsilon * self.decay / (self.decay + seen)
+
+    def _mean_latency(
+        self,
+        template_name: str,
+        arm: ArmCost,
+        headroom_bytes: Optional[float] = None,
+    ) -> Tuple[float, int]:
+        """(window mean, sample count); prior estimate when unobserved.
+
+        The unobserved prior is the *headroom-adjusted* effective service
+        (the cost model's own overflow pricing), not the raw estimate:
+        observations lag dispatch by the whole queue, so a raw prior frozen
+        before an EPC squeeze would keep nominating big-footprint arms the
+        model already knows have turned catastrophic — each such pick adds
+        backlog that delays the very feedback that would correct it.
+        """
+        window = self._latencies[template_name][arm.label]
+        if not window:
+            return _effective_service(arm, headroom_bytes), 0
+        return sum(window) / len(window), len(window)
+
+    def select(
+        self,
+        template_name: str,
+        query_id: int,
+        attempt: int,
+        *,
+        headroom_bytes: Optional[float] = None,
+    ) -> ArmCost:
+        arms = self.arms(template_name)
+        if len(arms) == 1:
+            return arms[0]
+        explore, pick = self._draws(template_name, query_id, attempt)
+        if explore < self.exploration_rate(template_name):
+            return arms[min(int(pick * len(arms)), len(arms) - 1)]
+        # Exploit: best sliding-window mean; unobserved arms compete with
+        # their analytical prior, so the cold start ranks like the cost
+        # planner would.  ``min`` is stable, so ties keep the planner's
+        # best-first arm order — deterministic by construction.
+        return min(
+            arms,
+            key=lambda arm: self._mean_latency(
+                template_name, arm, headroom_bytes
+            )[0],
+        )
+
+    def observe(
+        self, template_name: str, label: str, latency_s: float
+    ) -> None:
+        windows = self._latencies.get(template_name)
+        if windows is None or label not in windows:
+            return  # late finish of an arm from another selector's run
+        windows[label].append(latency_s)
+        self._observations[template_name] += 1
+
+    def snapshot(self, template_name: str) -> Dict[str, Tuple[float, int]]:
+        """Per-arm (window mean, samples) for reports and tests."""
+        return {
+            arm.label: self._mean_latency(template_name, arm)
+            for arm in self.arms(template_name)
+        }
+
+
+class CostSelector(PlanSelector):
+    """The fixed cost-based choice wrapped as a selector.
+
+    Always returns the analytically best arm (the first one — the planner
+    hands arms best-first).  Exists so the scheduler has one code path for
+    every non-static planner mode.
+    """
+
+    mode = "cost"
+
+    def select(
+        self,
+        template_name: str,
+        query_id: int,
+        attempt: int,
+        *,
+        headroom_bytes: Optional[float] = None,
+    ) -> ArmCost:
+        return self.arms(template_name)[0]
+
+
+class OracleSelector(PlanSelector):
+    """Experiment-only upper bound: sees the momentary EPC headroom."""
+
+    mode = "oracle"
+
+    def select(
+        self,
+        template_name: str,
+        query_id: int,
+        attempt: int,
+        *,
+        headroom_bytes: Optional[float] = None,
+    ) -> ArmCost:
+        arms = self.arms(template_name)
+        return min(
+            arms, key=lambda arm: _effective_service(arm, headroom_bytes)
+        )

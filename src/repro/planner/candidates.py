@@ -1,0 +1,243 @@
+"""Candidate physical plans: what the planner may choose between.
+
+A :class:`PlanCandidate` fixes every physical decision one query template
+leaves open: the join algorithm (the paper's five, with RHO in both code
+variants — Sec. 4's headline result is that their ranking flips between
+native, SGXv2, and SGXv1 execution), the code variant, the thread count,
+the enclave sizing strategy (statically committed heap vs EDMM growth,
+Fig. 11), and the radix partitioning fan-out.
+
+Templates may pin any subset of these via :class:`PlanHints` (wl05's
+"static-native" arm forces the plan a SGX-oblivious optimizer would pick);
+:func:`enumerate_candidates` respects hints by filtering the space, and
+:func:`static_candidate` reproduces the repo's historical hardcoded choice
+exactly (``RadixJoin`` at the catalog's variant), which is what keeps
+``--planner static`` byte-identical to pre-planner builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.joins import (
+    CrkJoin,
+    IndexNestedLoopJoin,
+    JoinAlgorithm,
+    ParallelHashJoin,
+    RadixJoin,
+    SortMergeJoin,
+)
+from repro.enclave.sync import LockKind
+from repro.errors import ConfigurationError
+from repro.memory.access import CodeVariant
+
+#: Join algorithm name -> class, in the paper's Fig. 3 order.
+JOIN_ALGORITHMS = {
+    "CrkJoin": CrkJoin,
+    "PHT": ParallelHashJoin,
+    "RHO": RadixJoin,
+    "MWAY": SortMergeJoin,
+    "INL": IndexNestedLoopJoin,
+}
+
+#: Enclave sizing strategies (Fig. 11): commit the heap up front and touch
+#: pages at init, or grow on demand through EDMM (~47x more cycles/page).
+SIZINGS = ("static", "edmm")
+
+#: The scan pseudo-algorithm (scans have one kernel, always SIMD).
+SCAN_ALGORITHM = "SCAN"
+
+
+@dataclass(frozen=True)
+class PlanHints:
+    """Optional pins a template puts on the candidate space.
+
+    Every field left ``None`` stays a free dimension; a set field removes
+    all candidates that disagree.  Hints pin, they do not invent: hinting
+    an unknown algorithm raises at template construction.
+    """
+
+    algorithm: Optional[str] = None
+    variant: Optional[CodeVariant] = None
+    threads: Optional[int] = None
+    sizing: Optional[str] = None
+    fanout: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm is not None and self.algorithm not in (
+            *JOIN_ALGORITHMS,
+            SCAN_ALGORITHM,
+        ):
+            known = ", ".join((*JOIN_ALGORITHMS, SCAN_ALGORITHM))
+            raise ConfigurationError(
+                f"unknown hinted algorithm {self.algorithm!r}; known: {known}"
+            )
+        if self.sizing is not None and self.sizing not in SIZINGS:
+            raise ConfigurationError(
+                f"unknown hinted sizing {self.sizing!r}; known: {SIZINGS}"
+            )
+        if self.threads is not None and self.threads < 1:
+            raise ConfigurationError("hinted threads must be >= 1")
+
+    def admits(self, candidate: "PlanCandidate") -> bool:
+        return (
+            (self.algorithm is None or candidate.algorithm == self.algorithm)
+            and (self.variant is None or candidate.variant is self.variant)
+            and (self.threads is None or candidate.threads == self.threads)
+            and (self.sizing is None or candidate.sizing == self.sizing)
+            and (self.fanout is None or candidate.fanout == self.fanout)
+        )
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One fully decided physical plan for a template."""
+
+    algorithm: str
+    variant: CodeVariant = CodeVariant.NAIVE
+    threads: int = 1
+    sizing: str = "static"
+    fanout: Optional[int] = None  # None: the algorithm's auto fan-out
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in JOIN_ALGORITHMS and self.algorithm not in (
+            SCAN_ALGORITHM,
+        ):
+            known = ", ".join((*JOIN_ALGORITHMS, SCAN_ALGORITHM))
+            raise ConfigurationError(
+                f"unknown plan algorithm {self.algorithm!r}; known: {known}"
+            )
+        if self.sizing not in SIZINGS:
+            raise ConfigurationError(
+                f"unknown sizing {self.sizing!r}; known: {SIZINGS}"
+            )
+        if self.threads < 1:
+            raise ConfigurationError("a plan candidate needs >= 1 thread")
+
+    def label(self, default_threads: Optional[int] = None) -> str:
+        """Short arm name for traces and reports, e.g. ``RHO-unrolled``.
+
+        Non-default dimensions append suffixes (``@8t``, ``+edmm``,
+        ``/f6``) so every distinct candidate has a distinct label.
+        """
+        parts = [self.algorithm]
+        if self.variant is CodeVariant.UNROLLED:
+            parts.append("-unrolled")
+        elif self.variant is CodeVariant.SIMD and self.algorithm != SCAN_ALGORITHM:
+            parts.append("-simd")
+        if default_threads is not None and self.threads != default_threads:
+            parts.append(f"@{self.threads}t")
+        if self.fanout is not None:
+            parts.append(f"/f{self.fanout}")
+        if self.sizing != "static":
+            parts.append(f"+{self.sizing}")
+        return "".join(parts)
+
+
+def build_join(
+    candidate: PlanCandidate, *, queue_kind: LockKind = LockKind.LOCK_FREE
+) -> JoinAlgorithm:
+    """Instantiate the join operator a candidate describes."""
+    cls = JOIN_ALGORITHMS.get(candidate.algorithm)
+    if cls is None:
+        raise ConfigurationError(
+            f"candidate {candidate.label()!r} is not a join plan"
+        )
+    if cls is RadixJoin:
+        return RadixJoin(
+            candidate.variant,
+            radix_bits=candidate.fanout,
+            queue_kind=queue_kind,
+        )
+    if cls is CrkJoin:
+        return CrkJoin(candidate.variant, radix_bits=candidate.fanout)
+    return cls(candidate.variant)
+
+
+def static_candidate(template, catalog_variant: CodeVariant) -> PlanCandidate:
+    """The repo's historical hardcoded choice for ``template``.
+
+    Exactly what :class:`~repro.workload.jobs.JobCatalog` always executed:
+    ``RadixJoin`` at the catalog's variant for joins and TPC-H plans, the
+    SIMD bitvector scan for scans.  ``--planner static`` routes every
+    template through this, which is why its outputs are byte-identical to
+    pre-planner builds.
+    """
+    kind = template.kind.value
+    if kind == "scan":
+        return PlanCandidate(
+            SCAN_ALGORITHM, CodeVariant.SIMD, threads=template.threads
+        )
+    return PlanCandidate("RHO", catalog_variant, threads=template.threads)
+
+
+#: The default join arm set of the issue: the paper's five algorithms at
+#: their naive variants plus the unrolled RHO (the headline optimization).
+_DEFAULT_JOIN_ARMS: Tuple[Tuple[str, CodeVariant], ...] = (
+    ("PHT", CodeVariant.NAIVE),
+    ("RHO", CodeVariant.NAIVE),
+    ("RHO", CodeVariant.UNROLLED),
+    ("MWAY", CodeVariant.NAIVE),
+    ("INL", CodeVariant.NAIVE),
+    ("CrkJoin", CodeVariant.NAIVE),
+)
+
+
+def enumerate_candidates(
+    template,
+    *,
+    cores: Optional[int] = None,
+    thread_options: Tuple[int, ...] = (),
+    fanouts: Tuple[Optional[int], ...] = (None,),
+    sizings: Tuple[str, ...] = ("static",),
+) -> Tuple[PlanCandidate, ...]:
+    """All candidates for ``template``, after applying its ``plan_hints``.
+
+    ``thread_options`` adds thread counts beyond the template's own (each
+    capped at ``cores``); ``fanouts`` adds explicit radix fan-outs for the
+    partitioned joins (``None`` keeps each algorithm's auto choice);
+    ``sizings`` widens the enclave sizing dimension.  Scans and TPC-H
+    plans enumerate the dimensions that apply to them (scans have a single
+    kernel; TPC-H plans vary the join algorithm of their join steps).
+    """
+    kind = template.kind.value
+    hints: Optional[PlanHints] = getattr(template, "plan_hints", None)
+    threads_seen = dict.fromkeys(
+        (template.threads, *thread_options)
+    )  # insertion-ordered, template's own count first
+    thread_counts = [
+        t for t in threads_seen if cores is None or t <= cores
+    ] or [template.threads]
+
+    candidates = []
+    if kind == "scan":
+        for threads in thread_counts:
+            candidates.append(
+                PlanCandidate(
+                    SCAN_ALGORITHM, CodeVariant.SIMD, threads=threads
+                )
+            )
+    else:
+        for algorithm, variant in _DEFAULT_JOIN_ARMS:
+            partitioned = algorithm in ("RHO", "CrkJoin")
+            for threads in thread_counts:
+                for sizing in sizings:
+                    for fanout in fanouts if partitioned else (None,):
+                        candidates.append(
+                            PlanCandidate(
+                                algorithm,
+                                variant,
+                                threads=threads,
+                                sizing=sizing,
+                                fanout=fanout,
+                            )
+                        )
+    if hints is not None:
+        admitted = tuple(c for c in candidates if hints.admits(c))
+        if not admitted:
+            raise ConfigurationError(
+                f"template {template.name!r}: plan_hints admit no candidate"
+            )
+        return admitted
+    return tuple(candidates)

@@ -1,0 +1,264 @@
+"""Per-query plan selection under the current EPC residency.
+
+The :class:`Planner` prices every admitted candidate once (estimates are
+pure functions of the template, spec, and calibration, so they are cached
+per template), then ranks under a given EPC *headroom*: a candidate whose
+working set exceeds the free EPC budget does not become infeasible — SGXv2
+keeps running, it just runs slower — so its cycles are inflated by the
+same overflow model the serving scheduler charges
+(``EDMM_OVERFLOW_SLOWDOWN`` x the overflowing fraction of the working
+set).  That inflation is what moves the CrkJoin/RHO crossover with EPC
+pressure: RHO's partitioning scratch doubles its residency, so under a
+squeezed budget the smaller-footprint arms win even though they lose on
+raw cycles.
+
+``explain()`` renders the whole decision: the statistics line, the query
+plan shape for TPC-H templates, and every candidate with its estimated
+cycles and — for the losers — the reason it lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.enclave.runtime import ExecutionSetting
+from repro.machine import SimMachine
+from repro.planner.candidates import (
+    PlanCandidate,
+    enumerate_candidates,
+    static_candidate,
+)
+from repro.planner.costing import (
+    PRICING_SEED,
+    CandidateEstimate,
+    estimate_candidate,
+)
+from repro.planner.stats import WorkStats
+
+
+def overflow_fraction(working_set_bytes: float, headroom_bytes: float) -> float:
+    """Fraction of a working set that does not fit the free EPC budget."""
+    if working_set_bytes <= 0 or headroom_bytes >= working_set_bytes:
+        return 0.0
+    if headroom_bytes <= 0:
+        return 1.0
+    return (working_set_bytes - headroom_bytes) / working_set_bytes
+
+
+def effective_cycles(
+    estimate: CandidateEstimate, headroom_bytes: Optional[float]
+) -> float:
+    """Estimated cycles under ``headroom_bytes`` of free EPC.
+
+    ``None`` headroom means unconstrained (plain CPU, or a budget-less
+    serving run).  Overflowing candidates pay the scheduler's own EDMM
+    thrash model so the ranking here agrees with what dispatch will
+    actually charge.
+    """
+    if headroom_bytes is None:
+        return estimate.cycles
+    from repro.workload.scheduler import EDMM_OVERFLOW_SLOWDOWN
+
+    fraction = overflow_fraction(estimate.working_set_bytes, headroom_bytes)
+    return estimate.cycles * (1.0 + EDMM_OVERFLOW_SLOWDOWN * fraction)
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate's standing within a decision."""
+
+    estimate: CandidateEstimate
+    effective_cycles: float
+    rejection: str = ""  # empty for the winner
+
+    @property
+    def candidate(self) -> PlanCandidate:
+        return self.estimate.candidate
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's full answer for one template."""
+
+    template_name: str
+    mode: str
+    chosen: PlanCandidate
+    ranked: Tuple[RankedCandidate, ...]  # best-first
+    headroom_bytes: Optional[float]
+
+    @property
+    def chosen_estimate(self) -> CandidateEstimate:
+        return self.ranked[0].estimate
+
+    def arm_label(self, default_threads: Optional[int] = None) -> str:
+        return self.chosen.label(default_threads)
+
+
+class Planner:
+    """Cost-based plan chooser for one (machine, setting) pair.
+
+    ``decide`` ranks all candidates a template admits; ``top_k`` returns
+    the best-k arms for the adaptive selector; ``explain`` renders the
+    decision as text.  All estimates are memoized per template name, so a
+    serving run prices each template's candidate set exactly once.
+    """
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        setting: ExecutionSetting,
+        *,
+        epc_budget_bytes: Optional[float] = None,
+        cores: Optional[int] = None,
+        pricing_seed: int = PRICING_SEED,
+    ) -> None:
+        self.machine = machine
+        self.setting = setting
+        self.epc_budget_bytes = epc_budget_bytes
+        self.cores = cores
+        self.pricing_seed = pricing_seed
+        self._estimates: Dict[str, Tuple[CandidateEstimate, ...]] = {}
+
+    # -- pricing ----------------------------------------------------------
+
+    def estimates(self, template) -> Tuple[CandidateEstimate, ...]:
+        """All candidate estimates for ``template`` (memoized by name)."""
+        cached = self._estimates.get(template.name)
+        if cached is not None:
+            return cached
+        candidates = enumerate_candidates(template, cores=self.cores)
+        estimates = tuple(
+            estimate_candidate(
+                self.machine,
+                self.setting,
+                template,
+                candidate,
+                pricing_seed=self.pricing_seed,
+            )
+            for candidate in candidates
+        )
+        self._estimates[template.name] = estimates
+        return estimates
+
+    # -- decisions --------------------------------------------------------
+
+    def decide(
+        self, template, *, headroom_bytes: Optional[float] = None
+    ) -> PlanDecision:
+        """Rank ``template``'s candidates and pick the cheapest.
+
+        ``headroom_bytes`` defaults to the planner's whole EPC budget (the
+        no-load residency); the scheduler passes the momentary free budget
+        instead when it re-decides at dispatch.
+        """
+        if headroom_bytes is None:
+            headroom_bytes = self.epc_budget_bytes
+        if not self.setting.enclave_mode:
+            headroom_bytes = None  # plain CPU: EPC does not constrain
+        scored = sorted(
+            self.estimates(template),
+            key=lambda e: (effective_cycles(e, headroom_bytes), e.label()),
+        )
+        best = scored[0]
+        best_cycles = effective_cycles(best, headroom_bytes)
+        ranked: List[RankedCandidate] = []
+        for estimate in scored:
+            cycles = effective_cycles(estimate, headroom_bytes)
+            rejection = ""
+            if estimate is not best:
+                slower = cycles / best_cycles if best_cycles else float("inf")
+                fraction = (
+                    overflow_fraction(
+                        estimate.working_set_bytes, headroom_bytes
+                    )
+                    if headroom_bytes is not None
+                    else 0.0
+                )
+                if fraction > 0:
+                    rejection = (
+                        f"{slower:.2f}x slower ({fraction:.0%} of working "
+                        f"set over EPC headroom)"
+                    )
+                else:
+                    rejection = f"{slower:.2f}x slower on estimated cycles"
+            ranked.append(
+                RankedCandidate(
+                    estimate=estimate,
+                    effective_cycles=cycles,
+                    rejection=rejection,
+                )
+            )
+        return PlanDecision(
+            template_name=template.name,
+            mode="cost",
+            chosen=best.candidate,
+            ranked=tuple(ranked),
+            headroom_bytes=headroom_bytes,
+        )
+
+    def static_decision(self, template, catalog_variant) -> PlanDecision:
+        """The historical hardcoded choice wrapped as a decision."""
+        candidate = static_candidate(template, catalog_variant)
+        estimate = estimate_candidate(
+            self.machine,
+            self.setting,
+            template,
+            candidate,
+            pricing_seed=self.pricing_seed,
+        )
+        ranked = (
+            RankedCandidate(
+                estimate=estimate, effective_cycles=estimate.cycles
+            ),
+        )
+        return PlanDecision(
+            template_name=template.name,
+            mode="static",
+            chosen=candidate,
+            ranked=ranked,
+            headroom_bytes=None,
+        )
+
+    def top_k(self, template, k: int) -> Tuple[PlanCandidate, ...]:
+        """The k analytically best arms (the adaptive selector's arm set)."""
+        decision = self.decide(template)
+        return tuple(r.candidate for r in decision.ranked[:k])
+
+    # -- reporting --------------------------------------------------------
+
+    def explain(self, template) -> str:
+        """Human-readable decision report for ``template``."""
+        stats = WorkStats.of(template)
+        decision = self.decide(template)
+        lines = [
+            f"job: {template.name} ({stats.kind}, {template.threads} threads)",
+            f"setting: {self.setting.label}",
+            f"stats: {stats.describe()}",
+        ]
+        if stats.kind == "tpch":
+            from repro.core.queries.tpch_queries import TPCH_QUERIES
+
+            plan = TPCH_QUERIES[template.query]()
+            lines.append("plan:")
+            lines.extend(f"  {step}" for step in plan.describe())
+        if decision.headroom_bytes is not None:
+            lines.append(
+                f"epc headroom: {decision.headroom_bytes / 1e6:.0f} MB"
+            )
+        lines.append(
+            f"chosen: {decision.arm_label()} "
+            f"(est. {decision.chosen_estimate.cycles / 1e6:.1f} M cycles, "
+            f"working set "
+            f"{decision.chosen_estimate.working_set_bytes / 1e6:.1f} MB)"
+        )
+        lines.append("candidates:")
+        for rank, entry in enumerate(decision.ranked, start=1):
+            est = entry.estimate
+            status = "chosen" if not entry.rejection else entry.rejection
+            lines.append(
+                f"  {rank}. {est.label(template.threads):<16} "
+                f"est. {entry.effective_cycles / 1e6:>12.1f} M cycles  "
+                f"ws {est.working_set_bytes / 1e6:>8.1f} MB  [{status}]"
+            )
+        return "\n".join(lines)

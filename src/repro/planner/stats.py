@@ -1,0 +1,126 @@
+"""Logical statistics and cardinality estimates for one job template.
+
+The planner never touches physical data: everything it prices derives
+from the *logical* sizes a :class:`~repro.workload.jobs.JobTemplate`
+declares (the same quantities the cost model charges).  ``WorkStats``
+normalizes the three template kinds into one record the candidate
+enumerator and the coster consume, plus the cardinality estimates an
+``explain()`` report shows.
+
+Join conventions follow the paper (Sec. 4): 8-byte <key, payload> tuples,
+primary-key build side, foreign-key probe side — so every probe row
+matches exactly once and the estimated output cardinality *is* the probe
+cardinality.  Scans reproduce the serving scan template (4-byte values,
+a 10 % range predicate); TPC-H statistics come from the plan's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tables.generator import JOIN_TUPLE_BYTES
+
+#: Bytes per scanned value in the serving scan template (int32 column).
+SCAN_VALUE_BYTES = 4
+
+#: Selectivity of the serving scan template's range predicate.
+SCAN_SELECTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class WorkStats:
+    """Logical work description of one job template.
+
+    ``kind`` is the template kind's string value (``"join"`` / ``"scan"``
+    / ``"tpch"``) so this module never imports the workload package (which
+    imports the planner — the dependency points one way only).
+    """
+
+    name: str
+    kind: str
+    threads: int
+    build_rows: float = 0.0
+    build_bytes: float = 0.0
+    probe_rows: float = 0.0
+    probe_bytes: float = 0.0
+    scan_rows: float = 0.0
+    scan_bytes: float = 0.0
+    query: str = ""
+    scale_factor: float = 0.0
+
+    @classmethod
+    def of(cls, template) -> "WorkStats":
+        """Statistics of a :class:`~repro.workload.jobs.JobTemplate`."""
+        kind = template.kind.value
+        if kind == "join":
+            return cls(
+                name=template.name,
+                kind=kind,
+                threads=template.threads,
+                build_rows=template.build_bytes / JOIN_TUPLE_BYTES,
+                build_bytes=float(template.build_bytes),
+                probe_rows=template.probe_bytes / JOIN_TUPLE_BYTES,
+                probe_bytes=float(template.probe_bytes),
+            )
+        if kind == "scan":
+            return cls(
+                name=template.name,
+                kind=kind,
+                threads=template.threads,
+                scan_rows=template.scan_bytes / SCAN_VALUE_BYTES,
+                scan_bytes=float(template.scan_bytes),
+            )
+        if kind == "tpch":
+            return cls(
+                name=template.name,
+                kind=kind,
+                threads=template.threads,
+                query=template.query,
+                scale_factor=float(template.scale_factor),
+            )
+        raise ConfigurationError(f"unknown job kind {kind!r}")
+
+    # -- cardinalities ----------------------------------------------------
+
+    @property
+    def input_rows(self) -> float:
+        """Total rows the job consumes (the throughput numerator)."""
+        if self.kind == "join":
+            return self.build_rows + self.probe_rows
+        if self.kind == "scan":
+            return self.scan_rows
+        return 0.0  # TPC-H: per-plan, see estimated_cardinalities
+
+    @property
+    def estimated_matches(self) -> float:
+        """Estimated join output cardinality.
+
+        Foreign-key semantics (Sec. 4 "Join data"): every probe row
+        references exactly one build key, so the estimate is exact.
+        """
+        return self.probe_rows if self.kind == "join" else 0.0
+
+    @property
+    def estimated_selected_rows(self) -> float:
+        """Estimated qualifying rows of the scan's range predicate."""
+        return self.scan_rows * SCAN_SELECTIVITY if self.kind == "scan" else 0.0
+
+    def describe(self) -> str:
+        """One statistics line for ``explain`` output."""
+        if self.kind == "join":
+            return (
+                f"join: build {self.build_rows / 1e6:.1f} M rows "
+                f"({self.build_bytes / 1e6:.0f} MB), probe "
+                f"{self.probe_rows / 1e6:.1f} M rows "
+                f"({self.probe_bytes / 1e6:.0f} MB), "
+                f"est. matches {self.estimated_matches / 1e6:.1f} M (FK)"
+            )
+        if self.kind == "scan":
+            return (
+                f"scan: {self.scan_rows / 1e6:.1f} M values "
+                f"({self.scan_bytes / 1e6:.0f} MB), est. selected "
+                f"{self.estimated_selected_rows / 1e6:.1f} M "
+                f"({SCAN_SELECTIVITY:.0%} range predicate)"
+            )
+        return f"tpch: {self.query} at SF {self.scale_factor:g}"

@@ -16,9 +16,11 @@ so traced and untraced runs produce bit-identical experiment results.
 
 from repro.trace.breakdown import (
     FaultBreakdown,
+    PlanBreakdown,
     ServingBreakdown,
     fault_breakdown,
     phase_breakdown,
+    plan_breakdown,
     serving_breakdown,
     serving_runs,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "Gauge",
     "NULL_TRACER",
     "NullTracer",
+    "PlanBreakdown",
     "ServingBreakdown",
     "Span",
     "TeeTracer",
@@ -60,6 +63,7 @@ __all__ = [
     "current_tracer",
     "fault_breakdown",
     "phase_breakdown",
+    "plan_breakdown",
     "read_jsonl",
     "record_from_dict",
     "serving_breakdown",

@@ -44,6 +44,11 @@ BREAKER_OPEN = "resilience.breaker_open"
 ATTEMPT_FAILED = "query.attempt_failed"
 FAILED = "query.failed"
 
+#: Planner event names (emitted only when a plan selector is installed —
+#: never in a ``--planner static`` run's trace).
+PLANNER_CHOICE = "planner.choice"
+PLANNER_OBSERVE = "planner.observe"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -224,6 +229,115 @@ def fault_breakdown(source, *, stream: Optional[str] = None) -> FaultBreakdown:
         shed=shed,
         breaker_openings=openings,
         degraded=degraded,
+    )
+
+
+@dataclass(frozen=True)
+class PlanBreakdown:
+    """What the planner chose during one serving run, per template.
+
+    The planner analogue of :class:`FaultBreakdown`: counts every
+    ``planner.choice`` by (template, arm), sums observed latencies per arm,
+    and — when told what the oracle would have picked — reports how often
+    the run's choices agreed with it.
+    """
+
+    mode: str  # the selector mode that produced the choices
+    choices: Dict[str, Dict[str, int]]  # template -> arm -> picks
+    observed_s: Dict[str, Dict[str, float]]  # template -> arm -> summed lat.
+    observations: Dict[str, Dict[str, int]]  # template -> arm -> finishes
+
+    @property
+    def total_choices(self) -> int:
+        return sum(sum(arms.values()) for arms in self.choices.values())
+
+    def chosen_arm(self, template: str) -> str:
+        """The arm picked most often for ``template`` (ties: first seen)."""
+        arms = self.choices.get(template)
+        if not arms:
+            return ""
+        return max(arms, key=lambda label: (arms[label],))
+
+    def mean_latency_s(self, template: str, arm: str) -> float:
+        """Mean observed latency of ``template`` served by ``arm``."""
+        count = self.observations.get(template, {}).get(arm, 0)
+        if not count:
+            return 0.0
+        return self.observed_s[template][arm] / count
+
+    def agreement(self, oracle_arms: Dict[str, str]) -> float:
+        """Fraction of choices matching ``oracle_arms``'s per-template pick.
+
+        Templates absent from ``oracle_arms`` are ignored (the caller
+        scopes the comparison to the templates it has oracle answers for).
+        """
+        matched = total = 0
+        for template, arms in self.choices.items():
+            oracle = oracle_arms.get(template)
+            if oracle is None:
+                continue
+            for arm, picks in arms.items():
+                total += picks
+                if arm == oracle:
+                    matched += picks
+        return matched / total if total else 0.0
+
+    def describe(self) -> str:
+        """One line for report notes: choices per template."""
+        parts = []
+        for template in sorted(self.choices):
+            arms = self.choices[template]
+            summary = ", ".join(
+                f"{label} x{arms[label]}" for label in sorted(arms)
+            )
+            parts.append(f"{template}: {summary}")
+        return f"planner[{self.mode}] " + "; ".join(parts)
+
+
+def plan_breakdown(source, *, template: Optional[str] = None) -> PlanBreakdown:
+    """Aggregate a trace's ``planner.*`` events into a choice breakdown.
+
+    ``source`` is a tracer or record iterable; ``template`` restricts the
+    aggregation to one job template.  A static run (no selector) yields the
+    empty breakdown — its planner events simply never occur.
+    """
+    mode = "static"
+    choices: Dict[str, Dict[str, int]] = {}
+    observed: Dict[str, Dict[str, float]] = {}
+    observations: Dict[str, Dict[str, int]] = {}
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        name = record.attrs.get("template")
+        if template is not None and name != template:
+            continue
+        if record.name == PLANNER_CHOICE:
+            mode = str(record.attrs.get("mode", mode))
+            arm = str(record.attrs.get("arm", ""))
+            per_template = choices.setdefault(str(name), {})
+            per_template[arm] = per_template.get(arm, 0) + 1
+        elif record.name == PLANNER_OBSERVE:
+            arm = str(record.attrs.get("arm", ""))
+            # The bandit's observed quantity is the charged service time;
+            # older traces only carried end-to-end latency.
+            latency = float(
+                record.attrs.get(
+                    "service_s", record.attrs.get("latency_s", 0.0)
+                )
+            )
+            observed.setdefault(str(name), {})
+            observed[str(name)][arm] = (
+                observed[str(name)].get(arm, 0.0) + latency
+            )
+            observations.setdefault(str(name), {})
+            observations[str(name)][arm] = (
+                observations[str(name)].get(arm, 0) + 1
+            )
+    return PlanBreakdown(
+        mode=mode,
+        choices=choices,
+        observed_s=observed,
+        observations=observations,
     )
 
 

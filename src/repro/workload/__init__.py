@@ -5,8 +5,14 @@ the machine; this package turns the same simulator into a *serving system*:
 workload generators produce concurrent query streams, an enclave-aware
 scheduler admits them against a shared EPC budget and core pool, and a
 metrics layer reports the latency/throughput quantities a production
-deployment cares about.  The ``wl01``-``wl03`` experiments in
+deployment cares about.  The ``wl01``-``wl05`` experiments in
 :mod:`repro.bench.experiments` are built entirely on this package.
+
+Physical plan choices come from :mod:`repro.planner`: templates describe
+logical work (plus optional ``plan_hints``), and a
+:class:`~repro.workload.engine.WorkloadConfig`'s ``planner`` mode decides
+whether the scheduler serves the historical static plans, the cost-based
+choice, or an adaptive bandit refining from observed latencies.
 """
 
 from repro.workload.engine import ServingEngine, WorkloadConfig

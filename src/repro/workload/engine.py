@@ -32,6 +32,16 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import make_injector
 from repro.faults.plan import FaultPlan, current_fault_plan
 from repro.faults.resilience import ResiliencePolicy
+from repro.planner import (
+    ArmCost,
+    CostSelector,
+    EpsilonGreedySelector,
+    OracleSelector,
+    Planner,
+    PlanSelector,
+    current_planner_mode,
+    validate_mode,
+)
 from repro.workload.generators import ClosedLoopStream, OpenLoopStream
 from repro.workload.jobs import JobCatalog, JobCost, JobTemplate
 from repro.workload.metrics import WorkloadMetrics
@@ -59,6 +69,17 @@ class WorkloadConfig:
     #: this config regardless of context (wl04 pins all three of its arms).
     faults: Optional[FaultPlan] = None
     resilience: Optional[ResiliencePolicy] = None
+    #: None defers to the ambient mode (``use_planner_mode`` /
+    #: ``--planner``); an explicit mode — including ``"static"`` — pins
+    #: this config regardless of context (wl05 pins all four of its arms).
+    planner: Optional[str] = None
+    #: How many of the analytically best candidates per template become
+    #: bandit/oracle arms in the non-static planner modes.
+    plan_top_k: int = 3
+    #: Seed of the adaptive selector's exploration draws; None defers to
+    #: the session seed (``--seed``), which is what makes ``--planner
+    #: adaptive --seed N`` reproducible across serial/parallel/cached runs.
+    plan_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.open_streams and not self.closed_streams:
@@ -66,6 +87,10 @@ class WorkloadConfig:
         names = [s.name for s in self.open_streams + self.closed_streams]
         if len(set(names)) != len(names):
             raise ConfigurationError("stream names must be unique")
+        if self.planner is not None:
+            validate_mode(self.planner)
+        if self.plan_top_k < 1:
+            raise ConfigurationError("plan_top_k must be >= 1")
 
     def template_names(self) -> Tuple[str, ...]:
         seen: Dict[str, None] = {}
@@ -112,6 +137,66 @@ class ServingEngine:
         machine = self.catalog.machine_prototype()
         return float(machine.topology.node(0).epc_bytes)
 
+    def planner_mode(self, config: WorkloadConfig) -> str:
+        """The planner mode this config serves under (explicit or ambient)."""
+        if config.planner is not None:
+            return validate_mode(config.planner)
+        return current_planner_mode()
+
+    def plan_arms(self, config: WorkloadConfig) -> Dict[str, Tuple[ArmCost, ...]]:
+        """Per-template bandit/oracle arms: the top-k candidates, priced.
+
+        The planner ranks each template's candidate space analytically;
+        the catalog then prices the surviving arms through the real
+        operators (one run each, cached), so every arm carries the same
+        measured service time and EPC working set a static profile would.
+        Arms are handed to the selectors best-first.
+        """
+        budget = self.epc_budget(config)
+        planner = Planner(
+            self.catalog.machine_prototype(),
+            config.setting,
+            epc_budget_bytes=None if math.isinf(budget) else budget,
+            cores=config.cores,
+            pricing_seed=self.catalog.pricing_seed,
+        )
+        arms: Dict[str, Tuple[ArmCost, ...]] = {}
+        for name in config.template_names():
+            template = self.templates[name]
+            arm_list = []
+            for candidate in planner.top_k(template, config.plan_top_k):
+                cost = self.catalog.candidate_cost(
+                    template, config.setting, candidate
+                )
+                arm_list.append(
+                    ArmCost(
+                        candidate=candidate,
+                        label=candidate.label(template.threads),
+                        service_s=cost.service_s,
+                        working_set_bytes=cost.working_set_bytes,
+                    )
+                )
+            arms[name] = tuple(arm_list)
+        return arms
+
+    def _make_selector(self, config: WorkloadConfig) -> Optional[PlanSelector]:
+        mode = self.planner_mode(config)
+        if mode == "static":
+            return None
+        arms = self.plan_arms(config)
+        if mode == "cost":
+            return CostSelector(arms)
+        if mode == "oracle":
+            return OracleSelector(arms)
+        from repro.bench.runner import DEFAULT_BASE_SEED
+
+        seed = (
+            config.plan_seed
+            if config.plan_seed is not None
+            else DEFAULT_BASE_SEED
+        )
+        return EpsilonGreedySelector(arms, seed=seed)
+
     def run(self, config: WorkloadConfig) -> WorkloadMetrics:
         """Serve ``config`` to completion and return its metrics."""
         policy = make_policy(config.policy, bypass_bytes=config.bypass_bytes)
@@ -124,6 +209,7 @@ class ServingEngine:
             setting_label=config.setting.label,
             injector=make_injector(plan),
             resilience=config.resilience,
+            selector=self._make_selector(config),
         )
         return scheduler.run(
             open_streams=config.open_streams,

@@ -25,7 +25,6 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.core.joins.radix import RadixJoin
 from repro.core.queries.executor import QueryExecutor
 from repro.core.queries.tpch_queries import TPCH_QUERIES
 from repro.core.scans.predicate import RangePredicate
@@ -34,6 +33,12 @@ from repro.enclave.runtime import ExecutionSetting
 from repro.errors import ConfigurationError
 from repro.machine import SimMachine
 from repro.memory.access import CodeVariant
+from repro.planner.candidates import (
+    PlanCandidate,
+    PlanHints,
+    build_join,
+    static_candidate,
+)
 from repro.tables import generate_join_relation_pair, generate_tpch
 from repro.tables.table import Column
 
@@ -69,6 +74,10 @@ class JobTemplate:
     build_bytes: float = 0.0  # JOIN: logical input sizes
     probe_bytes: float = 0.0
     scan_bytes: float = 0.0  # SCAN: logical column size
+    #: Optional pins on the planner's candidate space (None: all free).
+    #: Templates describe *logical* work; physical choices belong to the
+    #: planner, and hints are the sanctioned way to constrain it.
+    plan_hints: Optional[PlanHints] = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -147,6 +156,9 @@ class JobCatalog:
         #: models a lift-and-shift port (Fig. 17: +42 % average overhead).
         self.variant = variant
         self._profiles: Dict[str, JobProfile] = {}
+        self._candidate_costs: Dict[
+            Tuple[str, str, PlanCandidate], JobCost
+        ] = {}
 
     @property
     def row_cap(self) -> int:
@@ -198,12 +210,49 @@ class JobCatalog:
             working_set_bytes=profile.working_set_bytes,
         )
 
+    def candidate_cost(
+        self,
+        template: JobTemplate,
+        setting: ExecutionSetting,
+        candidate: PlanCandidate,
+    ) -> JobCost:
+        """Costs of ``template`` executed with ``candidate``'s plan.
+
+        Priced through the same real-operator machinery as :meth:`cost`
+        (one run per (template, setting, candidate), cached); this is how
+        planner arms acquire the service time and EPC working set the
+        serving scheduler charges.
+        """
+        key = (template.name, setting.label, candidate)
+        cached = self._candidate_costs.get(key)
+        if cached is not None:
+            return cached
+        seconds, footprint = self._price(template, setting, candidate)
+        cost = JobCost(
+            name=template.name,
+            threads=candidate.threads,
+            service_s=seconds,
+            working_set_bytes=footprint or 0,
+        )
+        self._candidate_costs[key] = cost
+        return cost
+
     def _price(
-        self, template: JobTemplate, setting: ExecutionSetting
+        self,
+        template: JobTemplate,
+        setting: ExecutionSetting,
+        candidate: Optional[PlanCandidate] = None,
     ) -> Tuple[float, Optional[int]]:
-        """Run ``template`` once under ``setting``; seconds + EPC footprint."""
+        """Run ``template`` once under ``setting``; seconds + EPC footprint.
+
+        ``candidate`` fixes the physical plan; ``None`` prices the
+        historical static choice (RHO at the catalog's variant for joins
+        and TPC-H plans, the SIMD scan kernel for scans).
+        """
+        if candidate is None:
+            candidate = static_candidate(template, self.variant)
         sim = self._fresh_machine()
-        with sim.context(setting, threads=template.threads) as ctx:
+        with sim.context(setting, threads=candidate.threads) as ctx:
             if template.kind is JobKind.JOIN:
                 build, probe = generate_join_relation_pair(
                     template.build_bytes,
@@ -211,7 +260,7 @@ class JobCatalog:
                     seed=self.pricing_seed,
                     physical_row_cap=self.row_cap,
                 )
-                result = RadixJoin(self.variant).run(ctx, build, probe)
+                result = build_join(candidate).run(ctx, build, probe)
                 seconds = result.seconds(sim.frequency_hz)
             elif template.kind is JobKind.SCAN:
                 logical_rows = int(template.scan_bytes // 4)
@@ -240,7 +289,10 @@ class JobCatalog:
                     "part": data.part,
                 }
                 plan = TPCH_QUERIES[template.query]()
-                result = QueryExecutor(self.variant).run(ctx, plan, tables)
+                result = QueryExecutor(
+                    candidate.variant,
+                    join_factory=lambda: build_join(candidate),
+                ).run(ctx, plan, tables)
                 seconds = result.seconds(sim.frequency_hz)
             else:  # pragma: no cover - enum is exhaustive
                 raise ConfigurationError(f"unknown job kind {template.kind!r}")

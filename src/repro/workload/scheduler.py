@@ -50,6 +50,7 @@ from repro.faults.resilience import (
     CircuitBreaker,
     ResiliencePolicy,
 )
+from repro.planner.adaptive import PlanSelector
 from repro.trace.breakdown import (
     ARRIVAL,
     ATTEMPT_FAILED,
@@ -62,6 +63,8 @@ from repro.trace.breakdown import (
     FAULT_CRASH,
     FAULT_EDMM_DENIED,
     FINISH,
+    PLANNER_CHOICE,
+    PLANNER_OBSERVE,
     RETRY,
     RUN_END,
     RUN_START,
@@ -109,6 +112,7 @@ class PendingQuery:
     service_s: float
     working_set_bytes: int
     attempt: int = 0  # retries already burned (0 = first attempt)
+    arm: str = ""  # the planner arm serving this query ("" = static plan)
 
 
 class WorkloadScheduler:
@@ -124,6 +128,7 @@ class WorkloadScheduler:
         setting_label: str,
         injector: Optional[NullInjector] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        selector: Optional[PlanSelector] = None,
     ) -> None:
         if cores < 1:
             raise ConfigurationError("the core pool needs at least one core")
@@ -146,6 +151,10 @@ class WorkloadScheduler:
         #: hides behind this flag so an un-faulted run takes the exact
         #: pre-fault code path (and emits the exact pre-fault trace).
         self._faulting = self._injector.active or resilience is not None
+        #: Plan selector (planner modes beyond ``static``).  Every planner
+        #: branch hides behind ``selector is not None`` for the same
+        #: byte-identity reason the fault branches hide behind _faulting.
+        self._selector = selector
 
     # -- the event loop --------------------------------------------------
 
@@ -165,6 +174,7 @@ class WorkloadScheduler:
         injector = self._injector
         resilience = self._resilience
         faulting = self._faulting
+        selector = self._selector
         if tracer.enabled:
             tracer.event(
                 RUN_START,
@@ -315,6 +325,45 @@ class WorkloadScheduler:
                     latency_s=now - pending.arrival_s,
                 )
             resubmit_closed(pending, now)
+
+        def plan_query(pending: PendingQuery, now: float) -> None:
+            """(Re-)select the physical plan serving this attempt.
+
+            Runs at queue entry — fresh arrivals and retries — so each
+            attempt's draw has its own decision identity and a re-planned
+            retry may switch arms.  The headroom handed to the selector is
+            the momentary free share of the (possibly squeezed) EPC
+            budget: what the oracle exploits, and what prices unobserved
+            arms for the adaptive selector's cold start.
+            """
+            budget = self._epc_budget
+            if faulting:
+                budget = budget * injector.epc_multiplier(now)
+            headroom = budget - epc_used
+            arm = selector.select(
+                pending.template,
+                pending.query_id,
+                pending.attempt,
+                headroom_bytes=headroom,
+            )
+            pending.arm = arm.label
+            pending.threads = arm.candidate.threads
+            pending.service_s = arm.service_s
+            pending.working_set_bytes = arm.working_set_bytes
+            if tracer.enabled:
+                tracer.event(
+                    PLANNER_CHOICE,
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    attempt=pending.attempt,
+                    mode=selector.mode,
+                    arm=arm.label,
+                    headroom_bytes=headroom,
+                    service_s=arm.service_s,
+                    working_set_bytes=arm.working_set_bytes,
+                )
 
         def dispatch(now: float) -> None:
             nonlocal free_cores, epc_used, epc_high_water, downtime_s
@@ -540,6 +589,8 @@ class WorkloadScheduler:
                             )
                         fail_attempt(pending, now, "shed")
                         continue
+                    if selector is not None:
+                        plan_query(pending, now)
                     queue.append(pending)
                     dispatch(now)
                     continue
@@ -580,6 +631,8 @@ class WorkloadScheduler:
                         )
                     fail_attempt(pending, now, "shed")
                     continue
+                if selector is not None:
+                    plan_query(pending, now)
                 queue.append(pending)
                 # No resources were freed since the last dispatch round, so
                 # the only query this round can admit is the new arrival:
@@ -612,6 +665,28 @@ class WorkloadScheduler:
                             latency_s=now - pending.arrival_s,
                             service_s=now - finish.start_s,
                         )
+                    if selector is not None:
+                        # Feed back the *charged service time* (base +
+                        # every dispatch penalty), not the end-to-end
+                        # latency: queue wait is shared backlog no arm
+                        # controls, and it is scale-incompatible with the
+                        # unobserved arms' service-time priors.
+                        selector.observe(
+                            pending.template,
+                            pending.arm,
+                            now - finish.start_s,
+                        )
+                        if tracer.enabled:
+                            tracer.event(
+                                PLANNER_OBSERVE,
+                                time_s=now,
+                                query_id=pending.query_id,
+                                stream=pending.stream,
+                                template=pending.template,
+                                arm=pending.arm,
+                                service_s=now - finish.start_s,
+                                latency_s=now - pending.arrival_s,
+                            )
                     records.append(
                         QueryRecord(
                             query_id=pending.query_id,

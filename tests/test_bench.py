@@ -189,9 +189,11 @@ class TestRegistry:
                                             12, 13, 14, 15, 16, 17)}
         expected.add("tab01")
         expected.update(
-            {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06"}
+            {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07"}
         )  # extensions
-        expected.update({"wl01", "wl02", "wl03", "wl04"})  # serving workloads
+        expected.update(
+            {"wl01", "wl02", "wl03", "wl04", "wl05"}
+        )  # serving workloads
         assert set(EXPERIMENTS) == expected
 
     def test_modules_expose_interface(self):

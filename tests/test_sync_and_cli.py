@@ -235,3 +235,83 @@ class TestCliReportFlagCombinations:
         err = capsys.readouterr().err
         assert "--chart" in err and "--report" in err
         assert not report_path.exists()
+
+
+class TestCliPlanner:
+    def test_parser_planner_flag(self):
+        args = build_parser().parse_args(["wl01", "--planner", "adaptive"])
+        assert args.planner == "adaptive"
+        assert build_parser().parse_args(["wl01"]).planner is None
+
+    def test_unknown_mode_exits_2_and_names_known_ones(self, capsys):
+        assert main(["wl01", "--planner", "greedy"]) == 2
+        err = capsys.readouterr().err
+        assert "greedy" in err
+        assert "static" in err and "cost" in err and "adaptive" in err
+
+    def test_oracle_mode_is_not_offered(self, capsys):
+        # The oracle selector is the experiment-only upper bound; sessions
+        # cannot request it.
+        assert main(["wl01", "--planner", "oracle"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_mode_leaves_no_artifact_dirs_behind(self, tmp_path, capsys):
+        csv_dir = tmp_path / "csv"
+        trace_dir = tmp_path / "traces"
+        assert main(
+            [
+                "wl01",
+                "--planner", "greedy",
+                "--csv", str(csv_dir),
+                "--trace", str(trace_dir),
+            ]
+        ) == 2
+        capsys.readouterr()
+        assert not csv_dir.exists()
+        assert not trace_dir.exists()
+
+    def test_planner_static_matches_baseline_byte_for_byte(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        static_dir = tmp_path / "static"
+        assert main(["wl01", "--csv", str(plain_dir)]) == 0
+        assert main(["wl01", "--planner", "static", "--csv", str(static_dir)]) == 0
+        capsys.readouterr()
+        assert (plain_dir / "wl01.csv").read_bytes() == \
+            (static_dir / "wl01.csv").read_bytes()
+
+    def test_cost_planner_changes_serving_results(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        cost_dir = tmp_path / "cost"
+        assert main(["wl01", "--csv", str(plain_dir)]) == 0
+        assert main(["wl01", "--planner", "cost", "--csv", str(cost_dir)]) == 0
+        capsys.readouterr()
+        assert (plain_dir / "wl01.csv").read_bytes() != \
+            (cost_dir / "wl01.csv").read_bytes()
+
+
+class TestCliExplain:
+    def test_explain_prints_ranked_candidates(self, capsys):
+        assert main(["explain", "join-medium"]) == 0
+        out = capsys.readouterr().out
+        assert "job: join-medium" in out
+        assert "chosen:" in out
+        assert "[chosen]" in out
+        for label in ("PHT", "RHO-unrolled", "MWAY", "INL", "CrkJoin"):
+            assert label in out
+
+    def test_explain_multiple_jobs(self, capsys):
+        assert main(["explain", "scan-small", "join-medium"]) == 0
+        out = capsys.readouterr().out
+        assert "job: scan-small" in out
+        assert "job: join-medium" in out
+
+    def test_explain_without_jobs_exits_2(self, capsys):
+        assert main(["explain"]) == 2
+        err = capsys.readouterr().err
+        assert "join-medium" in err  # the known templates are listed
+
+    def test_explain_unknown_job_exits_2_and_names_known_ones(self, capsys):
+        assert main(["explain", "join-galactic"]) == 2
+        err = capsys.readouterr().err
+        assert "join-galactic" in err
+        assert "join-medium" in err
