@@ -21,6 +21,8 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 SCOREBOARD = RESULTS_DIR / "BENCH_planner.json"
 
+CLUSTER_SCOREBOARD = RESULTS_DIR / "BENCH_cluster.json"
+
 FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
@@ -75,6 +77,36 @@ def planner_scoreboard(results_dir):
             kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
         )
         SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
+        return merged
+
+    return _update
+
+
+@pytest.fixture
+def cluster_scoreboard(results_dir):
+    """Read-modify-write ``BENCH_cluster.json``, the cluster perf trajectory.
+
+    Same contract as ``planner_scoreboard``: each entry is
+    ``{experiment, arm, ...metrics}`` with ``None`` where a metric does
+    not apply, a bench replaces only its own experiment's entries, and the
+    merged file stays sorted so reruns are byte-stable.
+    """
+
+    def _update(experiment_id: str, entries):
+        existing = []
+        if CLUSTER_SCOREBOARD.exists():
+            existing = json.loads(CLUSTER_SCOREBOARD.read_text())
+        kept = [e for e in existing if e["experiment"] != experiment_id]
+        for entry in entries:
+            entry.setdefault("p50", None)
+            entry.setdefault("p99", None)
+            entry.setdefault("goodput", None)
+            entry.setdefault("availability", None)
+            entry.setdefault("slo_attainment", None)
+        merged = sorted(
+            kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
+        )
+        CLUSTER_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
         return merged
 
     return _update

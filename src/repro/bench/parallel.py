@@ -41,11 +41,14 @@ from repro.machine import SimMachine
 from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
-#: repetition_jobs, fault_plan, planner).  The plan and the planner mode
-#: ride into spawned workers as pickled values — spawn inherits no ambient
-#: ``use_fault_plan``/``use_planner_mode`` state, so the explicit slots
-#: are the only channel.
-_Task = Tuple[str, bool, int, bool, int, Optional[FaultPlan], Optional[str]]
+#: repetition_jobs, fault_plan, planner, cluster).  The plan, the planner
+#: mode, and the cluster config ride into spawned workers as pickled
+#: values — spawn inherits no ambient ``use_fault_plan``/
+#: ``use_planner_mode``/``use_cluster`` state, so the explicit slots are
+#: the only channel.
+_Task = Tuple[
+    str, bool, int, bool, int, Optional[FaultPlan], Optional[str], object
+]
 
 
 @dataclass
@@ -102,6 +105,7 @@ def _execute(
     machine: Optional[SimMachine] = None,
     fault_plan: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
+    cluster=None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -115,6 +119,7 @@ def _execute(
             base_seed=base_seed,
             fault_plan=fault_plan,
             planner=planner,
+            cluster=cluster,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -140,6 +145,7 @@ def _worker(task: _Task) -> Dict:
         repetition_jobs,
         fault_plan,
         planner,
+        cluster,
     ) = task
     return _execute(
         experiment_id,
@@ -149,6 +155,7 @@ def _worker(task: _Task) -> Dict:
         repetition_jobs=repetition_jobs,
         fault_plan=fault_plan,
         planner=planner,
+        cluster=cluster,
     )
 
 
@@ -176,6 +183,7 @@ def run_session(
     traced: bool = False,
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
+    cluster=None,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
 
@@ -191,7 +199,9 @@ def run_session(
     parallel, and cached-replay runs of one plan stay byte-identical while
     differently-faulted runs never collide.  ``planner`` installs a
     session planner mode through the same three channels (in-process
-    scope, worker task slot, cache key) with the same guarantee.
+    scope, worker task slot, cache key) with the same guarantee, and
+    ``cluster`` (a :class:`~repro.cluster.ClusterConfig`) a session
+    cluster topology likewise.
     """
     ids = list(experiment_ids)
     for experiment_id in ids:
@@ -227,6 +237,7 @@ def run_session(
                 spec=spec,
                 faults=faults,
                 planner=planner,
+                cluster=cluster,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -265,6 +276,7 @@ def run_session(
                     machine=machine,
                     fault_plan=faults,
                     planner=planner,
+                    cluster=cluster,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -287,6 +299,7 @@ def run_session(
                             repetition_jobs,
                             faults,
                             planner,
+                            cluster,
                         ),
                     )
                     for experiment_id in pending

@@ -38,6 +38,7 @@ from repro.bench.experiments import (
     wl03_tenant_interference,
     wl04_fault_resilience,
     wl05_adaptive_planner,
+    wl06_cluster_scaleout,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -75,6 +76,7 @@ EXPERIMENTS: Dict[str, object] = {
         wl03_tenant_interference,
         wl04_fault_resilience,
         wl05_adaptive_planner,
+        wl06_cluster_scaleout,
     )
 }
 
@@ -99,6 +101,7 @@ def run_experiment(
     base_seed: Optional[int] = None,
     fault_plan=None,
     planner: Optional[str] = None,
+    cluster=None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -115,12 +118,17 @@ def run_experiment(
     pin explicit plans (wl04's arms) are unaffected.  ``planner`` installs
     a session planner mode the same way — serving configs with
     ``planner=None`` serve under it; experiments that pin modes (ext07,
-    wl05's arms) are unaffected.
+    wl05's arms) are unaffected.  ``cluster`` installs a session cluster
+    topology (a :class:`~repro.cluster.ClusterConfig` or a spec string
+    like ``"2x4"``) — serving configs with ``cluster=None`` shard over
+    it; experiments that pin explicit clusters (wl06's arms) are
+    unaffected.
     """
     module = get_experiment(experiment_id)
     import contextlib
 
     from repro.bench.runner import use_base_seed
+    from repro.cluster import ClusterConfig, use_cluster
     from repro.faults import use_fault_plan
     from repro.planner import use_planner_mode
 
@@ -129,7 +137,10 @@ def run_experiment(
         if fault_plan is not None
         else contextlib.nullcontext()
     )
-    with plan_scope, use_planner_mode(planner), use_base_seed(base_seed):
+    if isinstance(cluster, str):
+        cluster = ClusterConfig.parse(cluster)
+    with plan_scope, use_planner_mode(planner), use_base_seed(base_seed), \
+            use_cluster(cluster):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

@@ -62,6 +62,7 @@ def build_report(
     base_seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
+    cluster=None,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
 
@@ -75,7 +76,8 @@ def build_report(
     the rendered report is byte-identical for any ``jobs``/``cache``
     combination.  ``faults`` applies a session fault plan to every run
     (the ``--faults`` channel); ``planner`` a session planner mode (the
-    ``--planner`` channel).
+    ``--planner`` channel); ``cluster`` a session cluster topology (the
+    ``--cluster`` channel).
     """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
@@ -117,6 +119,7 @@ def build_report(
         traced=trace_dir is not None,
         faults=faults,
         planner=planner,
+        cluster=cluster,
     )
     for run in session.runs:
         if csv_dir is not None:
@@ -149,6 +152,7 @@ def write_report(
     base_seed: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
+    cluster=None,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
@@ -165,6 +169,7 @@ def write_report(
             base_seed=base_seed,
             faults=faults,
             planner=planner,
+            cluster=cluster,
         )
     )
     return path

@@ -26,7 +26,8 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #: cost-model semantics changes that the calibration digest cannot see).
 #: 2: keys gained a fault-plan component.
 #: 3: keys gained a planner-mode component.
-CACHE_FORMAT = 3
+#: 4: keys gained a cluster-topology component.
+CACHE_FORMAT = 4
 
 
 def canonical(value: Any) -> Any:
@@ -94,6 +95,7 @@ def experiment_key(
     spec: Optional[HardwareSpec] = None,
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
+    cluster=None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
@@ -104,7 +106,11 @@ def experiment_key(
     into the key, so a faulted run never replays an un-faulted entry or
     vice versa), ``planner`` the session planner mode (``None`` and
     ``"static"`` key identically: both serve the historical static plans,
-    so pre-planner entries stay valid for static sessions), and ``extra``
+    so pre-planner entries stay valid for static sessions), ``cluster``
+    the session cluster topology (a
+    :class:`~repro.cluster.ClusterConfig`; every shard-map, routing,
+    shard-fault, and elastic field hashes into the key, so a sharded run
+    never replays a single-enclave entry or vice versa), and ``extra``
     any additional operator parameters a caller wants keyed (e.g. an
     :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
@@ -117,5 +123,6 @@ def experiment_key(
         calibration=calibration_digest(params, spec),
         faults=faults,
         planner=planner if planner not in (None, "static") else "static",
+        cluster=cluster,
         extra=extra or {},
     )

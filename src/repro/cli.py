@@ -120,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
             "latencies; deterministic for a fixed --seed)"
         ),
     )
+    parser.add_argument(
+        "--cluster",
+        metavar="SPEC",
+        help=(
+            "serve every workload over a shard map of enclaves instead of "
+            "one enclave: SPEC is 'SOCKETSxENCLAVES' (e.g. '2x4': 4 "
+            "enclaves on each of 2 sockets) or "
+            "'MACHINESxSOCKETSxENCLAVES', optionally followed by "
+            "':ROUTING' ('hash' or 'load-aware'); experiments that pin "
+            "explicit clusters (wl06) are unaffected"
+        ),
+    )
     return parser
 
 
@@ -154,6 +166,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"known: {', '.join(PLANNER_MODES)}",
                 file=sys.stderr,
             )
+            return 2
+    cluster = None
+    if args.cluster is not None:
+        # Same fail-fast contract: a malformed spec exits before any
+        # output dirs exist.
+        from repro.cluster import ClusterConfig
+        from repro.errors import ConfigurationError
+
+        try:
+            cluster = ClusterConfig.parse(args.cluster)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
     if args.seed is not None:
         from repro.bench import runner
@@ -217,6 +241,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             base_seed=args.seed,
             faults=fault_plan,
             planner=args.planner,
+            cluster=cluster,
         )
         print(f"wrote {path}")
         _print_cache_summary(store, args.cache)
@@ -238,6 +263,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         traced=trace_dir is not None,
         faults=fault_plan,
         planner=args.planner,
+        cluster=cluster,
     )
     for run in session.runs:
         print(run.report.print_table())

@@ -1,0 +1,75 @@
+"""Elastic shard pools: grow and shrink enclaves under diurnal load.
+
+SGXv2's EDMM is what makes elasticity plausible at all: an enclave can be
+created small and grown on demand (``EAUG`` per page, Sec. 2.2 / Fig. 11),
+so spinning up a shard does not pay SGXv1's full-size ``EADD`` + measure
+cost.  Growth is still not free — the model charges
+``edmm_page_add_cycles`` per 4 KiB page of the working set an activating
+shard must fault in before it serves at full speed — and that delay is the
+reason scale-up decisions trail the load signal.
+
+The policy itself is a deliberately simple watermark controller: every
+``interval_s`` of simulated time, compare the active shards' mean load
+score against the high/low watermarks and grow or shrink the pool by one
+shard.  Deterministic by construction: no randomness, only the load
+signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import CostParameters
+from repro.hardware.spec import HardwareSpec
+
+#: EDMM grows in page granules (EAUG is per 4 KiB page, Sec. 2.2).
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """Watermark-based pool sizing, one shard per decision interval."""
+
+    min_shards: int
+    max_shards: int
+    interval_s: float = 1.0
+    high_watermark: float = 0.75  # mean load score that triggers growth
+    low_watermark: float = 0.30  # mean load score that triggers shrink
+    #: Activation delay of a newly grown shard; ``None`` derives it from
+    #: the EDMM model (pages of the mean working set × EAUG cycles).
+    grow_delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ConfigurationError("the pool needs at least one shard")
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError("max_shards must be >= min_shards")
+        if self.interval_s <= 0:
+            raise ConfigurationError("the decision interval must be positive")
+        if not 0.0 < self.low_watermark < self.high_watermark:
+            raise ConfigurationError(
+                "watermarks must satisfy 0 < low < high"
+            )
+        if self.grow_delay_s is not None and self.grow_delay_s < 0:
+            raise ConfigurationError("grow delay must be non-negative")
+
+    def activation_delay_s(
+        self,
+        working_set_bytes: float,
+        spec: HardwareSpec,
+        params: CostParameters,
+    ) -> float:
+        """How long a grown shard takes before it can serve.
+
+        The enclave exists but its heap does not: the first working set
+        must be EAUG'd in page by page before queries run at full speed.
+        We charge that up front as the activation delay — a lazy-growth
+        model would instead smear it over the first queries.
+        """
+        if self.grow_delay_s is not None:
+            return self.grow_delay_s
+        pages = math.ceil(max(0.0, working_set_bytes) / PAGE_BYTES)
+        return pages * params.edmm_page_add_cycles / spec.base_frequency_hz

@@ -1,0 +1,96 @@
+"""Shard-level fault specs: crashes that take a whole enclave down.
+
+The query-level fault layer (:mod:`repro.faults`) models what happens
+*inside* one enclave — AEX storms, per-query crashes, EPC squeezes.  A
+cluster adds a coarser failure domain: a whole shard can go dark (the
+enclave's host process dies, its attestation expires, its socket is
+drained for maintenance), and the routing layer can thrash (a rebalance
+storm diverting traffic off its natural shards).  Both are windowed and
+deterministic: crash windows are fixed intervals, storm diversions are
+hashed Bernoulli draws keyed by the plan seed and the routing sequence
+number, so a faulted cluster run replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class ShardFaultKind(enum.Enum):
+    """The two shard-level failure domains."""
+
+    SHARD_CRASH = "shard_crash"  # the shard is down for the window
+    REBALANCE_STORM = "rebalance_storm"  # routing thrashes off-natural
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """One windowed shard-level fault."""
+
+    kind: ShardFaultKind
+    start_s: float
+    end_s: float
+    shard: int = 0  # target shard id (crash only)
+    probability: float = 1.0  # per-arrival diversion chance (storm only)
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError("fault window must start at t >= 0")
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("fault window must end after it starts")
+        if self.shard < 0:
+            raise ConfigurationError("shard id must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must be within [0, 1]")
+
+    def covers(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """A named, seeded set of shard-level fault windows."""
+
+    name: str
+    seed: int = 0
+    specs: Tuple[ShardFaultSpec, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.specs)
+
+    def crash_edges(self) -> List[Tuple[float, str, int]]:
+        """``(time, "down"|"up", shard)`` edges, in time order."""
+        edges: List[Tuple[float, str, int]] = []
+        for spec in self.specs:
+            if spec.kind is ShardFaultKind.SHARD_CRASH:
+                edges.append((spec.start_s, "down", spec.shard))
+                edges.append((spec.end_s, "up", spec.shard))
+        edges.sort(key=lambda e: (e[0], e[1], e[2]))
+        return edges
+
+    def storm_diverts(self, time_s: float, route_seq: int) -> bool:
+        """Deterministic draw: is routed arrival #``route_seq`` diverted?
+
+        Keyed by the plan seed and the cluster-wide routing sequence
+        number, never by wall time or RNG state, so serial, parallel, and
+        replayed runs draw identically.
+        """
+        for spec in self.specs:
+            if spec.kind is ShardFaultKind.REBALANCE_STORM and spec.covers(
+                time_s
+            ):
+                digest = hashlib.sha256(
+                    f"{self.seed}:storm:{route_seq}".encode("utf-8")
+                ).digest()
+                draw = int.from_bytes(digest[:8], "big") / float(2**64)
+                return draw < spec.probability
+        return False
+
+
+NO_SHARD_FAULTS = ClusterFaultPlan(name="none")

@@ -1,0 +1,486 @@
+"""The cluster scheduler: many shard event loops, one simulated clock.
+
+:class:`ClusterScheduler` multiplexes N :class:`~repro.workload.scheduler.
+SchedulerLoop` instances — one per enclave shard — against a single global
+event order.  Each iteration picks the earliest pending event across
+
+* every shard loop's internal heap (finishes, wakes, retries),
+* the globally sorted open-loop arrival list, and
+* the cluster's own control timeline (shard-crash edges, elastic ticks),
+
+breaking same-instant ties exactly like one scheduler would: finishes
+before wakes before arrivals, and shard-internal events before new global
+arrivals, with the shard id as the final tie-break.  The result is fully
+deterministic: serial runs, ``--jobs N`` workers, and cached replays see
+the same interleaving byte-for-byte.
+
+Routing places each arrival through the configured router; when the
+placed shard differs from the tenant's *natural* (consistent-hash) shard
+— load-aware divergence, failover, or a rebalance-storm diversion — the
+query's working set must move from its data's home socket, and the
+transfer is priced through :meth:`Topology.cross_socket_bytes` (the
+calibrated UPI crypto-engine bandwidth model) or, across machines, a
+flat 100 GbE link.  The shuffle rides the query's service time, so
+off-home placement is visible in latency, not just in a counter.
+
+Shard crashes evict the victim's queued + running queries; with failover
+enabled they re-route (keeping their original arrival time, so the lost
+attempt stays in their latency), otherwise they fail terminally and new
+arrivals routed at the dead shard are shed.  The elastic policy grows and
+shrinks the active pool between ``min_shards`` and ``max_shards`` on a
+watermark controller, charging EDMM page-add time before a grown shard
+serves (see :mod:`repro.cluster.elastic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cluster.config import ClusterConfig
+from repro.cluster.routing import HashRouter, make_router
+from repro.cluster.spec import ShardSpec
+from repro.hardware.calibration import CostParameters
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.topology import Topology
+from repro.trace.breakdown import FAILOVER, ROUTE, SCALE
+from repro.trace.tracer import current_tracer
+from repro.workload.generators import Arrival, ClosedLoopStream, OpenLoopStream
+from repro.workload.jobs import JobCost
+from repro.workload.metrics import MetricsRegistry, WorkloadMetrics
+from repro.workload.scheduler import (
+    _ARRIVAL,
+    SchedulerLoop,
+    WorkloadScheduler,
+)
+
+#: Cross-machine transfers leave the UPI domain entirely: a flat 100 GbE
+#: link (12.5 GB/s) — optimistic for TLS-terminated enclave traffic, but
+#: the point is the order-of-magnitude gap to the 67.2 GB/s UPI path.
+CROSS_MACHINE_BANDWIDTH_BYTES = 12.5e9
+
+#: Shards take disjoint query-id ranges so cluster-wide merged records
+#: never collide; 10M ids per shard is far beyond any simulated run.
+QUERY_ID_STRIDE = 10_000_000
+
+# Control events sort before every same-instant scheduler event kind
+# (finish=0): a crash at t must evict before a finish at t completes.
+_CONTROL = -1
+# A global arrival's shard tie-break key: after every real shard id, so a
+# shard-internal retry at (t, _ARRIVAL) precedes a new global arrival.
+_GLOBAL = 1 << 30
+
+
+@dataclass
+class ShardRuntime:
+    """One shard's live serving state inside the cluster."""
+
+    spec: ShardSpec
+    loop: SchedulerLoop
+    active: bool = True  # in the elastic pool
+    activates_at_s: float = 0.0  # EDMM growth completes here
+    down: bool = False  # inside a crash window
+    routed: int = 0  # arrivals placed on this shard
+
+    def routable(self, now: float) -> bool:
+        return self.active and not self.down and self.activates_at_s <= now
+
+
+@dataclass
+class ClusterResult:
+    """A cluster run's merged metrics plus the routing layer's activity."""
+
+    metrics: WorkloadMetrics  # cluster-wide, merged deterministically
+    registry: MetricsRegistry  # per-shard metrics, by shard label
+    routed: int = 0
+    failovers: int = 0  # queries re-routed off a down shard
+    rejected: int = 0  # arrivals shed at a dead shard (no failover)
+    diverted: int = 0  # storm diversions off the natural shard
+    scale_ups: int = 0
+    scale_downs: int = 0
+    shuffle_s: float = 0.0  # summed cross-socket/-machine transfer time
+    peak_active: int = 0  # most shards simultaneously in the pool
+
+    def describe(self) -> str:
+        return (
+            f"{self.routed} routed, {self.failovers} failovers, "
+            f"{self.rejected} rejected, {self.diverted} diverted, "
+            f"{self.scale_ups} up / {self.scale_downs} down "
+            f"(peak {self.peak_active} shards), "
+            f"shuffle {self.shuffle_s:.2f} s"
+        )
+
+
+class ClusterScheduler:
+    """Serves one workload over a shard map of enclave schedulers."""
+
+    def __init__(
+        self,
+        *,
+        cluster: ClusterConfig,
+        shards: Sequence[ShardSpec],
+        schedulers: Sequence[WorkloadScheduler],
+        costs: Dict[str, JobCost],
+        spec: HardwareSpec,
+        params: CostParameters,
+    ) -> None:
+        if len(shards) != len(schedulers):
+            raise ConfigurationError("one scheduler per shard required")
+        if not shards:
+            raise ConfigurationError("a cluster needs at least one shard")
+        self._cluster = cluster
+        self._shards = tuple(shards)
+        self._schedulers = tuple(schedulers)
+        self._costs = dict(costs)
+        self._spec = spec
+        self._params = params
+        self._topology = Topology(spec)
+        self._router = make_router(cluster.routing, shards)
+        # The natural (data-home) shard is always the consistent hash,
+        # regardless of the serving router: tenant data lives where the
+        # ring puts it, and off-home placement pays the shuffle.
+        self._home_router = (
+            self._router
+            if isinstance(self._router, HashRouter)
+            else HashRouter(shards)
+        )
+
+    # -- transfer pricing -------------------------------------------------
+
+    def _shuffle_s(
+        self, home: ShardSpec, target: ShardSpec, cost: JobCost
+    ) -> float:
+        """Seconds to move the query's working set home -> target."""
+        if home.shard_id == target.shard_id:
+            return 0.0
+        if home.machine != target.machine:
+            return cost.working_set_bytes / CROSS_MACHINE_BANDWIDTH_BYTES
+        if home.socket == target.socket:
+            return 0.0  # same EPC domain; local bandwidth priced elsewhere
+        return self._topology.cross_socket_bytes(
+            home.home_core(self._spec),
+            target.home_core(self._spec),
+            cost.working_set_bytes,
+            saturated=cost.threads > 1,
+            params=self._params,
+        )
+
+    # -- the multiplexed loop ---------------------------------------------
+
+    def run(
+        self,
+        *,
+        open_streams: Sequence[OpenLoopStream] = (),
+        closed_streams: Sequence[ClosedLoopStream] = (),
+        duration_s: float,
+    ) -> ClusterResult:
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not open_streams and not closed_streams:
+            raise ConfigurationError("the workload needs at least one stream")
+        tracer = current_tracer()
+        cluster = self._cluster
+        elastic = cluster.elastic
+
+        # Closed-loop streams are *pinned*: a closed client's session
+        # state (its RNG, its think-time chain) lives on one shard for
+        # the whole run, placed by consistent hash over the initial pool.
+        initial_pool = (
+            set(range(elastic.min_shards))
+            if elastic is not None
+            else {s.shard_id for s in self._shards}
+        )
+        pinned: Dict[int, List[ClosedLoopStream]] = {}
+        for stream in closed_streams:
+            owner = self._home_router.route(
+                stream.name, initial_pool, lambda sid: 0.0
+            )
+            pinned.setdefault(owner, []).append(stream)
+
+        runtimes: List[ShardRuntime] = []
+        for shard, scheduler in zip(self._shards, self._schedulers):
+            loop = scheduler.loop(
+                closed_streams=tuple(pinned.get(shard.shard_id, ())),
+                duration_s=duration_s,
+            )
+            runtimes.append(
+                ShardRuntime(
+                    spec=shard,
+                    loop=loop,
+                    active=shard.shard_id in initial_pool,
+                )
+            )
+
+        # Open-loop arrivals, globally ordered.  (time, stream) is a total
+        # order: stream names are unique and one stream's arrivals never
+        # collide (strictly increasing exponential gaps).
+        arrivals: List[Arrival] = []
+        for stream in open_streams:
+            arrivals.extend(stream.arrivals(duration_s))
+        arrivals.sort(key=lambda a: (a.time_s, a.stream))
+
+        # The control timeline: crash edges then elastic ticks, ordered.
+        controls: List[Tuple[float, int, str, int]] = []
+        for time_s, edge, shard_id in cluster.faults.crash_edges():
+            if shard_id >= len(runtimes):
+                raise ConfigurationError(
+                    f"fault plan targets shard {shard_id} but the cluster "
+                    f"has {len(runtimes)}"
+                )
+            controls.append((time_s, 0 if edge == "down" else 1, edge, shard_id))
+        if elastic is not None:
+            tick = elastic.interval_s
+            while tick < duration_s:
+                controls.append((tick, 2, "tick", -1))
+                tick += elastic.interval_s
+        controls.sort(key=lambda c: (c[0], c[1], c[3]))
+
+        result = ClusterResult(
+            metrics=None,  # type: ignore[arg-type]  # filled at the end
+            registry=MetricsRegistry(),
+            peak_active=len(initial_pool),
+        )
+        route_seq = 0
+        arrival_idx = 0
+        control_idx = 0
+
+        def load_of(shard_id: int) -> float:
+            return runtimes[shard_id].loop.load_score
+
+        def routable_ids(now: float) -> Set[int]:
+            return {
+                rt.spec.shard_id for rt in runtimes if rt.routable(now)
+            }
+
+        def nominal_ids(now: float) -> Set[int]:
+            """The pool ignoring down-ness: defines each key's natural home."""
+            return {
+                rt.spec.shard_id
+                for rt in runtimes
+                if rt.active and rt.activates_at_s <= now
+            }
+
+        def place(arrival: Arrival, now: float) -> None:
+            nonlocal route_seq
+            nominal = nominal_ids(now)
+            alive = routable_ids(now)
+            if not nominal:
+                nominal = {rt.spec.shard_id for rt in runtimes if rt.active}
+            home_id = self._home_router.route(
+                arrival.stream, nominal, load_of
+            )
+            diverted = False
+            if not alive:
+                # Every shard is down: nothing can serve or even shed
+                # gracefully — charge the rejection to the natural home.
+                runtimes[home_id].loop.reject(arrival, now)
+                result.rejected += 1
+                route_seq += 1
+                return
+            home_down = runtimes[home_id].down
+            if home_down and not cluster.failover:
+                # The tenant's shard crashed and nothing re-routes for it.
+                runtimes[home_id].loop.reject(arrival, now)
+                result.rejected += 1
+                route_seq += 1
+                return
+            # Both routers place onto live shards only; the natural home
+            # being down makes the placement a failover by definition.
+            target_id = self._router.route(arrival.stream, alive, load_of)
+            failover = home_down
+            if failover:
+                result.failovers += 1
+            if cluster.faults.active and cluster.faults.storm_diverts(
+                now, route_seq
+            ):
+                # A rebalance storm throws the arrival at a hashed other
+                # shard, natural or not (the routing table is thrashing).
+                candidates = sorted(alive - {target_id}) or sorted(alive)
+                pick = self._cluster.faults.seed + route_seq
+                target_id = candidates[pick % len(candidates)]
+                diverted = True
+                result.diverted += 1
+            target = runtimes[target_id]
+            shuffle = self._shuffle_s(
+                self._shards[home_id],
+                target.spec,
+                self._costs[arrival.template],
+            )
+            result.shuffle_s += shuffle
+            if tracer.enabled:
+                attrs = dict(
+                    time_s=now,
+                    stream=arrival.stream,
+                    template=arrival.template,
+                    shard=target.spec.label,
+                    natural=self._shards[home_id].label,
+                    routing=cluster.routing,
+                    shuffle_s=shuffle,
+                )
+                if failover:
+                    attrs["failover"] = True
+                if diverted:
+                    attrs["diverted"] = True
+                tracer.event(ROUTE, **attrs)
+            target.loop.submit(arrival, shuffle_s=shuffle)
+            target.routed += 1
+            result.routed += 1
+            route_seq += 1
+
+        def crash(shard_id: int, now: float) -> None:
+            rt = runtimes[shard_id]
+            rt.down = True
+            victims = rt.loop.evict(now)
+            alive = routable_ids(now)
+            if tracer.enabled:
+                tracer.event(
+                    FAILOVER,
+                    time_s=now,
+                    shard=rt.spec.label,
+                    phase="down",
+                    queries=len(victims),
+                    rerouted=bool(cluster.failover and alive),
+                )
+            for pending in victims:
+                if cluster.failover and alive:
+                    target_id = self._router.route(
+                        pending.stream, alive, load_of
+                    )
+                    target = runtimes[target_id]
+                    shuffle = self._shuffle_s(
+                        rt.spec, target.spec, self._costs[pending.template]
+                    )
+                    result.shuffle_s += shuffle
+                    target.loop.submit(
+                        Arrival(
+                            now, pending.stream, pending.template,
+                            pending.client,
+                        ),
+                        shuffle_s=shuffle,
+                        arrival_s=pending.arrival_s,
+                        attempt=pending.attempt,
+                    )
+                    result.failovers += 1
+                else:
+                    rt.loop.fail_evicted(pending, now)
+
+        def recover(shard_id: int, now: float) -> None:
+            rt = runtimes[shard_id]
+            rt.down = False
+            if tracer.enabled:
+                tracer.event(
+                    FAILOVER,
+                    time_s=now,
+                    shard=rt.spec.label,
+                    phase="up",
+                    queries=0,
+                    rerouted=False,
+                )
+
+        def elastic_tick(now: float) -> None:
+            pool = [rt for rt in runtimes if rt.active]
+            serving = [rt for rt in pool if rt.routable(now)]
+            if not serving:
+                return
+            mean_load = sum(rt.loop.load_score for rt in serving) / len(
+                serving
+            )
+            if (
+                mean_load > elastic.high_watermark
+                and len(pool) < elastic.max_shards
+            ):
+                grown = next(
+                    (rt for rt in runtimes if not rt.active), None
+                )
+                if grown is None:
+                    return
+                mean_ws = sum(
+                    c.working_set_bytes for c in self._costs.values()
+                ) / len(self._costs)
+                delay = elastic.activation_delay_s(
+                    mean_ws, self._spec, self._params
+                )
+                grown.active = True
+                grown.activates_at_s = now + delay
+                result.scale_ups += 1
+                result.peak_active = max(
+                    result.peak_active,
+                    sum(1 for rt in runtimes if rt.active),
+                )
+                if tracer.enabled:
+                    tracer.event(
+                        SCALE,
+                        time_s=now,
+                        direction="up",
+                        shard=grown.spec.label,
+                        pool=sum(1 for rt in runtimes if rt.active),
+                        mean_load=mean_load,
+                        activation_delay_s=delay,
+                    )
+            elif (
+                mean_load < elastic.low_watermark
+                and len(pool) > elastic.min_shards
+            ):
+                shrunk = max(pool, key=lambda rt: rt.spec.shard_id)
+                shrunk.active = False
+                result.scale_downs += 1
+                if tracer.enabled:
+                    tracer.event(
+                        SCALE,
+                        time_s=now,
+                        direction="down",
+                        shard=shrunk.spec.label,
+                        pool=sum(1 for rt in runtimes if rt.active),
+                        mean_load=mean_load,
+                    )
+
+        # The multiplex: always advance the globally earliest event.
+        while True:
+            best_key: Optional[Tuple[float, int, int]] = None
+            best_action: Optional[Callable[[], None]] = None
+            if control_idx < len(controls):
+                time_s, _, edge, shard_id = controls[control_idx]
+                best_key = (time_s, _CONTROL, shard_id)
+
+                def do_control(
+                    edge: str = edge, shard_id: int = shard_id, t: float = time_s
+                ) -> None:
+                    nonlocal control_idx
+                    control_idx += 1
+                    if edge == "down":
+                        crash(shard_id, t)
+                    elif edge == "up":
+                        recover(shard_id, t)
+                    else:
+                        elastic_tick(t)
+
+                best_action = do_control
+            for rt in runtimes:
+                if not rt.loop.pending:
+                    continue
+                time_s, kind = rt.loop.peek()
+                key = (time_s, kind, rt.spec.shard_id)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_action = rt.loop.step
+            if arrival_idx < len(arrivals):
+                arrival = arrivals[arrival_idx]
+                key = (arrival.time_s, _ARRIVAL, _GLOBAL)
+                if best_key is None or key < best_key:
+                    best_key = key
+
+                    def do_arrival(a: Arrival = arrival) -> None:
+                        nonlocal arrival_idx
+                        arrival_idx += 1
+                        place(a, a.time_s)
+
+                    best_action = do_arrival
+            if best_action is None:
+                break
+            best_action()
+
+        for rt in runtimes:
+            result.registry.register(rt.spec.label, rt.loop.result())
+        result.metrics = result.registry.merged()
+        return result

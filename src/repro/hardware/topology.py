@@ -9,7 +9,7 @@ and the allocator (placement of memory regions) consult.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hardware.spec import HardwareSpec
@@ -108,3 +108,49 @@ class Topology:
     def is_cross_numa(self, core_id: int, memory_node: int) -> bool:
         """True when ``core_id`` accesses memory homed on another node."""
         return self.node_of_core(core_id) != self.node(memory_node).node_id
+
+    def cross_socket_bytes(
+        self,
+        core_a: int,
+        core_b: int,
+        nbytes: float,
+        *,
+        saturated: bool = False,
+        params: Optional[object] = None,
+    ) -> float:
+        """Seconds to move ``nbytes`` between ``core_a`` and ``core_b``.
+
+        Same-socket transfers cost nothing here — local bandwidth sharing
+        is priced elsewhere (the scheduler's interference term, the cost
+        model's per-phase bandwidth).  Cross-socket transfers ride the UPI
+        links in one of two calibrated regimes (Fig. 16):
+
+        * **single-thread** (default) — one core drives the transfer, so
+          the binding constraint is the core's own DRAM concurrency limit
+          (line-fill buffers), scaled by the calibration's single-thread
+          SGX-relative factor;
+        * **saturated** — many cores pull concurrently, so the aggregate
+          UPI bandwidth itself binds, scaled by the saturated relative
+          factor (the crypto engine keeps up; the links do not).
+
+        The cluster shuffle path and any future cross-socket experiment
+        share this helper, so both always price through ``spec.py``'s
+        aggregate UPI bandwidth and ``calibration.py``'s relatives.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        if self.node_of_core(core_a) == self.node_of_core(core_b):
+            return 0.0
+        if nbytes == 0:
+            return 0.0
+        if params is None:
+            from repro.hardware.calibration import paper_calibration
+
+            params = paper_calibration()
+        upi = self.spec.upi_total_bandwidth_bytes
+        if saturated:
+            effective = upi * params.upi_seq_saturated_relative
+        else:
+            plain = min(self.spec.single_core_stream_bandwidth_bytes(), upi)
+            effective = plain * params.upi_seq_single_thread_relative
+        return nbytes / effective

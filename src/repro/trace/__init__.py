@@ -15,9 +15,11 @@ so traced and untraced runs produce bit-identical experiment results.
 """
 
 from repro.trace.breakdown import (
+    ClusterBreakdown,
     FaultBreakdown,
     PlanBreakdown,
     ServingBreakdown,
+    cluster_breakdown,
     fault_breakdown,
     phase_breakdown,
     plan_breakdown,
@@ -49,6 +51,7 @@ from repro.trace.tracer import (
 )
 
 __all__ = [
+    "ClusterBreakdown",
     "Counter",
     "Event",
     "FaultBreakdown",
@@ -60,6 +63,7 @@ __all__ = [
     "Span",
     "TeeTracer",
     "Tracer",
+    "cluster_breakdown",
     "current_tracer",
     "fault_breakdown",
     "phase_breakdown",

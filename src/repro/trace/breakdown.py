@@ -49,6 +49,12 @@ FAILED = "query.failed"
 PLANNER_CHOICE = "planner.choice"
 PLANNER_OBSERVE = "planner.observe"
 
+#: Cluster event names (emitted only by the cluster scheduler — never in
+#: a single-enclave run's trace).
+ROUTE = "cluster.route"
+SCALE = "cluster.scale"
+FAILOVER = "cluster.failover"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -110,11 +116,19 @@ class ServingBreakdown:
         )
 
 
-def serving_breakdown(source, *, stream: Optional[str] = None) -> ServingBreakdown:
+def serving_breakdown(
+    source,
+    *,
+    stream: Optional[str] = None,
+    shard: Optional[str] = None,
+) -> ServingBreakdown:
     """Aggregate a trace's dispatch/finish events into a time breakdown.
 
     ``source`` is a tracer or record iterable; ``stream`` restricts the
-    aggregation to one stream's queries (per-tenant decompositions).
+    aggregation to one stream's queries (per-tenant decompositions) and
+    ``shard`` to one cluster shard's events (per-shard decompositions of
+    a multiplexed trace — single-enclave events carry no shard attr and
+    are excluded by any shard filter).
     """
     queueing = service = edmm = interference = 0.0
     dispatched = completed = 0
@@ -122,6 +136,8 @@ def serving_breakdown(source, *, stream: Optional[str] = None) -> ServingBreakdo
         if not isinstance(record, Event):
             continue
         if stream is not None and record.attrs.get("stream") != stream:
+            continue
+        if shard is not None and record.attrs.get("shard") != shard:
             continue
         if record.name == DISPATCH:
             attrs = record.attrs
@@ -358,6 +374,77 @@ def phase_breakdown(
             continue
         result[record.name] = result.get(record.name, 0.0) + record.duration
     return result
+
+
+@dataclass(frozen=True)
+class ClusterBreakdown:
+    """What the cluster's routing/elastic/failover layer did, in counts."""
+
+    routed: int  # arrivals placed by the router
+    diverted: int  # routed off-natural by a rebalance storm
+    failovers: int  # re-routes away from a down shard
+    scale_ups: int
+    scale_downs: int
+    shuffle_s: float  # summed cross-socket/-machine transfer seconds
+    per_shard: Dict[str, int]  # shard label -> arrivals routed to it
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "routed": self.routed,
+            "diverted": self.diverted,
+            "failovers": self.failovers,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "shuffle_s": self.shuffle_s,
+            "per_shard": dict(self.per_shard),
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: the routing layer's activity."""
+        return (
+            f"{self.routed} routed ({self.diverted} diverted, "
+            f"{self.failovers} failovers), "
+            f"{self.scale_ups} scale-ups, {self.scale_downs} scale-downs, "
+            f"shuffle {self.shuffle_s:.2f} s across "
+            f"{len(self.per_shard)} shards"
+        )
+
+
+def cluster_breakdown(source) -> ClusterBreakdown:
+    """Aggregate a trace's ``cluster.*`` events into a routing breakdown.
+
+    ``source`` is a tracer or record iterable.  A single-enclave trace
+    yields the all-zero breakdown — its cluster events never occur.
+    """
+    routed = diverted = failovers = ups = downs = 0
+    shuffle = 0.0
+    per_shard: Dict[str, int] = {}
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if record.name == ROUTE:
+            routed += 1
+            shuffle += record.attrs.get("shuffle_s", 0.0)
+            if record.attrs.get("diverted"):
+                diverted += 1
+            shard = str(record.attrs.get("shard", ""))
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+        elif record.name == FAILOVER:
+            failovers += int(record.attrs.get("queries", 1))
+        elif record.name == SCALE:
+            if record.attrs.get("direction") == "up":
+                ups += 1
+            else:
+                downs += 1
+    return ClusterBreakdown(
+        routed=routed,
+        diverted=diverted,
+        failovers=failovers,
+        scale_ups=ups,
+        scale_downs=downs,
+        shuffle_s=shuffle,
+        per_shard=per_shard,
+    )
 
 
 def serving_runs(source) -> List[Tuple[Dict[str, object], ServingBreakdown]]:

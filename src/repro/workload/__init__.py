@@ -32,6 +32,7 @@ from repro.workload.jobs import (
 )
 from repro.workload.metrics import (
     FailureRecord,
+    MetricsRegistry,
     QueryRecord,
     SchedulerCounters,
     WorkloadMetrics,
@@ -47,6 +48,7 @@ from repro.workload.policies import (
 from repro.workload.scheduler import (
     EDMM_OVERFLOW_SLOWDOWN,
     INTERFERENCE_FACTOR,
+    SchedulerLoop,
     WorkloadScheduler,
 )
 
@@ -64,11 +66,13 @@ __all__ = [
     "JobKind",
     "JobProfile",
     "JobTemplate",
+    "MetricsRegistry",
     "OpenLoopStream",
     "QueryMix",
     "QueryRecord",
     "ResourceState",
     "SchedulerCounters",
+    "SchedulerLoop",
     "ServingEngine",
     "WorkloadConfig",
     "WorkloadMetrics",

@@ -80,6 +80,14 @@ class WorkloadConfig:
     #: the session seed (``--seed``), which is what makes ``--planner
     #: adaptive --seed N`` reproducible across serial/parallel/cached runs.
     plan_seed: Optional[int] = None
+    #: Cluster topology: a :class:`~repro.cluster.ClusterConfig`, a spec
+    #: string (``"2x4"``), or ``None`` to defer to the ambient cluster
+    #: (``use_cluster`` / ``--cluster``).  With a cluster in effect the
+    #: engine serves through :class:`~repro.cluster.ClusterScheduler`:
+    #: per-shard cores and EPC budgets come from the shard map, not from
+    #: ``cores``/``epc_budget_bytes`` (an explicit ``epc_budget_bytes``
+    #: applies per shard).
+    cluster: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.open_streams and not self.closed_streams:
@@ -197,8 +205,27 @@ class ServingEngine:
         )
         return EpsilonGreedySelector(arms, seed=seed)
 
+    def cluster_of(self, config: WorkloadConfig):
+        """The effective cluster config (explicit, ambient, or ``None``)."""
+        from repro.cluster.config import ClusterConfig, current_cluster
+
+        raw = config.cluster if config.cluster is not None else current_cluster()
+        if raw is None:
+            return None
+        if isinstance(raw, str):
+            return ClusterConfig.parse(raw)
+        if not isinstance(raw, ClusterConfig):
+            raise ConfigurationError(
+                f"cluster must be a ClusterConfig or a spec string, "
+                f"got {type(raw).__name__}"
+            )
+        return raw
+
     def run(self, config: WorkloadConfig) -> WorkloadMetrics:
         """Serve ``config`` to completion and return its metrics."""
+        cluster = self.cluster_of(config)
+        if cluster is not None:
+            return self.run_cluster(config, cluster).metrics
         policy = make_policy(config.policy, bypass_bytes=config.bypass_bytes)
         plan = config.faults if config.faults is not None else current_fault_plan()
         scheduler = WorkloadScheduler(
@@ -210,6 +237,64 @@ class ServingEngine:
             injector=make_injector(plan),
             resilience=config.resilience,
             selector=self._make_selector(config),
+        )
+        return scheduler.run(
+            open_streams=config.open_streams,
+            closed_streams=config.closed_streams,
+            duration_s=config.duration_s,
+        )
+
+    def run_cluster(self, config: WorkloadConfig, cluster=None):
+        """Serve ``config`` over a shard map; returns the full
+        :class:`~repro.cluster.ClusterResult` (merged metrics plus the
+        routing layer's activity — :meth:`run` keeps only the metrics).
+
+        Each shard is a complete :class:`WorkloadScheduler` with its own
+        admission policy instance, plan selector, fault injector, and the
+        shard map's core/EPC slice; disjoint query-id ranges keep merged
+        records collision-free.
+        """
+        from repro.cluster.scheduler import QUERY_ID_STRIDE, ClusterScheduler
+
+        if cluster is None:
+            cluster = self.cluster_of(config)
+        if cluster is None:
+            raise ConfigurationError("run_cluster needs a cluster config")
+        machine = self.catalog.machine_prototype()
+        shards = cluster.spec.shards(machine.spec)
+        costs = self.costs_for(config)
+        plan = config.faults if config.faults is not None else current_fault_plan()
+        schedulers = []
+        for shard in shards:
+            if config.epc_budget_bytes is not None:
+                budget = float(config.epc_budget_bytes)
+            elif not config.setting.data_in_enclave:
+                budget = math.inf
+            else:
+                budget = shard.epc_budget_bytes
+            schedulers.append(
+                WorkloadScheduler(
+                    costs,
+                    make_policy(
+                        config.policy, bypass_bytes=config.bypass_bytes
+                    ),
+                    cores=shard.cores,
+                    epc_budget_bytes=budget,
+                    setting_label=config.setting.label,
+                    injector=make_injector(plan),
+                    resilience=config.resilience,
+                    selector=self._make_selector(config),
+                    shard=shard.label,
+                    query_id_base=shard.shard_id * QUERY_ID_STRIDE,
+                )
+            )
+        scheduler = ClusterScheduler(
+            cluster=cluster,
+            shards=shards,
+            schedulers=schedulers,
+            costs=costs,
+            spec=machine.spec,
+            params=machine.params,
         )
         return scheduler.run(
             open_streams=config.open_streams,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Mapping, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -73,27 +73,44 @@ class Arrival:
 
 @dataclass(frozen=True)
 class OpenLoopStream:
-    """Poisson arrivals at ``qps`` with a per-stream seed and mix."""
+    """Poisson arrivals at ``qps`` with a per-stream seed and mix.
+
+    ``start_s``/``end_s`` optionally window the stream inside the run —
+    the building block for diurnal load shapes (a peak is just extra
+    streams active only during the peak window).  The defaults reproduce
+    the historical full-duration stream byte-for-byte.
+    """
 
     name: str
     qps: float
     mix: QueryMix
     seed: int = 1
+    start_s: float = 0.0
+    end_s: Optional[float] = None  # None: the run's duration
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
             raise ConfigurationError(
                 f"stream {self.name!r}: qps must be positive"
             )
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"stream {self.name!r}: start_s must be non-negative"
+            )
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"stream {self.name!r}: end_s must be past start_s"
+            )
 
     def arrivals(self, duration_s: float) -> List[Arrival]:
-        """All arrivals in ``[0, duration_s)``, deterministically."""
+        """All arrivals in ``[start_s, min(end_s, duration_s))``."""
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        horizon = duration_s if self.end_s is None else min(self.end_s, duration_s)
         rng = random.Random(self.seed)
         out: List[Arrival] = []
-        t = rng.expovariate(self.qps)
-        while t < duration_s:
+        t = self.start_s + rng.expovariate(self.qps)
+        while t < horizon:
             out.append(Arrival(t, self.name, self.mix.sample(rng)))
             t += rng.expovariate(self.qps)
         return out

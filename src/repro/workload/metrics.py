@@ -212,6 +212,28 @@ class WorkloadMetrics:
             raise BenchmarkError("no completed queries to rate")
         return len(records) / span
 
+    def slo_attainment(
+        self, threshold_s: float, stream: Optional[str] = None
+    ) -> float:
+        """Share of terminally resolved queries finishing within the SLO.
+
+        Failures count against attainment (a shed or crashed query missed
+        its SLO by definition), so this is a *goodput-style* fraction: a
+        shard that sheds half its load cannot report perfect attainment.
+        Returns 1.0 for an empty slice, matching :meth:`availability`.
+        """
+        if threshold_s <= 0:
+            raise BenchmarkError("SLO threshold must be positive")
+        records = self._filtered(stream)
+        failures = self.failures
+        if stream is not None:
+            failures = [f for f in failures if f.stream == stream]
+        resolved = len(records) + len(failures)
+        if resolved == 0:
+            return 1.0
+        within = sum(1 for r in records if r.latency_s <= threshold_s)
+        return within / resolved
+
     # -- serving under faults ---------------------------------------------
 
     @property
@@ -273,4 +295,75 @@ class WorkloadMetrics:
             f"p99 {self.latency_percentile_s(99) * 1e3:.1f} ms, "
             f"{self.achieved_qps():.1f} QPS achieved, "
             f"EPC high water {self.epc_high_water_bytes / 1e9:.2f} GB"
+        )
+
+
+class MetricsRegistry:
+    """Per-shard metrics with a deterministic cluster-wide merge.
+
+    The cluster scheduler registers each shard's :class:`WorkloadMetrics`
+    under its shard label; :meth:`merged` folds them into one cluster-wide
+    view whose records are re-sorted on ``(arrival_s, query_id)`` — a total
+    order independent of registration order, so serial runs, ``--jobs N``
+    workers, and cached replays all aggregate byte-identically.  Per-shard
+    and cluster-wide percentiles then flow through the *same* nearest-rank
+    path (:func:`percentile` via :class:`WorkloadMetrics`), never a second
+    implementation that could drift.
+    """
+
+    def __init__(self) -> None:
+        self._shards: Dict[str, WorkloadMetrics] = {}
+
+    def register(self, label: str, metrics: WorkloadMetrics) -> None:
+        if not label:
+            raise BenchmarkError("shard label must be non-empty")
+        if label in self._shards:
+            raise BenchmarkError(f"shard {label!r} registered twice")
+        self._shards[label] = metrics
+
+    @property
+    def labels(self) -> List[str]:
+        return sorted(self._shards)
+
+    def shard(self, label: str) -> WorkloadMetrics:
+        if label not in self._shards:
+            raise BenchmarkError(f"no metrics registered for shard {label!r}")
+        return self._shards[label]
+
+    def merged(
+        self, setting_label: str = "", policy: str = ""
+    ) -> WorkloadMetrics:
+        """One cluster-wide :class:`WorkloadMetrics` over every shard."""
+        if not self._shards:
+            raise BenchmarkError("no shard metrics registered")
+        shards = [self._shards[label] for label in self.labels]
+        if not setting_label:
+            setting_label = shards[0].setting_label
+        if not policy:
+            policy = shards[0].policy
+        counters = SchedulerCounters()
+        for m in shards:
+            for name in vars(counters):
+                setattr(
+                    counters, name,
+                    getattr(counters, name) + getattr(m.counters, name),
+                )
+        records = sorted(
+            (r for m in shards for r in m.records),
+            key=lambda r: (r.arrival_s, r.query_id),
+        )
+        failures = sorted(
+            (f for m in shards for f in m.failures),
+            key=lambda f: (f.failed_s, f.query_id),
+        )
+        return WorkloadMetrics(
+            setting_label=setting_label,
+            policy=policy,
+            records=records,
+            counters=counters,
+            epc_budget_bytes=sum(m.epc_budget_bytes for m in shards),
+            epc_high_water_bytes=sum(m.epc_high_water_bytes for m in shards),
+            duration_s=max(m.duration_s for m in shards),
+            failures=failures,
+            downtime_s=sum(m.downtime_s for m in shards),
         )

@@ -30,6 +30,16 @@ degrades gracefully under squeeze.  All fault paths stay cold under the
 default :data:`~repro.faults.NULL_INJECTOR`, so an un-faulted run is
 byte-identical to a pre-fault build.
 
+**Multiplexing** (:mod:`repro.cluster`): the event loop lives in
+:class:`SchedulerLoop`, a steppable object exposing ``peek``/``step`` so a
+cluster scheduler can interleave many shards' loops on one simulated
+clock, plus ``submit``/``evict``/``reject`` so routed arrivals, shard
+crashes, and dead-shard rejections cross shard boundaries.  A shard label
+threads into every trace event's attrs (``shard=...``) so tee'd shards
+stay distinguishable; un-sharded runs omit the attr and stay
+byte-identical to the pre-cluster build.  :meth:`WorkloadScheduler.run`
+is now a thin drain of one loop — same events, same order, same bytes.
+
 Everything — arrivals, mixes, dispatch order, tie-breaking, fault draws,
 retry jitter — is a pure function of the workload configuration and its
 seeds: two runs of the same config produce identical metrics.
@@ -41,7 +51,7 @@ import heapq
 import random
 from dataclasses import dataclass
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.injector import NULL_INJECTOR, CrashDraw, NullInjector
@@ -129,6 +139,8 @@ class WorkloadScheduler:
         injector: Optional[NullInjector] = None,
         resilience: Optional[ResiliencePolicy] = None,
         selector: Optional[PlanSelector] = None,
+        shard: str = "",
+        query_id_base: int = 0,
     ) -> None:
         if cores < 1:
             raise ConfigurationError("the core pool needs at least one core")
@@ -155,6 +167,13 @@ class WorkloadScheduler:
         #: branch hides behind ``selector is not None`` for the same
         #: byte-identity reason the fault branches hide behind _faulting.
         self._selector = selector
+        #: Shard identity when multiplexed by a cluster scheduler; ""
+        #: (un-sharded) suppresses every shard-related trace attr so solo
+        #: runs stay byte-identical to the pre-cluster build.
+        self._shard = shard
+        #: First query id this scheduler assigns.  Shards take disjoint
+        #: id ranges so cluster-wide merged records never collide.
+        self._query_id_base = query_id_base
 
     # -- the event loop --------------------------------------------------
 
@@ -170,606 +189,34 @@ class WorkloadScheduler:
             raise ConfigurationError("duration must be positive")
         if not open_streams and not closed_streams:
             raise ConfigurationError("the workload needs at least one stream")
-        tracer = current_tracer()
-        injector = self._injector
-        resilience = self._resilience
-        faulting = self._faulting
-        selector = self._selector
-        if tracer.enabled:
-            tracer.event(
-                RUN_START,
-                time_s=0.0,
-                setting=self._setting_label,
-                policy=self._policy.label,
-                cores=self._cores,
-                epc_budget_bytes=self._epc_budget,
-                duration_s=duration_s,
-            )
-        counters = SchedulerCounters()
-        records: List[QueryRecord] = []
-        failures: List[FailureRecord] = []
-        downtime_s = 0.0
-        queue: Deque[PendingQuery] = deque()
-        running: Dict[int, PendingQuery] = {}
-        closed_by_name = {s.name: s for s in closed_streams}
-        closed_rngs: Dict[str, random.Random] = {
-            s.name: s.session_rng() for s in closed_streams
-        }
-        breaker: Optional[CircuitBreaker] = None
-        if resilience is not None:
-            breaker = CircuitBreaker(
-                resilience.breaker_threshold, resilience.breaker_cooldown_s
-            )
-        free_cores = self._cores
-        epc_used = 0.0
-        epc_high_water = 0.0
-        next_id = 0
-        seq = 0
-
-        # (time, kind, seq, payload): kind breaks same-instant ties so a
-        # finishing query releases its cores before a new arrival is seen.
-        events: List[Tuple[float, int, int, object]] = []
-
-        def push(time_s: float, kind: int, payload: object) -> None:
-            nonlocal seq
-            heapq.heappush(events, (time_s, kind, seq, payload))
-            seq += 1
-
-        for stream in open_streams:
-            for arrival in stream.arrivals(duration_s):
-                push(arrival.time_s, _ARRIVAL, arrival)
-        for stream in closed_streams:
-            for arrival in stream.initial_arrivals(closed_rngs[stream.name]):
-                push(arrival.time_s, _ARRIVAL, arrival)
-        if faulting:
-            # Fault-window edges that change admission state (a squeeze
-            # ending frees budget) must re-run dispatch even if no other
-            # event lands on that instant.
-            for wake_s in injector.wake_times(duration_s):
-                push(wake_s, _WAKE, None)
-
-        def resubmit_closed(pending: PendingQuery, now: float) -> None:
-            """A closed-loop client moves on after a completion OR a
-            terminal failure — otherwise a failure would silently remove
-            the client from the workload and drain the stream."""
-            stream = closed_by_name.get(pending.stream)
-            if stream is not None and now < duration_s:
-                push(
-                    *_arrival_event(
-                        stream.next_arrival(
-                            closed_rngs[stream.name], pending.client, now
-                        )
-                    )
-                )
-
-        def fail_attempt(
-            pending: PendingQuery,
-            now: float,
-            outcome: str,
-            *,
-            wasted_s: float = 0.0,
-            reinit_s: float = 0.0,
-        ) -> None:
-            """One attempt failed: retry with backoff, or fail terminally."""
-            if tracer.enabled:
-                tracer.event(
-                    ATTEMPT_FAILED,
-                    time_s=now,
-                    query_id=pending.query_id,
-                    stream=pending.stream,
-                    template=pending.template,
-                    attempt=pending.attempt,
-                    outcome=outcome,
-                    wasted_s=wasted_s,
-                )
-            if breaker is not None and outcome != "shed":
-                if breaker.record_failure(pending.stream, now):
-                    if tracer.enabled:
-                        tracer.event(
-                            BREAKER_OPEN,
-                            time_s=now,
-                            stream=pending.stream,
-                            until_s=breaker.open_until(pending.stream),
-                            consecutive_failures=breaker.threshold,
-                        )
-            retryable = (
-                resilience is not None
-                and outcome != "shed"
-                and pending.attempt < resilience.max_retries
-            )
-            if retryable:
-                pending.attempt += 1
-                delay_s = (
-                    resilience.backoff_s(pending.query_id, pending.attempt)
-                    + reinit_s
-                )
-                counters.retries += 1
-                if tracer.enabled:
-                    tracer.event(
-                        RETRY,
-                        time_s=now,
-                        query_id=pending.query_id,
-                        stream=pending.stream,
-                        template=pending.template,
-                        attempt=pending.attempt,
-                        delay_s=delay_s,
-                        outcome=outcome,
-                    )
-                push(now + delay_s, _ARRIVAL, _Retry(pending))
-                return
-            if outcome == "shed":
-                counters.shed += 1
-            else:
-                counters.failed += 1
-            failures.append(
-                FailureRecord(
-                    query_id=pending.query_id,
-                    stream=pending.stream,
-                    template=pending.template,
-                    client=pending.client,
-                    arrival_s=pending.arrival_s,
-                    failed_s=now,
-                    attempts=pending.attempt + 1,
-                    outcome=outcome,
-                )
-            )
-            if tracer.enabled:
-                tracer.event(
-                    FAILED,
-                    time_s=now,
-                    query_id=pending.query_id,
-                    stream=pending.stream,
-                    template=pending.template,
-                    attempts=pending.attempt + 1,
-                    outcome=outcome,
-                    latency_s=now - pending.arrival_s,
-                )
-            resubmit_closed(pending, now)
-
-        def plan_query(pending: PendingQuery, now: float) -> None:
-            """(Re-)select the physical plan serving this attempt.
-
-            Runs at queue entry — fresh arrivals and retries — so each
-            attempt's draw has its own decision identity and a re-planned
-            retry may switch arms.  The headroom handed to the selector is
-            the momentary free share of the (possibly squeezed) EPC
-            budget: what the oracle exploits, and what prices unobserved
-            arms for the adaptive selector's cold start.
-            """
-            budget = self._epc_budget
-            if faulting:
-                budget = budget * injector.epc_multiplier(now)
-            headroom = budget - epc_used
-            arm = selector.select(
-                pending.template,
-                pending.query_id,
-                pending.attempt,
-                headroom_bytes=headroom,
-            )
-            pending.arm = arm.label
-            pending.threads = arm.candidate.threads
-            pending.service_s = arm.service_s
-            pending.working_set_bytes = arm.working_set_bytes
-            if tracer.enabled:
-                tracer.event(
-                    PLANNER_CHOICE,
-                    time_s=now,
-                    query_id=pending.query_id,
-                    stream=pending.stream,
-                    template=pending.template,
-                    attempt=pending.attempt,
-                    mode=selector.mode,
-                    arm=arm.label,
-                    headroom_bytes=headroom,
-                    service_s=arm.service_s,
-                    working_set_bytes=arm.working_set_bytes,
-                )
-
-        def dispatch(now: float) -> None:
-            nonlocal free_cores, epc_used, epc_high_water, downtime_s
-            while True:
-                budget = self._epc_budget
-                if faulting:
-                    budget = budget * injector.epc_multiplier(now)
-                state = ResourceState(
-                    free_cores=free_cores,
-                    total_cores=self._cores,
-                    epc_used_bytes=epc_used,
-                    epc_budget_bytes=budget,
-                )
-                decision = self._policy.pick(queue, state)
-                if decision is None:
-                    if queue:
-                        if self._policy.last_block_reason == "epc":
-                            counters.blocked_on_epc += 1
-                        elif self._policy.last_block_reason == "cores":
-                            counters.blocked_on_cores += 1
-                    return
-                pending = queue[decision.queue_index]
-                del queue[decision.queue_index]
-                busy_before = self._cores - free_cores
-                # The dispatch-time service decomposition: a frozen base
-                # service time, plus additive penalties the trace
-                # attributes separately (the breakdown reporter re-derives
-                # the paper-style split from exactly these terms).
-                interference_s = (
-                    pending.service_s
-                    * INTERFERENCE_FACTOR
-                    * busy_before
-                    / self._cores
-                )
-                service = pending.service_s + interference_s
-                edmm_penalty_s = 0.0
-                degraded_penalty_s = 0.0
-                reserved_bytes = pending.working_set_bytes
-                if decision.overflow_bytes > 0:
-                    overflow_fraction = (
-                        decision.overflow_bytes / pending.working_set_bytes
-                    )
-                    if (
-                        faulting
-                        and resilience is not None
-                        and resilience.degrade_on_squeeze
-                        and injector.squeezed(now)
-                    ):
-                        # Graceful degradation: admit at a reduced EPC
-                        # reservation (only what fits the squeezed budget)
-                        # and stream the shortfall through a bounded
-                        # buffer — a mild slowdown instead of the Fig. 11
-                        # EDMM/paging collapse.
-                        reserved_bytes = max(
-                            0,
-                            pending.working_set_bytes
-                            - decision.overflow_bytes,
-                        )
-                        degraded_penalty_s = (
-                            service
-                            * DEGRADED_SLOWDOWN
-                            * min(1.0, overflow_fraction)
-                        )
-                        service += degraded_penalty_s
-                        counters.degraded += 1
-                        if tracer.enabled:
-                            tracer.event(
-                                DEGRADED,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                reserved_bytes=reserved_bytes,
-                                shortfall_bytes=decision.overflow_bytes,
-                                penalty_s=degraded_penalty_s,
-                            )
-                    elif faulting and injector.edmm_denied(
-                        now, pending.query_id, pending.attempt
-                    ):
-                        # Enclave.grow raised CapacityError: the growth
-                        # request died before the query held any resources.
-                        counters.edmm_denied += 1
-                        if tracer.enabled:
-                            tracer.event(
-                                FAULT_EDMM_DENIED,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                attempt=pending.attempt,
-                                overflow_bytes=decision.overflow_bytes,
-                            )
-                        fail_attempt(pending, now, "edmm_denied")
-                        continue
-                    else:
-                        edmm_penalty_s = (
-                            service * EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
-                        )
-                        service += edmm_penalty_s
-                        counters.edmm_admissions += 1
-                        if tracer.enabled:
-                            tracer.event(
-                                EDMM_OVERFLOW,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                overflow_bytes=decision.overflow_bytes,
-                                overflow_fraction=overflow_fraction,
-                                penalty_s=edmm_penalty_s,
-                            )
-                aex_penalty_s = 0.0
-                if faulting:
-                    inflation = injector.service_multiplier(
-                        now, pending.query_id, pending.attempt
-                    )
-                    if inflation > 1.0:
-                        aex_penalty_s = service * (inflation - 1.0)
-                        service += aex_penalty_s
-                        counters.aex_inflations += 1
-                        if tracer.enabled:
-                            tracer.event(
-                                FAULT_AEX,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                inflation=inflation,
-                                penalty_s=aex_penalty_s,
-                            )
-                # Freeze this attempt's fate at dispatch: poison and
-                # crashes are drawn now, and the timeout caps whatever
-                # service the faults produced.
-                outcome = "ok"
-                attempt_s = service
-                crash: Optional[CrashDraw] = None
-                if faulting:
-                    if injector.poisoned(now, pending.template):
-                        outcome = "poison"
-                        counters.poisoned += 1
-                    else:
-                        crash = injector.crash(
-                            now, pending.query_id, pending.attempt
-                        )
-                        if crash is not None:
-                            outcome = "crash"
-                            attempt_s = service * crash.fraction
-                            counters.crashes += 1
-                            downtime_s += crash.reinit_s
-                    if (
-                        resilience is not None
-                        and resilience.timeout_s is not None
-                        and attempt_s > resilience.timeout_s
-                    ):
-                        outcome = "timeout"
-                        attempt_s = resilience.timeout_s
-                        crash = None
-                        counters.timeouts += 1
-                if decision.bypassed:
-                    counters.bypass_dispatches += 1
-                if now == pending.arrival_s:
-                    counters.dispatched_immediately += 1
-                free_cores -= pending.threads
-                epc_used += reserved_bytes
-                epc_high_water = max(epc_high_water, epc_used)
-                if tracer.enabled:
-                    dispatch_attrs = dict(
-                        time_s=now,
-                        query_id=pending.query_id,
-                        stream=pending.stream,
-                        template=pending.template,
-                        queue_wait_s=now - pending.arrival_s,
-                        base_service_s=pending.service_s,
-                        interference_s=interference_s,
-                        edmm_penalty_s=edmm_penalty_s,
-                        overflow_bytes=decision.overflow_bytes,
-                        bypassed=decision.bypassed,
-                        free_cores=free_cores,
-                        epc_used_bytes=epc_used,
-                    )
-                    if faulting:
-                        dispatch_attrs.update(
-                            attempt=pending.attempt,
-                            aex_penalty_s=aex_penalty_s,
-                            degraded_penalty_s=degraded_penalty_s,
-                        )
-                    tracer.event(DISPATCH, **dispatch_attrs)
-                    tracer.gauge("scheduler.epc_high_water_bytes", epc_high_water)
-                running[pending.query_id] = pending
-                push(
-                    now + attempt_s,
-                    _FINISH,
-                    _Finish(
-                        query_id=pending.query_id,
-                        start_s=now,
-                        overflow_bytes=decision.overflow_bytes,
-                        bypassed=decision.bypassed,
-                        outcome=outcome,
-                        reserved_bytes=reserved_bytes,
-                        crash=crash,
-                    ),
-                )
-
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            if kind == _ARRIVAL:
-                if isinstance(payload, _Retry):
-                    # A retried attempt re-enters the queue like a fresh
-                    # arrival but keeps its identity (and its original
-                    # arrival time, so latency covers every attempt).
-                    pending = payload.pending
-                    if breaker is not None and breaker.is_open(
-                        pending.stream, now
-                    ):
-                        if tracer.enabled:
-                            tracer.event(
-                                SHED,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                retry=True,
-                            )
-                        fail_attempt(pending, now, "shed")
-                        continue
-                    if selector is not None:
-                        plan_query(pending, now)
-                    queue.append(pending)
-                    dispatch(now)
-                    continue
-                arrival = payload
-                cost = self._cost_of(arrival.template)
-                counters.arrivals += 1
-                pending = PendingQuery(
-                    query_id=next_id,
-                    stream=arrival.stream,
-                    template=arrival.template,
-                    client=arrival.client,
-                    arrival_s=now,
-                    threads=cost.threads,
-                    service_s=cost.service_s,
-                    working_set_bytes=cost.working_set_bytes,
-                )
-                next_id += 1
-                if tracer.enabled:
-                    tracer.event(
-                        ARRIVAL,
-                        time_s=now,
-                        query_id=pending.query_id,
-                        stream=pending.stream,
-                        template=pending.template,
-                        queue_depth=len(queue),
-                    )
-                if breaker is not None and breaker.is_open(pending.stream, now):
-                    # The tenant's breaker is open: fail fast instead of
-                    # burning cores on a service that is likely doomed.
-                    if tracer.enabled:
-                        tracer.event(
-                            SHED,
-                            time_s=now,
-                            query_id=pending.query_id,
-                            stream=pending.stream,
-                            template=pending.template,
-                            retry=False,
-                        )
-                    fail_attempt(pending, now, "shed")
-                    continue
-                if selector is not None:
-                    plan_query(pending, now)
-                queue.append(pending)
-                # No resources were freed since the last dispatch round, so
-                # the only query this round can admit is the new arrival:
-                # an unchanged queue length means it stayed queued (an O(1)
-                # check; scanning the deque re-compared every field).
-                depth_before = len(queue)
-                dispatch(now)
-                if len(queue) == depth_before:
-                    counters.queued += 1
-            elif kind == _WAKE:
-                # A fault window edge changed the admission state (e.g. an
-                # EPC squeeze ended): give the queue another chance.
-                dispatch(now)
-            else:
-                finish = payload
-                pending = running.pop(finish.query_id)
-                free_cores += pending.threads
-                epc_used -= finish.reserved_bytes
-                if finish.outcome == "ok":
-                    counters.completed += 1
-                    if breaker is not None:
-                        breaker.record_success(pending.stream)
-                    if tracer.enabled:
-                        tracer.event(
-                            FINISH,
-                            time_s=now,
-                            query_id=pending.query_id,
-                            stream=pending.stream,
-                            template=pending.template,
-                            latency_s=now - pending.arrival_s,
-                            service_s=now - finish.start_s,
-                        )
-                    if selector is not None:
-                        # Feed back the *charged service time* (base +
-                        # every dispatch penalty), not the end-to-end
-                        # latency: queue wait is shared backlog no arm
-                        # controls, and it is scale-incompatible with the
-                        # unobserved arms' service-time priors.
-                        selector.observe(
-                            pending.template,
-                            pending.arm,
-                            now - finish.start_s,
-                        )
-                        if tracer.enabled:
-                            tracer.event(
-                                PLANNER_OBSERVE,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                arm=pending.arm,
-                                service_s=now - finish.start_s,
-                                latency_s=now - pending.arrival_s,
-                            )
-                    records.append(
-                        QueryRecord(
-                            query_id=pending.query_id,
-                            stream=pending.stream,
-                            template=pending.template,
-                            client=pending.client,
-                            arrival_s=pending.arrival_s,
-                            start_s=finish.start_s,
-                            finish_s=now,
-                            working_set_bytes=pending.working_set_bytes,
-                            overflow_bytes=finish.overflow_bytes,
-                            bypassed=finish.bypassed,
-                            attempts=pending.attempt + 1,
-                        )
-                    )
-                    stream = closed_by_name.get(pending.stream)
-                    if stream is not None and now < duration_s:
-                        push(
-                            *_arrival_event(
-                                stream.next_arrival(
-                                    closed_rngs[stream.name], pending.client, now
-                                )
-                            )
-                        )
-                else:
-                    wasted_s = now - finish.start_s
-                    reinit_s = 0.0
-                    if finish.crash is not None:
-                        reinit_s = finish.crash.reinit_s
-                        if tracer.enabled:
-                            tracer.event(
-                                FAULT_CRASH,
-                                time_s=now,
-                                query_id=pending.query_id,
-                                stream=pending.stream,
-                                template=pending.template,
-                                attempt=pending.attempt,
-                                at_fraction=finish.crash.fraction,
-                                lost_s=wasted_s,
-                                reinit_s=reinit_s,
-                            )
-                    fail_attempt(
-                        pending,
-                        now,
-                        finish.outcome,
-                        wasted_s=wasted_s,
-                        reinit_s=reinit_s,
-                    )
-                dispatch(now)
-
-        metrics = WorkloadMetrics(
-            setting_label=self._setting_label,
-            policy=self._policy.label,
-            records=sorted(records, key=lambda r: r.query_id),
-            counters=counters,
-            epc_budget_bytes=self._epc_budget,
-            epc_high_water_bytes=int(epc_high_water),
+        loop = SchedulerLoop(
+            self,
+            open_streams=open_streams,
+            closed_streams=closed_streams,
             duration_s=duration_s,
-            failures=sorted(failures, key=lambda f: f.query_id),
-            downtime_s=downtime_s,
         )
-        if tracer.enabled:
-            for name, value in counters.as_dict().items():
-                tracer.count(f"scheduler.{name}", value)
-            end_attrs = dict(
-                time_s=metrics.makespan_s,
-                setting=self._setting_label,
-                policy=self._policy.label,
-                completed=counters.completed,
-                epc_high_water_bytes=int(epc_high_water),
-            )
-            if faulting:
-                for name, value in counters.fault_dict().items():
-                    tracer.count(f"scheduler.{name}", value)
-                end_attrs.update(
-                    failed=counters.failed,
-                    shed=counters.shed,
-                    retries=counters.retries,
-                    availability=metrics.availability,
-                    downtime_s=downtime_s,
-                )
-            tracer.event(RUN_END, **end_attrs)
-        return metrics
+        while loop.pending:
+            loop.step()
+        return loop.result()
+
+    def loop(
+        self,
+        *,
+        open_streams: Sequence[OpenLoopStream] = (),
+        closed_streams: Sequence[ClosedLoopStream] = (),
+        duration_s: float,
+    ) -> "SchedulerLoop":
+        """A steppable loop for external multiplexing (cluster serving).
+
+        Unlike :meth:`run` the loop may start with zero streams: a shard
+        in a cluster receives every arrival through :meth:`SchedulerLoop.submit`.
+        """
+        return SchedulerLoop(
+            self,
+            open_streams=open_streams,
+            closed_streams=closed_streams,
+            duration_s=duration_s,
+        )
 
     def _cost_of(self, template: str) -> JobCost:
         try:
@@ -779,6 +226,870 @@ class WorkloadScheduler:
             raise ConfigurationError(
                 f"no priced cost for template {template!r}; known: {known}"
             ) from None
+
+
+class SchedulerLoop:
+    """One scheduler's event loop, steppable from outside.
+
+    Extracted from the old monolithic ``run`` body so a cluster scheduler
+    can multiplex many loops on one simulated clock: ``peek`` exposes the
+    next event's ``(time, kind)``, ``step`` processes exactly one event,
+    and ``result`` finalises metrics once ``pending`` is False.  Routed
+    work crosses shard boundaries through ``submit`` (deliver an arrival,
+    optionally priced with a cross-socket shuffle), ``evict`` (a crashing
+    shard hands back its queued + running queries), and ``reject`` (a
+    dead shard sheds an arrival terminally).
+
+    Event processing is verbatim the old loop body — driving a loop to
+    exhaustion yields the same metrics and the same trace bytes as the
+    pre-refactor ``run``.
+    """
+
+    def __init__(
+        self,
+        scheduler: WorkloadScheduler,
+        *,
+        open_streams: Sequence[OpenLoopStream] = (),
+        closed_streams: Sequence[ClosedLoopStream] = (),
+        duration_s: float,
+    ) -> None:
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self._s = scheduler
+        self._duration_s = duration_s
+        self._tracer = current_tracer()
+        self._injector = scheduler._injector
+        self._resilience = scheduler._resilience
+        self._faulting = scheduler._faulting
+        self._selector = scheduler._selector
+        self._shard = scheduler._shard
+        if self._tracer.enabled:
+            self._emit(
+                RUN_START,
+                time_s=0.0,
+                setting=scheduler._setting_label,
+                policy=scheduler._policy.label,
+                cores=scheduler._cores,
+                epc_budget_bytes=scheduler._epc_budget,
+                duration_s=duration_s,
+            )
+        self._counters = SchedulerCounters()
+        self._records: List[QueryRecord] = []
+        self._failures: List[FailureRecord] = []
+        self._downtime_s = 0.0
+        self._queue: Deque[PendingQuery] = deque()
+        self._running: Dict[int, PendingQuery] = {}
+        self._closed_by_name = {s.name: s for s in closed_streams}
+        self._closed_rngs: Dict[str, random.Random] = {
+            s.name: s.session_rng() for s in closed_streams
+        }
+        self._breaker: Optional[CircuitBreaker] = None
+        if self._resilience is not None:
+            self._breaker = CircuitBreaker(
+                self._resilience.breaker_threshold,
+                self._resilience.breaker_cooldown_s,
+            )
+        self._free_cores = scheduler._cores
+        self._epc_used = 0.0
+        self._epc_high_water = 0.0
+        self._next_id = scheduler._query_id_base
+        self._seq = 0
+        self._queued_threads = 0  # incremental; backs the router's load score
+        self._reserved: Dict[int, int] = {}  # qid -> EPC bytes held running
+        self._cancelled: Set[int] = set()  # qids evicted while running
+
+        # (time, kind, seq, payload): kind breaks same-instant ties so a
+        # finishing query releases its cores before a new arrival is seen.
+        self._events: List[Tuple[float, int, int, object]] = []
+
+        for stream in open_streams:
+            for arrival in stream.arrivals(duration_s):
+                self._push(arrival.time_s, _ARRIVAL, arrival)
+        for stream in closed_streams:
+            for arrival in stream.initial_arrivals(
+                self._closed_rngs[stream.name]
+            ):
+                self._push(arrival.time_s, _ARRIVAL, arrival)
+        if self._faulting:
+            # Fault-window edges that change admission state (a squeeze
+            # ending frees budget) must re-run dispatch even if no other
+            # event lands on that instant.
+            for wake_s in self._injector.wake_times(duration_s):
+                self._push(wake_s, _WAKE, None)
+
+    # -- multiplexing surface ---------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True while events remain to be stepped."""
+        return bool(self._events)
+
+    def peek(self) -> Tuple[float, int]:
+        """``(time_s, kind)`` of the next event (events must be pending)."""
+        time_s, kind, _, _ = self._events[0]
+        return time_s, kind
+
+    @property
+    def load_score(self) -> float:
+        """Demanded-thread pressure plus EPC pressure, for routing.
+
+        ``(queued + running threads) / cores`` measures compute backlog;
+        ``1 - headroom`` measures how full the enclave is.  A shard with
+        an idle core pool but an exhausted EPC budget scores high, which
+        is exactly the least-EPC-headroom signal the load-aware router
+        ranks on.
+        """
+        busy = self._s._cores - self._free_cores
+        compute = (self._queued_threads + busy) / self._s._cores
+        return compute + (1.0 - self.epc_headroom_fraction)
+
+    @property
+    def epc_headroom_fraction(self) -> float:
+        """Free share of the (un-squeezed) EPC budget, clamped to [0, 1]."""
+        budget = self._s._epc_budget
+        if budget == float("inf"):
+            return 1.0
+        free = max(0.0, budget - self._epc_used)
+        return min(1.0, free / budget)
+
+    def submit(
+        self,
+        arrival: Arrival,
+        *,
+        shuffle_s: float = 0.0,
+        arrival_s: Optional[float] = None,
+        attempt: int = 0,
+    ) -> None:
+        """Deliver a routed arrival to this shard.
+
+        ``shuffle_s`` adds the cross-socket (or cross-machine) transfer
+        time to the query's base service time — priced by the cluster
+        router through :meth:`Topology.cross_socket_bytes`.  ``arrival_s``
+        preserves the query's *original* submission time across a
+        failover re-route, so end-to-end latency covers the lost attempt.
+        """
+        if shuffle_s == 0.0 and arrival_s is None and attempt == 0:
+            self._push(arrival.time_s, _ARRIVAL, arrival)
+            return
+        self._push(
+            arrival.time_s,
+            _ARRIVAL,
+            _Routed(
+                arrival=arrival,
+                shuffle_s=shuffle_s,
+                arrival_s=arrival_s,
+                attempt=attempt,
+            ),
+        )
+
+    def evict(self, now: float) -> List[PendingQuery]:
+        """Hand back every queued and running query (shard crash path).
+
+        Queued queries return in queue order, then running queries in
+        query-id order.  Running queries release their cores and EPC here;
+        their in-flight finish events are cancelled (stepped over when
+        they pop).  The caller re-routes or terminally fails the result.
+        """
+        victims = list(self._queue)
+        self._queue.clear()
+        self._queued_threads = 0
+        for qid in sorted(self._running):
+            pending = self._running[qid]
+            self._free_cores += pending.threads
+            self._epc_used -= self._reserved.pop(qid)
+            self._cancelled.add(qid)
+            victims.append(pending)
+        self._running.clear()
+        return victims
+
+    def reject(self, arrival: Arrival, now: float, outcome: str = "shard_down") -> None:
+        """Terminally shed an arrival routed at a dead shard."""
+        cost = self._s._cost_of(arrival.template)
+        self._counters.arrivals += 1
+        pending = PendingQuery(
+            query_id=self._next_id,
+            stream=arrival.stream,
+            template=arrival.template,
+            client=arrival.client,
+            arrival_s=now,
+            threads=cost.threads,
+            service_s=cost.service_s,
+            working_set_bytes=cost.working_set_bytes,
+        )
+        self._next_id += 1
+        if self._tracer.enabled:
+            self._emit(
+                ARRIVAL,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                queue_depth=len(self._queue),
+            )
+            self._emit(
+                SHED,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                retry=False,
+            )
+        self._counters.shed += 1
+        self._failures.append(
+            FailureRecord(
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                client=pending.client,
+                arrival_s=pending.arrival_s,
+                failed_s=now,
+                attempts=1,
+                outcome=outcome,
+            )
+        )
+        if self._tracer.enabled:
+            self._emit(
+                FAILED,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                attempts=1,
+                outcome=outcome,
+                latency_s=0.0,
+            )
+
+    def fail_evicted(
+        self, pending: PendingQuery, now: float, outcome: str = "shard_down"
+    ) -> None:
+        """Terminally fail a query evicted by a shard crash (no failover).
+
+        The query already holds this shard's counters (its arrival was
+        counted here), so the terminal failure must land here too —
+        otherwise availability would silently ignore the lost work.
+        """
+        self._counters.failed += 1
+        self._failures.append(
+            FailureRecord(
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                client=pending.client,
+                arrival_s=pending.arrival_s,
+                failed_s=now,
+                attempts=pending.attempt + 1,
+                outcome=outcome,
+            )
+        )
+        if self._tracer.enabled:
+            self._emit(
+                FAILED,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                attempts=pending.attempt + 1,
+                outcome=outcome,
+                latency_s=now - pending.arrival_s,
+            )
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit(self, name: str, **attrs: object) -> None:
+        if self._shard:
+            attrs["shard"] = self._shard
+        self._tracer.event(name, **attrs)
+
+    def _push(self, time_s: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time_s, kind, self._seq, payload))
+        self._seq += 1
+
+    def _resubmit_closed(self, pending: PendingQuery, now: float) -> None:
+        """A closed-loop client moves on after a completion OR a
+        terminal failure — otherwise a failure would silently remove
+        the client from the workload and drain the stream."""
+        stream = self._closed_by_name.get(pending.stream)
+        if stream is not None and now < self._duration_s:
+            self._push(
+                *_arrival_event(
+                    stream.next_arrival(
+                        self._closed_rngs[stream.name], pending.client, now
+                    )
+                )
+            )
+
+    def _fail_attempt(
+        self,
+        pending: PendingQuery,
+        now: float,
+        outcome: str,
+        *,
+        wasted_s: float = 0.0,
+        reinit_s: float = 0.0,
+    ) -> None:
+        """One attempt failed: retry with backoff, or fail terminally."""
+        counters = self._counters
+        resilience = self._resilience
+        breaker = self._breaker
+        if self._tracer.enabled:
+            self._emit(
+                ATTEMPT_FAILED,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                attempt=pending.attempt,
+                outcome=outcome,
+                wasted_s=wasted_s,
+            )
+        if breaker is not None and outcome != "shed":
+            if breaker.record_failure(pending.stream, now):
+                if self._tracer.enabled:
+                    self._emit(
+                        BREAKER_OPEN,
+                        time_s=now,
+                        stream=pending.stream,
+                        until_s=breaker.open_until(pending.stream),
+                        consecutive_failures=breaker.threshold,
+                    )
+        retryable = (
+            resilience is not None
+            and outcome != "shed"
+            and pending.attempt < resilience.max_retries
+        )
+        if retryable:
+            pending.attempt += 1
+            delay_s = (
+                resilience.backoff_s(pending.query_id, pending.attempt)
+                + reinit_s
+            )
+            counters.retries += 1
+            if self._tracer.enabled:
+                self._emit(
+                    RETRY,
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    attempt=pending.attempt,
+                    delay_s=delay_s,
+                    outcome=outcome,
+                )
+            self._push(now + delay_s, _ARRIVAL, _Retry(pending))
+            return
+        if outcome == "shed":
+            counters.shed += 1
+        else:
+            counters.failed += 1
+        self._failures.append(
+            FailureRecord(
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                client=pending.client,
+                arrival_s=pending.arrival_s,
+                failed_s=now,
+                attempts=pending.attempt + 1,
+                outcome=outcome,
+            )
+        )
+        if self._tracer.enabled:
+            self._emit(
+                FAILED,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                attempts=pending.attempt + 1,
+                outcome=outcome,
+                latency_s=now - pending.arrival_s,
+            )
+        self._resubmit_closed(pending, now)
+
+    def _plan_query(self, pending: PendingQuery, now: float) -> None:
+        """(Re-)select the physical plan serving this attempt.
+
+        Runs at queue entry — fresh arrivals and retries — so each
+        attempt's draw has its own decision identity and a re-planned
+        retry may switch arms.  The headroom handed to the selector is
+        the momentary free share of the (possibly squeezed) EPC
+        budget: what the oracle exploits, and what prices unobserved
+        arms for the adaptive selector's cold start.
+        """
+        selector = self._selector
+        budget = self._s._epc_budget
+        if self._faulting:
+            budget = budget * self._injector.epc_multiplier(now)
+        headroom = budget - self._epc_used
+        arm = selector.select(
+            pending.template,
+            pending.query_id,
+            pending.attempt,
+            headroom_bytes=headroom,
+        )
+        pending.arm = arm.label
+        pending.threads = arm.candidate.threads
+        pending.service_s = arm.service_s
+        pending.working_set_bytes = arm.working_set_bytes
+        if self._tracer.enabled:
+            self._emit(
+                PLANNER_CHOICE,
+                time_s=now,
+                query_id=pending.query_id,
+                stream=pending.stream,
+                template=pending.template,
+                attempt=pending.attempt,
+                mode=selector.mode,
+                arm=arm.label,
+                headroom_bytes=headroom,
+                service_s=arm.service_s,
+                working_set_bytes=arm.working_set_bytes,
+            )
+
+    def _dispatch(self, now: float) -> None:
+        scheduler = self._s
+        counters = self._counters
+        injector = self._injector
+        resilience = self._resilience
+        faulting = self._faulting
+        queue = self._queue
+        while True:
+            budget = scheduler._epc_budget
+            if faulting:
+                budget = budget * injector.epc_multiplier(now)
+            state = ResourceState(
+                free_cores=self._free_cores,
+                total_cores=scheduler._cores,
+                epc_used_bytes=self._epc_used,
+                epc_budget_bytes=budget,
+            )
+            decision = scheduler._policy.pick(queue, state)
+            if decision is None:
+                if queue:
+                    if scheduler._policy.last_block_reason == "epc":
+                        counters.blocked_on_epc += 1
+                    elif scheduler._policy.last_block_reason == "cores":
+                        counters.blocked_on_cores += 1
+                return
+            pending = queue[decision.queue_index]
+            del queue[decision.queue_index]
+            self._queued_threads -= pending.threads
+            busy_before = scheduler._cores - self._free_cores
+            # The dispatch-time service decomposition: a frozen base
+            # service time, plus additive penalties the trace
+            # attributes separately (the breakdown reporter re-derives
+            # the paper-style split from exactly these terms).
+            interference_s = (
+                pending.service_s
+                * INTERFERENCE_FACTOR
+                * busy_before
+                / scheduler._cores
+            )
+            service = pending.service_s + interference_s
+            edmm_penalty_s = 0.0
+            degraded_penalty_s = 0.0
+            reserved_bytes = pending.working_set_bytes
+            if decision.overflow_bytes > 0:
+                overflow_fraction = (
+                    decision.overflow_bytes / pending.working_set_bytes
+                )
+                if (
+                    faulting
+                    and resilience is not None
+                    and resilience.degrade_on_squeeze
+                    and injector.squeezed(now)
+                ):
+                    # Graceful degradation: admit at a reduced EPC
+                    # reservation (only what fits the squeezed budget)
+                    # and stream the shortfall through a bounded
+                    # buffer — a mild slowdown instead of the Fig. 11
+                    # EDMM/paging collapse.
+                    reserved_bytes = max(
+                        0,
+                        pending.working_set_bytes
+                        - decision.overflow_bytes,
+                    )
+                    degraded_penalty_s = (
+                        service
+                        * DEGRADED_SLOWDOWN
+                        * min(1.0, overflow_fraction)
+                    )
+                    service += degraded_penalty_s
+                    counters.degraded += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            DEGRADED,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            reserved_bytes=reserved_bytes,
+                            shortfall_bytes=decision.overflow_bytes,
+                            penalty_s=degraded_penalty_s,
+                        )
+                elif faulting and injector.edmm_denied(
+                    now, pending.query_id, pending.attempt
+                ):
+                    # Enclave.grow raised CapacityError: the growth
+                    # request died before the query held any resources.
+                    counters.edmm_denied += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            FAULT_EDMM_DENIED,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            attempt=pending.attempt,
+                            overflow_bytes=decision.overflow_bytes,
+                        )
+                    self._fail_attempt(pending, now, "edmm_denied")
+                    continue
+                else:
+                    edmm_penalty_s = (
+                        service * EDMM_OVERFLOW_SLOWDOWN * overflow_fraction
+                    )
+                    service += edmm_penalty_s
+                    counters.edmm_admissions += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            EDMM_OVERFLOW,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            overflow_bytes=decision.overflow_bytes,
+                            overflow_fraction=overflow_fraction,
+                            penalty_s=edmm_penalty_s,
+                        )
+            aex_penalty_s = 0.0
+            if faulting:
+                inflation = injector.service_multiplier(
+                    now, pending.query_id, pending.attempt
+                )
+                if inflation > 1.0:
+                    aex_penalty_s = service * (inflation - 1.0)
+                    service += aex_penalty_s
+                    counters.aex_inflations += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            FAULT_AEX,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            inflation=inflation,
+                            penalty_s=aex_penalty_s,
+                        )
+            # Freeze this attempt's fate at dispatch: poison and
+            # crashes are drawn now, and the timeout caps whatever
+            # service the faults produced.
+            outcome = "ok"
+            attempt_s = service
+            crash: Optional[CrashDraw] = None
+            if faulting:
+                if injector.poisoned(now, pending.template):
+                    outcome = "poison"
+                    counters.poisoned += 1
+                else:
+                    crash = injector.crash(
+                        now, pending.query_id, pending.attempt
+                    )
+                    if crash is not None:
+                        outcome = "crash"
+                        attempt_s = service * crash.fraction
+                        counters.crashes += 1
+                        self._downtime_s += crash.reinit_s
+                if (
+                    resilience is not None
+                    and resilience.timeout_s is not None
+                    and attempt_s > resilience.timeout_s
+                ):
+                    outcome = "timeout"
+                    attempt_s = resilience.timeout_s
+                    crash = None
+                    counters.timeouts += 1
+            if decision.bypassed:
+                counters.bypass_dispatches += 1
+            if now == pending.arrival_s:
+                counters.dispatched_immediately += 1
+            self._free_cores -= pending.threads
+            self._epc_used += reserved_bytes
+            self._epc_high_water = max(self._epc_high_water, self._epc_used)
+            if self._tracer.enabled:
+                dispatch_attrs = dict(
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    queue_wait_s=now - pending.arrival_s,
+                    base_service_s=pending.service_s,
+                    interference_s=interference_s,
+                    edmm_penalty_s=edmm_penalty_s,
+                    overflow_bytes=decision.overflow_bytes,
+                    bypassed=decision.bypassed,
+                    free_cores=self._free_cores,
+                    epc_used_bytes=self._epc_used,
+                )
+                if faulting:
+                    dispatch_attrs.update(
+                        attempt=pending.attempt,
+                        aex_penalty_s=aex_penalty_s,
+                        degraded_penalty_s=degraded_penalty_s,
+                    )
+                self._emit(DISPATCH, **dispatch_attrs)
+                gauge = "scheduler.epc_high_water_bytes"
+                if self._shard:
+                    gauge = f"{gauge}.{self._shard}"
+                self._tracer.gauge(gauge, self._epc_high_water)
+            self._running[pending.query_id] = pending
+            self._reserved[pending.query_id] = reserved_bytes
+            self._push(
+                now + attempt_s,
+                _FINISH,
+                _Finish(
+                    query_id=pending.query_id,
+                    start_s=now,
+                    overflow_bytes=decision.overflow_bytes,
+                    bypassed=decision.bypassed,
+                    outcome=outcome,
+                    reserved_bytes=reserved_bytes,
+                    crash=crash,
+                ),
+            )
+
+    def step(self) -> None:
+        """Process exactly one event (events must be pending)."""
+        counters = self._counters
+        breaker = self._breaker
+        selector = self._selector
+        queue = self._queue
+        now, kind, _, payload = heapq.heappop(self._events)
+        if kind == _ARRIVAL:
+            if isinstance(payload, _Retry):
+                # A retried attempt re-enters the queue like a fresh
+                # arrival but keeps its identity (and its original
+                # arrival time, so latency covers every attempt).
+                pending = payload.pending
+                if breaker is not None and breaker.is_open(
+                    pending.stream, now
+                ):
+                    if self._tracer.enabled:
+                        self._emit(
+                            SHED,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            retry=True,
+                        )
+                    self._fail_attempt(pending, now, "shed")
+                    return
+                if selector is not None:
+                    self._plan_query(pending, now)
+                queue.append(pending)
+                self._queued_threads += pending.threads
+                self._dispatch(now)
+                return
+            shuffle_s = 0.0
+            anchor_s: Optional[float] = None
+            attempt = 0
+            if isinstance(payload, _Routed):
+                shuffle_s = payload.shuffle_s
+                anchor_s = payload.arrival_s
+                attempt = payload.attempt
+                arrival = payload.arrival
+            else:
+                arrival = payload
+            cost = self._s._cost_of(arrival.template)
+            counters.arrivals += 1
+            pending = PendingQuery(
+                query_id=self._next_id,
+                stream=arrival.stream,
+                template=arrival.template,
+                client=arrival.client,
+                arrival_s=now if anchor_s is None else anchor_s,
+                threads=cost.threads,
+                service_s=cost.service_s + shuffle_s,
+                working_set_bytes=cost.working_set_bytes,
+                attempt=attempt,
+            )
+            self._next_id += 1
+            if self._tracer.enabled:
+                self._emit(
+                    ARRIVAL,
+                    time_s=now,
+                    query_id=pending.query_id,
+                    stream=pending.stream,
+                    template=pending.template,
+                    queue_depth=len(queue),
+                )
+            if breaker is not None and breaker.is_open(pending.stream, now):
+                # The tenant's breaker is open: fail fast instead of
+                # burning cores on a service that is likely doomed.
+                if self._tracer.enabled:
+                    self._emit(
+                        SHED,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        retry=False,
+                    )
+                self._fail_attempt(pending, now, "shed")
+                return
+            if selector is not None:
+                self._plan_query(pending, now)
+            queue.append(pending)
+            self._queued_threads += pending.threads
+            # No resources were freed since the last dispatch round, so
+            # the only query this round can admit is the new arrival:
+            # an unchanged queue length means it stayed queued (an O(1)
+            # check; scanning the deque re-compared every field).
+            depth_before = len(queue)
+            self._dispatch(now)
+            if len(queue) == depth_before:
+                counters.queued += 1
+        elif kind == _WAKE:
+            # A fault window edge changed the admission state (e.g. an
+            # EPC squeeze ended): give the queue another chance.
+            self._dispatch(now)
+        else:
+            finish = payload
+            if self._cancelled and finish.query_id in self._cancelled:
+                # The query was evicted (shard crash) while running; its
+                # resources were already released at eviction time.
+                self._cancelled.discard(finish.query_id)
+                return
+            pending = self._running.pop(finish.query_id)
+            self._reserved.pop(finish.query_id, None)
+            self._free_cores += pending.threads
+            self._epc_used -= finish.reserved_bytes
+            if finish.outcome == "ok":
+                counters.completed += 1
+                if breaker is not None:
+                    breaker.record_success(pending.stream)
+                if self._tracer.enabled:
+                    self._emit(
+                        FINISH,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        latency_s=now - pending.arrival_s,
+                        service_s=now - finish.start_s,
+                    )
+                if selector is not None:
+                    # Feed back the *charged service time* (base +
+                    # every dispatch penalty), not the end-to-end
+                    # latency: queue wait is shared backlog no arm
+                    # controls, and it is scale-incompatible with the
+                    # unobserved arms' service-time priors.
+                    selector.observe(
+                        pending.template,
+                        pending.arm,
+                        now - finish.start_s,
+                    )
+                    if self._tracer.enabled:
+                        self._emit(
+                            PLANNER_OBSERVE,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            arm=pending.arm,
+                            service_s=now - finish.start_s,
+                            latency_s=now - pending.arrival_s,
+                        )
+                self._records.append(
+                    QueryRecord(
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        client=pending.client,
+                        arrival_s=pending.arrival_s,
+                        start_s=finish.start_s,
+                        finish_s=now,
+                        working_set_bytes=pending.working_set_bytes,
+                        overflow_bytes=finish.overflow_bytes,
+                        bypassed=finish.bypassed,
+                        attempts=pending.attempt + 1,
+                    )
+                )
+                stream = self._closed_by_name.get(pending.stream)
+                if stream is not None and now < self._duration_s:
+                    self._push(
+                        *_arrival_event(
+                            stream.next_arrival(
+                                self._closed_rngs[stream.name],
+                                pending.client,
+                                now,
+                            )
+                        )
+                    )
+            else:
+                wasted_s = now - finish.start_s
+                reinit_s = 0.0
+                if finish.crash is not None:
+                    reinit_s = finish.crash.reinit_s
+                    if self._tracer.enabled:
+                        self._emit(
+                            FAULT_CRASH,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            attempt=pending.attempt,
+                            at_fraction=finish.crash.fraction,
+                            lost_s=wasted_s,
+                            reinit_s=reinit_s,
+                        )
+                self._fail_attempt(
+                    pending,
+                    now,
+                    finish.outcome,
+                    wasted_s=wasted_s,
+                    reinit_s=reinit_s,
+                )
+            self._dispatch(now)
+
+    def result(self) -> WorkloadMetrics:
+        """Finalise metrics and close the trace run (call exactly once)."""
+        scheduler = self._s
+        counters = self._counters
+        metrics = WorkloadMetrics(
+            setting_label=scheduler._setting_label,
+            policy=scheduler._policy.label,
+            records=sorted(self._records, key=lambda r: r.query_id),
+            counters=counters,
+            epc_budget_bytes=scheduler._epc_budget,
+            epc_high_water_bytes=int(self._epc_high_water),
+            duration_s=self._duration_s,
+            failures=sorted(self._failures, key=lambda f: f.query_id),
+            downtime_s=self._downtime_s,
+        )
+        if self._tracer.enabled:
+            for name, value in counters.as_dict().items():
+                self._tracer.count(f"scheduler.{name}", value)
+            end_attrs = dict(
+                time_s=metrics.makespan_s,
+                setting=scheduler._setting_label,
+                policy=scheduler._policy.label,
+                completed=counters.completed,
+                epc_high_water_bytes=int(self._epc_high_water),
+            )
+            if self._faulting:
+                for name, value in counters.fault_dict().items():
+                    self._tracer.count(f"scheduler.{name}", value)
+                end_attrs.update(
+                    failed=counters.failed,
+                    shed=counters.shed,
+                    retries=counters.retries,
+                    availability=metrics.availability,
+                    downtime_s=self._downtime_s,
+                )
+            self._emit(RUN_END, **end_attrs)
+        return metrics
 
 
 @dataclass(frozen=True)
@@ -795,6 +1106,16 @@ class _Finish:
 @dataclass(frozen=True)
 class _Retry:
     pending: PendingQuery
+
+
+@dataclass(frozen=True)
+class _Routed:
+    """An arrival crossing a shard boundary (routed, or failover re-route)."""
+
+    arrival: Arrival
+    shuffle_s: float = 0.0
+    arrival_s: Optional[float] = None
+    attempt: int = 0
 
 
 def _arrival_event(arrival: Arrival) -> Tuple[float, int, Arrival]:

@@ -152,3 +152,69 @@ class TestCalibration:
         params = paper_calibration()
         with pytest.raises(dataclasses.FrozenInstanceError):
             params.transition_cycles = 0
+
+
+class TestCrossSocketBytes:
+    """The UPI transfer-pricing helper behind cluster shuffles."""
+
+    def test_same_socket_is_free(self):
+        topo = Topology(paper_testbed())
+        assert topo.cross_socket_bytes(0, 15, 1e9) == 0.0
+
+    def test_zero_bytes_cost_nothing(self):
+        topo = Topology(paper_testbed())
+        assert topo.cross_socket_bytes(0, 16, 0.0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        topo = Topology(paper_testbed())
+        with pytest.raises(ConfigurationError):
+            topo.cross_socket_bytes(0, 16, -1.0)
+
+    def test_single_thread_regime_pinned(self):
+        # One core drives the transfer: its own DRAM concurrency limit
+        # binds, scaled by the calibrated SGX single-thread relative.
+        spec = paper_testbed()
+        params = paper_calibration()
+        topo = Topology(spec)
+        nbytes = 1e9
+        plain = min(
+            spec.single_core_stream_bandwidth_bytes(),
+            spec.upi_total_bandwidth_bytes,
+        )
+        expected = nbytes / (plain * params.upi_seq_single_thread_relative)
+        assert topo.cross_socket_bytes(0, 16, nbytes) == pytest.approx(
+            expected
+        )
+
+    def test_saturated_regime_pinned(self):
+        # Many cores pull concurrently: the aggregate UPI bandwidth binds,
+        # scaled by the saturated relative (Fig. 16's plateau).
+        spec = paper_testbed()
+        params = paper_calibration()
+        topo = Topology(spec)
+        nbytes = 1e9
+        expected = nbytes / (
+            spec.upi_total_bandwidth_bytes
+            * params.upi_seq_saturated_relative
+        )
+        assert topo.cross_socket_bytes(
+            0, 16, nbytes, saturated=True
+        ) == pytest.approx(expected)
+
+    def test_saturated_beats_single_thread(self):
+        topo = Topology(paper_testbed())
+        single = topo.cross_socket_bytes(0, 16, 1e9)
+        saturated = topo.cross_socket_bytes(0, 16, 1e9, saturated=True)
+        assert saturated < single
+
+    def test_explicit_params_override_ambient_calibration(self):
+        spec = paper_testbed()
+        params = dataclasses.replace(
+            paper_calibration(),
+            upi_seq_single_thread_relative=0.5,
+            upi_seq_saturated_relative=1.0,
+        )
+        topo = Topology(spec)
+        default = topo.cross_socket_bytes(0, 16, 1e9)
+        slower = topo.cross_socket_bytes(0, 16, 1e9, params=params)
+        assert slower > default

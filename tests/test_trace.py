@@ -299,3 +299,63 @@ class TestPhaseBreakdown:
         tracer.span("not-a-phase", category="other", start=0, duration=1.0)
         assert phase_breakdown(tracer, setting="Plain CPU") == {"scan": 10.0}
         assert phase_breakdown(tracer) == {"scan": 109.0}
+
+
+class TestShardedTraces:
+    """Scheduler events carry shard ids once multiplexed (cluster PR)."""
+
+    def _sharded_scheduler(self, shard, base):
+        return WorkloadScheduler(
+            COSTS,
+            make_policy("fifo"),
+            cores=8,
+            epc_budget_bytes=300 * MB,
+            setting_label="test",
+            shard=shard,
+            query_id_base=base,
+        )
+
+    def test_two_shards_into_one_tracer_stay_disjoint_and_ordered(self):
+        tracer = Tracer()
+        mix = QueryMix.of({"small": 1.0})
+        with use_tracer(tracer):
+            for index, shard in enumerate(("m0.s0.e0", "m0.s1.e0")):
+                scheduler = self._sharded_scheduler(shard, index * 1000)
+                scheduler.run(
+                    open_streams=(
+                        OpenLoopStream("t", qps=100.0, mix=mix, seed=5),
+                    ),
+                    duration_s=1.0,
+                )
+        runs = serving_runs(tracer)
+        assert len(runs) == 2
+        assert [attrs["shard"] for attrs, _ in runs] == [
+            "m0.s0.e0", "m0.s1.e0"
+        ]
+        # Every event between the run markers belongs to that run's shard,
+        # and the two shards' query ids never collide.
+        shards_seen = {}
+        current = None
+        for record in tracer.records:
+            if not isinstance(record, Event):
+                continue
+            if record.name == "serving.run_start":
+                current = record.attrs["shard"]
+            if "query_id" in record.attrs:
+                shards_seen.setdefault(current, set()).add(
+                    record.attrs["query_id"]
+                )
+            assert record.attrs.get("shard") == current
+        assert set(shards_seen) == {"m0.s0.e0", "m0.s1.e0"}
+        assert not (
+            shards_seen["m0.s0.e0"] & shards_seen["m0.s1.e0"]
+        )
+        assert max(shards_seen["m0.s0.e0"]) < 1000 <= min(
+            shards_seen["m0.s1.e0"]
+        )
+
+    def test_unsharded_events_carry_no_shard_attr(self):
+        tracer, _ = traced_run()
+        events = [r for r in tracer.records if isinstance(r, Event)]
+        assert events
+        assert all("shard" not in e.attrs for e in events)

@@ -426,3 +426,201 @@ class TestServingEngine:
                     OpenLoopStream("dup", qps=2.0, mix=mix),
                 ),
             )
+
+
+from repro.workload.metrics import (  # noqa: E402
+    FailureRecord,
+    MetricsRegistry,
+    QueryRecord,
+    SchedulerCounters,
+    WorkloadMetrics,
+)
+
+
+def _record(query_id, arrival_s, finish_s, stream="t"):
+    return QueryRecord(
+        query_id=query_id,
+        stream=stream,
+        template="small",
+        client=0,
+        arrival_s=arrival_s,
+        start_s=arrival_s,
+        finish_s=finish_s,
+        working_set_bytes=MB,
+    )
+
+
+def _failure(query_id, arrival_s, stream="t"):
+    return FailureRecord(
+        query_id=query_id,
+        stream=stream,
+        template="small",
+        client=0,
+        arrival_s=arrival_s,
+        failed_s=arrival_s + 1.0,
+        attempts=1,
+        outcome="shed",
+    )
+
+
+class TestSloAttainment:
+    def metrics(self):
+        counters = SchedulerCounters()
+        counters.completed = 3
+        return WorkloadMetrics(
+            setting_label="test",
+            policy="fifo",
+            records=[
+                _record(1, 0.0, 0.01),
+                _record(2, 0.0, 0.05),
+                _record(3, 0.0, 0.50, stream="u"),
+            ],
+            counters=counters,
+            failures=[_failure(4, 0.0)],
+        )
+
+    def test_counts_failures_against_attainment(self):
+        metrics = self.metrics()
+        # Of 4 resolved queries, 2 finish within 100 ms (the failure and
+        # the 500 ms straggler miss).
+        assert metrics.slo_attainment(0.1) == pytest.approx(0.5)
+        assert metrics.slo_attainment(1.0) == pytest.approx(0.75)
+
+    def test_stream_filter(self):
+        metrics = self.metrics()
+        # Stream "t": records at 10/50 ms plus the shed query.
+        assert metrics.slo_attainment(0.1, stream="t") == pytest.approx(2 / 3)
+        assert metrics.slo_attainment(0.1, stream="u") == 0.0
+
+    def test_empty_slice_is_perfect(self):
+        metrics = self.metrics()
+        assert metrics.slo_attainment(0.1, stream="ghost") == 1.0
+
+    def test_non_positive_threshold_rejected(self):
+        with pytest.raises(BenchmarkError):
+            self.metrics().slo_attainment(0.0)
+
+
+class TestMetricsRegistry:
+    def shard_metrics(self, base, n=3, stream="t"):
+        counters = SchedulerCounters()
+        counters.arrivals = counters.completed = n
+        return WorkloadMetrics(
+            setting_label="test",
+            policy="fifo",
+            records=[
+                _record(base + i, 0.01 * i, 0.01 * i + 0.005, stream=stream)
+                for i in range(n)
+            ],
+            counters=counters,
+            epc_budget_bytes=100.0,
+            epc_high_water_bytes=10,
+            duration_s=1.0 + base / 1000.0,
+        )
+
+    def test_merge_is_registration_order_independent(self):
+        # The --jobs N guarantee: whatever order shard results arrive in,
+        # the merged view is identical.
+        a, b, c = (self.shard_metrics(base) for base in (0, 100, 200))
+        forward = MetricsRegistry()
+        for label, m in (("s0", a), ("s1", b), ("s2", c)):
+            forward.register(label, m)
+        backward = MetricsRegistry()
+        for label, m in (("s2", c), ("s0", a), ("s1", b)):
+            backward.register(label, m)
+        first, second = forward.merged(), backward.merged()
+        assert first.records == second.records
+        assert first.failures == second.failures
+        assert vars(first.counters) == vars(second.counters)
+        assert first.epc_budget_bytes == second.epc_budget_bytes == 300.0
+        assert first.duration_s == second.duration_s == 1.2
+
+    def test_merge_sorts_by_arrival_then_query_id(self):
+        registry = MetricsRegistry()
+        registry.register("s1", self.shard_metrics(100))
+        registry.register("s0", self.shard_metrics(0))
+        merged = registry.merged()
+        keys = [(r.arrival_s, r.query_id) for r in merged.records]
+        assert keys == sorted(keys)
+
+    def test_counters_sum_across_shards(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard_metrics(0, n=2))
+        registry.register("s1", self.shard_metrics(100, n=5))
+        assert registry.merged().counters.completed == 7
+
+    def test_duplicate_and_empty_labels_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard_metrics(0))
+        with pytest.raises(BenchmarkError):
+            registry.register("s0", self.shard_metrics(100))
+        with pytest.raises(BenchmarkError):
+            registry.register("", self.shard_metrics(100))
+
+    def test_empty_registry_cannot_merge(self):
+        with pytest.raises(BenchmarkError):
+            MetricsRegistry().merged()
+
+    def test_unknown_shard_lookup_rejected(self):
+        with pytest.raises(BenchmarkError):
+            MetricsRegistry().shard("ghost")
+
+
+class TestEngineClusterChannel:
+    """The engine's cluster resolution: explicit, ambient, spec string."""
+
+    def config(self, **overrides):
+        from repro.enclave.runtime import ExecutionSetting
+
+        base = dict(
+            setting=ExecutionSetting.sgx_data_in_enclave(),
+            open_streams=(
+                OpenLoopStream(
+                    "t", qps=200.0, mix=QueryMix.of({"scan-small": 1.0}),
+                    seed=3,
+                ),
+            ),
+            duration_s=1.0,
+            policy="fifo",
+        )
+        base.update(overrides)
+        return WorkloadConfig(**base)
+
+    def test_ambient_cluster_matches_explicit(self):
+        from repro.cluster import ClusterConfig, use_cluster
+
+        engine = ServingEngine(JobCatalog(quick=True))
+        cluster = ClusterConfig.parse("2x2")
+        explicit = engine.run(self.config(cluster=cluster))
+        with use_cluster(cluster):
+            ambient = engine.run(self.config())
+        assert explicit.records == ambient.records
+        assert vars(explicit.counters) == vars(ambient.counters)
+
+    def test_spec_string_parses_like_a_config(self):
+        from repro.cluster import ClusterConfig
+
+        engine = ServingEngine(JobCatalog(quick=True))
+        by_string = engine.run(self.config(cluster="2x2"))
+        by_config = engine.run(
+            self.config(cluster=ClusterConfig.parse("2x2"))
+        )
+        assert by_string.records == by_config.records
+
+    def test_run_returns_the_merged_cluster_metrics(self):
+        engine = ServingEngine(JobCatalog(quick=True))
+        run_metrics = engine.run(self.config(cluster="2x2"))
+        result = engine.run_cluster(self.config(cluster="2x2"))
+        assert run_metrics.records == result.metrics.records
+        assert len(result.registry.labels) == 4
+
+    def test_bad_cluster_type_rejected(self):
+        engine = ServingEngine(JobCatalog(quick=True))
+        with pytest.raises(ConfigurationError):
+            engine.cluster_of(self.config(cluster=42))
+
+    def test_without_cluster_nothing_changes(self):
+        engine = ServingEngine(JobCatalog(quick=True))
+        assert engine.cluster_of(self.config()) is None
+        with pytest.raises(ConfigurationError):
+            engine.run_cluster(self.config())
