@@ -1,0 +1,183 @@
+"""Engine wall-clock benchmark: simulated queries per second of serving.
+
+The figure/table benchmarks time *experiments*; this module times the
+**engine itself** — how many simulated queries per wall-clock second the
+serving stack pushes through catalog pricing, admission, scheduling, and
+metrics.  ``benchmarks/test_engine_speed.py`` drives it and persists the
+numbers to ``benchmarks/results/BENCH_engine.json`` (tracked like
+``BENCH_planner.json``), and CI gates regressions against the committed
+baseline.
+
+Three arms, all over the same wl01-scale pass (fresh
+:class:`~repro.workload.JobCatalog`, the wl01 mix, two offered-load
+points under the data-in-enclave setting):
+
+* ``serial-cold`` — profile memo disabled: every pass re-prices its
+  templates through the real operators (the pre-memo engine).
+* ``serial-warm`` — memo primed: pricing is answered from the per-query
+  profile memo; only the event loop and metrics remain.
+* ``jobs2-warm`` — two passes across two spawned worker processes
+  sharing one disk-backed memo tier (the ``--jobs N`` shape, including
+  interpreter spin-up).
+
+The cold and warm passes must produce identical metrics — the memo is a
+pure wall-clock optimization — and the benchmark asserts it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.experiments import common, workload_common
+from repro.cache import ProfileMemo, use_profile_memo
+from repro.memory.access import CodeVariant
+from repro.workload import (
+    JobCatalog,
+    OpenLoopStream,
+    QueryMix,
+    ServingEngine,
+    WorkloadConfig,
+)
+
+#: The wl01 tenant mix (interactive scans, ad-hoc joins, one TPC-H plan).
+MIX_WEIGHTS = {"scan-small": 0.5, "join-medium": 0.3, "q12": 0.2}
+
+#: One under-load and one past-saturation point: the benchmark covers both
+#: the dispatch-on-arrival and the queue-heavy scheduler regimes.
+LOAD_FRACTIONS = (0.7, 1.1)
+
+#: Queries per load point (wl01 quick fidelity).
+QUERIES_PER_POINT = workload_common.QUICK_QUERIES
+
+
+@dataclass(frozen=True)
+class EnginePass:
+    """One serving pass: how much was simulated, and how fast."""
+
+    completed: int
+    wall_s: float
+    p99_ms: float  # determinism witness: must match across memo states
+
+    @property
+    def simulated_qps(self) -> float:
+        """Simulated completed queries per wall-clock second."""
+        return self.completed / self.wall_s
+
+
+def engine_pass(
+    *,
+    queries: int = QUERIES_PER_POINT,
+    fractions: Tuple[float, ...] = LOAD_FRACTIONS,
+) -> EnginePass:
+    """One wl01-scale serving pass, priced and served from scratch.
+
+    Builds a fresh catalog (so pricing cost is *included* — that is what
+    the memo removes), prices the mix under the data-in-enclave setting,
+    and serves ``queries`` Poisson arrivals at each offered-load
+    fraction of the mix's capacity.
+    """
+    start = time.perf_counter()
+    catalog = JobCatalog(quick=True, variant=CodeVariant.NAIVE)
+    engine = ServingEngine(catalog)
+    mix = QueryMix.of(MIX_WEIGHTS)
+    costs = {
+        name: catalog.cost(engine.templates[name], common.SETTING_SGX_IN)
+        for name in MIX_WEIGHTS
+    }
+    capacity = workload_common.capacity_qps(costs, MIX_WEIGHTS, cores=16)
+    completed = 0
+    p99_ms = 0.0
+    for fraction in fractions:
+        qps = fraction * capacity
+        config = WorkloadConfig(
+            setting=common.SETTING_SGX_IN,
+            open_streams=(
+                OpenLoopStream(
+                    "tenant",
+                    qps=qps,
+                    mix=mix,
+                    seed=workload_common.stream_seed(0),
+                ),
+            ),
+            duration_s=queries / qps,
+            cores=16,
+            policy="fifo",
+        )
+        metrics = engine.run(config)
+        completed += metrics.counters.completed
+        p99_ms = metrics.latency_percentile_s(99) * 1e3
+    return EnginePass(
+        completed=completed,
+        wall_s=time.perf_counter() - start,
+        p99_ms=p99_ms,
+    )
+
+
+def _pass_worker(memo_dir: Optional[str]) -> Tuple[int, float, float]:
+    """Spawn-pool entry point: one pass under a disk-backed memo."""
+    memo = ProfileMemo(memo_dir) if memo_dir is not None else None
+    with use_profile_memo(memo):
+        result = engine_pass()
+    return result.completed, result.wall_s, result.p99_ms
+
+
+def run_jobs_arm(
+    memo_dir: Optional[str], workers: int = 2
+) -> Tuple[int, float, List[Tuple[int, float, float]]]:
+    """``workers`` concurrent passes over one shared disk memo tier.
+
+    Returns (total completed queries, wall seconds incl. pool spin-up,
+    per-worker results).  Mirrors the ``--jobs N`` execution shape:
+    spawned interpreters, no inherited ambient state, profiles shared
+    only through the disk tier.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    spawn = multiprocessing.get_context("spawn")
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=spawn) as pool:
+        outcomes = list(pool.map(_pass_worker, [memo_dir] * workers))
+    wall = time.perf_counter() - start
+    completed = sum(out[0] for out in outcomes)
+    return completed, wall, outcomes
+
+
+def scoreboard_entries(
+    cold: EnginePass,
+    warm: EnginePass,
+    jobs_completed: int,
+    jobs_wall_s: float,
+    *,
+    jobs_workers: int = 2,
+) -> List[Dict]:
+    """The ``BENCH_engine.json`` rows of one benchmark run."""
+    jobs_qps = jobs_completed / jobs_wall_s
+    return [
+        {
+            "experiment": "engine",
+            "arm": "serial-cold",
+            "simulated_qps": round(cold.simulated_qps, 1),
+            "wall_s": round(cold.wall_s, 3),
+            "queries": cold.completed,
+            "speedup_vs_cold": 1.0,
+        },
+        {
+            "experiment": "engine",
+            "arm": "serial-warm",
+            "simulated_qps": round(warm.simulated_qps, 1),
+            "wall_s": round(warm.wall_s, 3),
+            "queries": warm.completed,
+            "speedup_vs_cold": round(warm.simulated_qps / cold.simulated_qps, 2),
+        },
+        {
+            "experiment": "engine",
+            "arm": f"jobs{jobs_workers}-warm",
+            "simulated_qps": round(jobs_qps, 1),
+            "wall_s": round(jobs_wall_s, 3),
+            "queries": jobs_completed,
+            "speedup_vs_cold": round(jobs_qps / cold.simulated_qps, 2),
+        },
+    ]

@@ -18,14 +18,23 @@ in request order.  Three properties hold by construction:
   operator re-simulations yet writes the same artifacts.
 * **Observability** — the session tracer counts ``bench.cache.hits`` /
   ``bench.cache.misses`` (one ``bench.cache.hit``/``.miss`` event per
-  experiment) and gauges per-worker wall seconds.  This is the only
-  non-deterministic output (wall clock), which is why it lives in a
-  separate ``_session`` trace, never in the per-experiment files the
-  byte-identity guarantee covers.
+  experiment), ``bench.memo.hits`` / ``bench.memo.misses`` (per-query
+  profile-memo traffic, summed across workers), and gauges per-worker
+  wall seconds.  This is the only non-deterministic output (wall clock,
+  cache state), which is why it lives in a separate ``_session`` trace,
+  never in the per-experiment files the byte-identity guarantee covers.
+
+Below the experiment cache, the **per-query profile memo**
+(:mod:`repro.cache.profile`) memoizes individual pricing runs.  It is on
+by default (``memo=False`` disables it for a session); with a ``--cache``
+directory the memo gains a disk tier under ``<cache-dir>/profiles`` that
+spawned workers and later sessions share, so even a cold experiment cache
+reuses every previously priced profile.
 """
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 import time
 from dataclasses import dataclass, field
@@ -41,13 +50,23 @@ from repro.machine import SimMachine
 from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
-#: repetition_jobs, fault_plan, planner, cluster).  The plan, the planner
-#: mode, and the cluster config ride into spawned workers as pickled
-#: values — spawn inherits no ambient ``use_fault_plan``/
-#: ``use_planner_mode``/``use_cluster`` state, so the explicit slots are
+#: repetition_jobs, fault_plan, planner, cluster, memo_enabled,
+#: memo_dir).  The plan, the planner mode, the cluster config, and the
+#: memo switches ride into spawned workers as pickled values — spawn
+#: inherits no ambient ``use_fault_plan``/``use_planner_mode``/
+#: ``use_cluster``/``use_profile_memo`` state, so the explicit slots are
 #: the only channel.
 _Task = Tuple[
-    str, bool, int, bool, int, Optional[FaultPlan], Optional[str], object
+    str,
+    bool,
+    int,
+    bool,
+    int,
+    Optional[FaultPlan],
+    Optional[str],
+    object,
+    bool,
+    Optional[str],
 ]
 
 
@@ -77,6 +96,16 @@ class SessionResult:
     @property
     def cache_misses(self) -> int:
         return self.tracer.counters.get("bench.cache.misses", 0)
+
+    @property
+    def memo_hits(self) -> int:
+        """Per-query profile-memo hits summed across every run/worker."""
+        return self.tracer.counters.get("bench.memo.hits", 0)
+
+    @property
+    def memo_misses(self) -> int:
+        """Per-query profile-memo misses summed across every run/worker."""
+        return self.tracer.counters.get("bench.memo.misses", 0)
 
     def write_session_trace(
         self, trace_dir: Union[str, pathlib.Path]
@@ -135,6 +164,43 @@ def _execute(
     return payload
 
 
+def _memo_scope(enabled: bool, memo_dir: Optional[str]):
+    """The profile-memo context one task runs under.
+
+    ``enabled=False`` installs the disabled sentinel (the ``--no-memo``
+    path); an explicit directory installs a disk-backed tier (shared by
+    every worker and every later session over the same ``--cache`` dir);
+    otherwise the ambient process-global memo is left in place.
+    """
+    from repro.cache import ProfileMemo, use_profile_memo
+
+    if not enabled:
+        return use_profile_memo(None)
+    if memo_dir is not None:
+        return use_profile_memo(ProfileMemo(memo_dir))
+    return contextlib.nullcontext()
+
+
+def _executed_with_memo_stats(
+    experiment_id: str, memo_enabled: bool, memo_dir: Optional[str], **kwargs
+) -> Dict:
+    """Run one experiment inside a memo scope; stats ride on the payload.
+
+    The hit/miss *delta* is recorded (pool workers are reused across
+    tasks, and the ambient memo outlives the session), so summing the
+    payload stats across tasks never double-counts.
+    """
+    from repro.cache import profile_memo
+
+    with _memo_scope(memo_enabled, memo_dir):
+        memo = profile_memo()
+        hits_before, misses_before = memo.hits, memo.misses
+        payload = _execute(experiment_id, **kwargs)
+        payload["memo_hits"] = memo.hits - hits_before
+        payload["memo_misses"] = memo.misses - misses_before
+    return payload
+
+
 def _worker(task: _Task) -> Dict:
     """Process-pool entry point (top-level so spawn can pickle it)."""
     (
@@ -146,9 +212,13 @@ def _worker(task: _Task) -> Dict:
         fault_plan,
         planner,
         cluster,
+        memo_enabled,
+        memo_dir,
     ) = task
-    return _execute(
+    return _executed_with_memo_stats(
         experiment_id,
+        memo_enabled,
+        memo_dir,
         quick=quick,
         base_seed=base_seed,
         traced=traced,
@@ -184,6 +254,7 @@ def run_session(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    memo: bool = True,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
 
@@ -201,7 +272,9 @@ def run_session(
     session planner mode through the same three channels (in-process
     scope, worker task slot, cache key) with the same guarantee, and
     ``cluster`` (a :class:`~repro.cluster.ClusterConfig`) a session
-    cluster topology likewise.
+    cluster topology likewise.  ``memo=False`` disables the per-query
+    profile memo for every run (the ``--no-memo`` channel); memoized and
+    unmemoized runs are byte-identical, so the flag is never keyed.
     """
     ids = list(experiment_ids)
     for experiment_id in ids:
@@ -260,6 +333,13 @@ def run_session(
     else:
         pending = unique_ids
 
+    # A --cache directory also hosts the profile memo's disk tier, so
+    # workers (and later sessions) share priced profiles even when the
+    # experiment-level entries themselves miss.
+    memo_dir: Optional[str] = None
+    if memo and store is not None and store.directory is not None:
+        memo_dir = str(store.directory / "profiles")
+
     # Split the job budget: one process per pending experiment first, the
     # remainder as repetition threads inside each worker.
     repetition_jobs = max(1, jobs // len(pending)) if pending else 1
@@ -267,8 +347,10 @@ def run_session(
     if pending:
         if jobs <= 1 or len(pending) == 1 or machine is not None:
             for experiment_id in pending:
-                payload = _execute(
+                payload = _executed_with_memo_stats(
                     experiment_id,
+                    memo,
+                    memo_dir,
                     quick=quick,
                     base_seed=base_seed,
                     traced=traced,
@@ -300,6 +382,8 @@ def run_session(
                             faults,
                             planner,
                             cluster,
+                            memo,
+                            memo_dir,
                         ),
                     )
                     for experiment_id in pending
@@ -329,6 +413,14 @@ def _absorb(
     run = _run_from_payload(experiment_id, payload, from_cache=False)
     results[experiment_id] = run
     session.tracer.gauge(f"bench.worker.wall_s.{experiment_id}", run.wall_s)
+    # Memo traffic belongs to the session trace only (it depends on what
+    # ran before), never to the cached payload the replay guarantee covers.
+    memo_hits = int(payload.pop("memo_hits", 0))
+    memo_misses = int(payload.pop("memo_misses", 0))
+    if memo_hits:
+        session.tracer.count("bench.memo.hits", memo_hits)
+    if memo_misses:
+        session.tracer.count("bench.memo.misses", memo_misses)
     if store is not None:
         store.put(
             keys[experiment_id],

@@ -63,6 +63,7 @@ def build_report(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    memo: bool = True,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
 
@@ -77,7 +78,9 @@ def build_report(
     combination.  ``faults`` applies a session fault plan to every run
     (the ``--faults`` channel); ``planner`` a session planner mode (the
     ``--planner`` channel); ``cluster`` a session cluster topology (the
-    ``--cluster`` channel).
+    ``--cluster`` channel); ``memo=False`` disables the per-query profile
+    memo (the ``--no-memo`` channel) — output bytes are identical either
+    way, only wall-clock changes.
     """
     ids: List[str] = sorted(experiment_ids or EXPERIMENTS)
     for experiment_id in ids:
@@ -120,6 +123,7 @@ def build_report(
         faults=faults,
         planner=planner,
         cluster=cluster,
+        memo=memo,
     )
     for run in session.runs:
         if csv_dir is not None:
@@ -153,6 +157,7 @@ def write_report(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    memo: bool = True,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
     path = pathlib.Path(path)
@@ -170,6 +175,7 @@ def write_report(
             faults=faults,
             planner=planner,
             cluster=cluster,
+            memo=memo,
         )
     )
     return path

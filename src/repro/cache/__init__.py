@@ -7,6 +7,13 @@ digest) tuple into a SHA-256 key, and :class:`~repro.cache.store.MemoStore`
 serves those keys from an in-memory LRU backed by an on-disk JSON store.
 Calibration changes rotate the keys, so invalidation is automatic — a
 modified cost model can never be answered from stale results.
+
+Below the experiment level, :mod:`repro.cache.profile` memoizes the
+individual *pricing runs* (catalog profiles, planner candidate
+estimates) under :func:`~repro.cache.keys.query_profile_key`, so
+repeated templates across experiments, planner arms, and cluster shards
+execute the real operators exactly once per process (or once per cache
+directory, with a disk tier).
 """
 
 from repro.cache.keys import (
@@ -15,15 +22,29 @@ from repro.cache.keys import (
     canonical,
     experiment_key,
     fingerprint,
+    query_profile_key,
+)
+from repro.cache.profile import (
+    DEFAULT_PROFILE_ENTRIES,
+    DISABLED_MEMO,
+    ProfileMemo,
+    profile_memo,
+    use_profile_memo,
 )
 from repro.cache.store import DEFAULT_MEMORY_ENTRIES, MemoStore
 
 __all__ = [
     "CACHE_FORMAT",
     "DEFAULT_MEMORY_ENTRIES",
+    "DEFAULT_PROFILE_ENTRIES",
+    "DISABLED_MEMO",
     "MemoStore",
+    "ProfileMemo",
     "calibration_digest",
     "canonical",
     "experiment_key",
     "fingerprint",
+    "profile_memo",
+    "query_profile_key",
+    "use_profile_memo",
 ]

@@ -27,7 +27,10 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #: 2: keys gained a fault-plan component.
 #: 3: keys gained a planner-mode component.
 #: 4: keys gained a cluster-topology component.
-CACHE_FORMAT = 4
+#: 5: per-query profile-memo entries joined the store (catalog pricing and
+#:    planner candidate estimates are memoized below the experiment level;
+#:    experiment keys are unchanged in shape but rotate with the format).
+CACHE_FORMAT = 5
 
 
 def canonical(value: Any) -> Any:
@@ -125,4 +128,41 @@ def experiment_key(
         planner=planner if planner not in (None, "static") else "static",
         cluster=cluster,
         extra=extra or {},
+    )
+
+
+def query_profile_key(
+    *,
+    kind: str,
+    template: Any,
+    setting: Any,
+    candidate: Any,
+    pricing_seed: int,
+    row_cap: int,
+    sf_cap: float,
+    params: Optional[CostParameters] = None,
+    spec: Optional[HardwareSpec] = None,
+) -> str:
+    """The memo key of one priced query profile or candidate estimate.
+
+    This is the sub-experiment memoization level: a catalog pricing run or
+    a planner candidate estimate is a pure function of the template (full
+    logical shape including plan hints), the resolved physical plan
+    candidate, the execution setting, the physical stand-in caps, the
+    pricing seed, and the calibration digest — so two experiments (or two
+    shards of one cluster run) asking for the same profile share one
+    operator execution.  ``kind`` separates the caller vocabularies
+    (``"catalog-price"`` returns seconds+footprint, ``"plan-estimate"``
+    returns cycles breakdowns) so they can never alias.
+    """
+    return fingerprint(
+        format=CACHE_FORMAT,
+        kind=kind,
+        template=template,
+        setting=setting,
+        candidate=candidate,
+        pricing_seed=int(pricing_seed),
+        row_cap=int(row_cap),
+        sf_cap=float(sf_cap),
+        calibration=calibration_digest(params, spec),
     )

@@ -106,7 +106,12 @@ class MemoStore:
             raise CacheError(f"cache value is not JSON-serializable: {exc}") from None
         path = self.path_for(key)
         if path is not None:
-            tmp = path.with_suffix(".json.tmp")
+            # The temp name carries the writer's pid: concurrent workers
+            # storing the *same* key (e.g. two shards pricing one shared
+            # profile) must not rename each other's half-written temp
+            # file away.  Both renames are atomic; last writer wins with
+            # identical content.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             tmp.write_text(text)
             os.replace(tmp, path)
         self._remember(key, value)

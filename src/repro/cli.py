@@ -100,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help=(
+            "disable the per-query profile memo (every template/candidate "
+            "is re-priced through the real operators on each use; results "
+            "are byte-identical either way, only slower — the engine "
+            "benchmark's cold arm)"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         metavar="PLAN",
         help=(
@@ -242,6 +252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=fault_plan,
             planner=args.planner,
             cluster=cluster,
+            memo=not args.no_memo,
         )
         print(f"wrote {path}")
         _print_cache_summary(store, args.cache)
@@ -264,6 +275,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=fault_plan,
         planner=args.planner,
         cluster=cluster,
+        memo=not args.no_memo,
     )
     for run in session.runs:
         print(run.report.print_table())
@@ -287,6 +299,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         session_trace = session.write_session_trace(trace_dir)
         print(f"wrote {session_trace} (session cache/worker telemetry)")
     _print_cache_summary(store, args.cache)
+    _print_memo_summary(session)
     return 0
 
 
@@ -343,6 +356,13 @@ def _print_cache_summary(store, cache_dir: Optional[str]) -> None:
         f"cache: {store.hits} hits, {store.misses} misses, "
         f"{len(store)} entries ({cache_dir})"
     )
+
+
+def _print_memo_summary(session) -> None:
+    """One line of profile-memo traffic (omitted when there was none)."""
+    hits, misses = session.memo_hits, session.memo_misses
+    if hits or misses:
+        print(f"memo: {hits} profile hits, {misses} misses")
 
 
 if __name__ == "__main__":

@@ -53,5 +53,13 @@ class BenchmarkError(ReproError):
     """A benchmark experiment was configured or invoked incorrectly."""
 
 
+class ZeroLengthWindowError(BenchmarkError):
+    """Records exist but span a zero-length window, so a rate is undefined.
+
+    Distinct from the no-records case: the caller *has* data (e.g. a
+    single instantaneous completion) and may legitimately render every
+    other metric — only the per-second rates are meaningless."""
+
+
 class CacheError(ReproError):
     """A result-cache key could not be built or an entry is malformed."""

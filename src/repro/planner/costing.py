@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.keys import query_profile_key
+from repro.cache.profile import profile_memo
 from repro.core.scans.predicate import RangePredicate
 from repro.core.scans.simd_scan import BitvectorScan
 from repro.enclave.runtime import ExecutionSetting
@@ -101,9 +103,36 @@ def estimate_candidate(
 
     Deterministic, silent (no trace records leak into the caller's
     tracer), and side-effect free: every call uses a throwaway machine
-    built from ``machine``'s spec and calibration.
+    built from ``machine``'s spec and calibration.  Estimates are
+    memoized through the ambient :func:`~repro.cache.profile_memo`
+    (keyed on template, candidate, setting, stand-in caps, seed, and
+    calibration digest), so a clustered run that builds one planner per
+    shard enumerates the operator formulas once, not once per shard.
     """
     sim = SimMachine(machine.spec, machine.params)
+    memo = profile_memo()
+    key = ""
+    if memo.enabled:
+        key = query_profile_key(
+            kind="plan-estimate",
+            template=template,
+            setting=setting,
+            candidate=candidate,
+            pricing_seed=pricing_seed,
+            row_cap=PRICING_ROW_CAP,
+            sf_cap=PRICING_SF_CAP,
+            params=machine.params,
+            spec=machine.spec,
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            return CandidateEstimate(
+                candidate=candidate,
+                cycles=float(hit["cycles"]),
+                seconds=float(hit["seconds"]),
+                working_set_bytes=int(hit["working_set_bytes"]),
+                sizing_cycles=float(hit["sizing_cycles"]),
+            )
     kind = template.kind.value
     with use_tracer(NullTracer()):
         with sim.context(setting, threads=candidate.threads) as ctx:
@@ -160,6 +189,16 @@ def estimate_candidate(
     if setting.enclave_mode:
         sizing = sizing_cycles(sim.params, candidate, working_set)
     total = cycles + sizing
+    if memo.enabled:
+        memo.put(
+            key,
+            {
+                "cycles": float(total),
+                "seconds": float(total / sim.frequency_hz),
+                "working_set_bytes": int(working_set),
+                "sizing_cycles": float(sizing),
+            },
+        )
     return CandidateEstimate(
         candidate=candidate,
         cycles=total,

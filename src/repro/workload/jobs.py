@@ -25,6 +25,8 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.cache.keys import query_profile_key
+from repro.cache.profile import profile_memo
 from repro.core.queries.executor import QueryExecutor
 from repro.core.queries.tpch_queries import TPCH_QUERIES
 from repro.core.scans.predicate import RangePredicate
@@ -41,6 +43,7 @@ from repro.planner.candidates import (
 )
 from repro.tables import generate_join_relation_pair, generate_tpch
 from repro.tables.table import Column
+from repro.trace import NullTracer, use_tracer
 
 #: Physical data caps for pricing runs (smaller than the figure experiments'
 #: caps: a serving catalog prices several templates per experiment).
@@ -248,11 +251,41 @@ class JobCatalog:
         ``candidate`` fixes the physical plan; ``None`` prices the
         historical static choice (RHO at the catalog's variant for joins
         and TPC-H plans, the SIMD scan kernel for scans).
+
+        Pricing is *silent* (it runs under a ``NullTracer``): a pricing
+        run is catalog bookkeeping, not measured serving work, and it is
+        memoized through the ambient :func:`~repro.cache.profile_memo` —
+        trace bytes therefore cannot depend on whether the operators
+        actually ran or the memo answered.
         """
         if candidate is None:
             candidate = static_candidate(template, self.variant)
+        memo = profile_memo()
+        key = ""
+        if memo.enabled:
+            proto = self._machine
+            key = query_profile_key(
+                kind="catalog-price",
+                template=template,
+                setting=setting,
+                candidate=candidate,
+                pricing_seed=self.pricing_seed,
+                row_cap=self.row_cap,
+                sf_cap=self.sf_cap,
+                params=proto.params if proto is not None else None,
+                spec=proto.spec if proto is not None else None,
+            )
+            hit = memo.get(key)
+            if hit is not None:
+                footprint = hit["footprint"]
+                return (
+                    float(hit["seconds"]),
+                    int(footprint) if footprint is not None else None,
+                )
         sim = self._fresh_machine()
-        with sim.context(setting, threads=candidate.threads) as ctx:
+        with use_tracer(NullTracer()), sim.context(
+            setting, threads=candidate.threads
+        ) as ctx:
             if template.kind is JobKind.JOIN:
                 build, probe = generate_join_relation_pair(
                     template.build_bytes,
@@ -303,6 +336,8 @@ class JobCatalog:
                 footprint = int(
                     ctx.enclave.config.heap_bytes - ctx.enclave.heap_free_bytes
                 )
+        if memo.enabled:
+            memo.put(key, {"seconds": seconds, "footprint": footprint})
         return seconds, footprint
 
 

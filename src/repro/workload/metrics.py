@@ -6,28 +6,56 @@ separable — the distinction the admission-policy experiments turn on (an
 EPC-aware policy trades queueing for service speed).  Aggregations are
 deterministic: percentiles use the nearest-rank method, never
 interpolation, so golden-shape tests see bit-identical values across runs.
+
+Aggregations over large runs are numpy-vectorized: a
+:class:`WorkloadMetrics` lazily materializes column arrays (arrival,
+start, finish, stream, template) once per record set and answers every
+filter/percentile/rate query from boolean masks instead of re-scanning
+Python record lists.  Vectorization never changes a produced value — only
+operations with bit-identical scalar semantics are used (sorts, min/max,
+comparisons, counts); means still reduce with sequential ``sum`` because
+numpy's pairwise summation could differ in the last ulp.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import BenchmarkError
+import numpy as np
+
+from repro.errors import BenchmarkError, ZeroLengthWindowError
 
 
-def percentile(samples: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100])."""
-    if not samples:
+def percentile(
+    samples: Union[Sequence[float], np.ndarray], p: float
+) -> float:
+    """Nearest-rank percentile of ``samples`` (``p`` in [0, 100]).
+
+    Accepts a sequence or a 1-D float array; always returns a Python
+    ``float`` (cached experiment payloads are JSON, and ``np.float64``
+    is not JSON-serializable).  NaN samples are rejected: NaN is
+    unordered, so a sort containing one produces input-order-dependent
+    rankings — precisely the non-determinism this method exists to avoid.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1:
+        raise BenchmarkError("percentile needs a flat sample sequence")
+    if arr.size == 0:
         raise BenchmarkError("cannot take a percentile of zero samples")
     if not 0 <= p <= 100:
         raise BenchmarkError(f"percentile {p} outside [0, 100]")
-    ordered = sorted(samples)
+    if np.isnan(arr).any():
+        raise BenchmarkError(
+            "cannot take a percentile of NaN samples (NaN is unordered, "
+            "so nearest-rank results would depend on input order)"
+        )
+    ordered = np.sort(arr, kind="stable")
     if p == 0:
-        return ordered[0]
-    rank = math.ceil(p / 100.0 * len(ordered))
-    return ordered[rank - 1]
+        return float(ordered[0])
+    rank = math.ceil(p / 100.0 * arr.size)
+    return float(ordered[rank - 1])
 
 
 @dataclass(frozen=True)
@@ -159,9 +187,56 @@ class WorkloadMetrics:
         """
         if not self.records:
             return 0.0
-        return max(r.finish_s for r in self.records) - min(
-            r.arrival_s for r in self.records
-        )
+        cols = self._columns()
+        return float(cols["finish"].max() - cols["arrival"].min())
+
+    def _columns(self) -> Dict[str, np.ndarray]:
+        """Lazily built column arrays over ``records`` (cached).
+
+        The cache token is ``(id(records), len(records))``: replacing or
+        growing the record list invalidates it, so a metrics object that
+        is filled incrementally (the scheduler appends in place only
+        before handing the list over) always answers from fresh columns.
+        """
+        token = (id(self.records), len(self.records))
+        cached = self.__dict__.get("_column_cache")
+        if cached is not None and cached["token"] == token:
+            return cached
+        recs = self.records
+        n = len(recs)
+        cols: Dict[str, np.ndarray] = {
+            "token": token,  # type: ignore[dict-item]
+            "arrival": np.fromiter(
+                (r.arrival_s for r in recs), np.float64, count=n
+            ),
+            "start": np.fromiter(
+                (r.start_s for r in recs), np.float64, count=n
+            ),
+            "finish": np.fromiter(
+                (r.finish_s for r in recs), np.float64, count=n
+            ),
+            "stream": np.array(
+                [r.stream for r in recs] if n else [], dtype=str
+            ),
+            "template": np.array(
+                [r.template for r in recs] if n else [], dtype=str
+            ),
+        }
+        self.__dict__["_column_cache"] = cols
+        return cols
+
+    def _mask(
+        self, stream: Optional[str] = None, template: Optional[str] = None
+    ) -> Tuple[Dict[str, np.ndarray], Optional[np.ndarray]]:
+        """The column arrays plus the boolean row mask of a filter."""
+        cols = self._columns()
+        mask: Optional[np.ndarray] = None
+        if stream is not None:
+            mask = cols["stream"] == stream
+        if template is not None:
+            selected = cols["template"] == template
+            mask = selected if mask is None else mask & selected
+        return cols, mask
 
     def _filtered(
         self, stream: Optional[str] = None, template: Optional[str] = None
@@ -176,7 +251,11 @@ class WorkloadMetrics:
     def latencies_s(
         self, stream: Optional[str] = None, template: Optional[str] = None
     ) -> List[float]:
-        return [r.latency_s for r in self._filtered(stream, template)]
+        cols, mask = self._mask(stream, template)
+        latency = cols["finish"] - cols["arrival"]
+        if mask is not None:
+            latency = latency[mask]
+        return latency.tolist()
 
     def latency_percentile_s(
         self,
@@ -184,13 +263,22 @@ class WorkloadMetrics:
         stream: Optional[str] = None,
         template: Optional[str] = None,
     ) -> float:
-        return percentile(self.latencies_s(stream, template), p)
+        cols, mask = self._mask(stream, template)
+        latency = cols["finish"] - cols["arrival"]
+        if mask is not None:
+            latency = latency[mask]
+        return percentile(latency, p)
 
     def mean_queue_wait_s(self, stream: Optional[str] = None) -> float:
-        records = self._filtered(stream)
-        if not records:
+        cols, mask = self._mask(stream)
+        wait = cols["start"] - cols["arrival"]
+        if mask is not None:
+            wait = wait[mask]
+        if wait.size == 0:
             raise BenchmarkError("no records to average")
-        return sum(r.queue_wait_s for r in records) / len(records)
+        # Sequential sum on purpose: numpy's pairwise reduction can differ
+        # from ``sum()`` in the last ulp, which would shift golden values.
+        return sum(wait.tolist()) / int(wait.size)
 
     def achieved_qps(self, stream: Optional[str] = None) -> float:
         """Completed queries per second of total serving time (incl. drain).
@@ -202,15 +290,20 @@ class WorkloadMetrics:
         a stream that overlaps the run only partially is rated over its
         own active window, not the global makespan.
         """
-        records = self._filtered(stream)
-        if not records:
+        cols, mask = self._mask(stream)
+        finish, arrival = cols["finish"], cols["arrival"]
+        if mask is not None:
+            finish, arrival = finish[mask], arrival[mask]
+        if finish.size == 0:
             raise BenchmarkError("no completed queries to rate")
-        span = max(r.finish_s for r in records) - min(
-            r.arrival_s for r in records
-        )
+        span = float(finish.max() - arrival.min())
         if span <= 0:
-            raise BenchmarkError("no completed queries to rate")
-        return len(records) / span
+            raise ZeroLengthWindowError(
+                f"{int(finish.size)} completed queries span a zero-length "
+                "window (first arrival coincides with last completion); "
+                "a per-second rate is undefined"
+            )
+        return int(finish.size) / span
 
     def slo_attainment(
         self, threshold_s: float, stream: Optional[str] = None
@@ -224,14 +317,17 @@ class WorkloadMetrics:
         """
         if threshold_s <= 0:
             raise BenchmarkError("SLO threshold must be positive")
-        records = self._filtered(stream)
+        cols, mask = self._mask(stream)
+        latency = cols["finish"] - cols["arrival"]
+        if mask is not None:
+            latency = latency[mask]
         failures = self.failures
         if stream is not None:
             failures = [f for f in failures if f.stream == stream]
-        resolved = len(records) + len(failures)
+        resolved = int(latency.size) + len(failures)
         if resolved == 0:
             return 1.0
-        within = sum(1 for r in records if r.latency_s <= threshold_s)
+        within = int(np.count_nonzero(latency <= threshold_s))
         return within / resolved
 
     # -- serving under faults ---------------------------------------------
@@ -259,23 +355,31 @@ class WorkloadMetrics:
         """
         if not self.records:
             return 0.0
-        ends = [r.finish_s for r in self.records] + [
-            f.failed_s for f in self.failures
-        ]
-        starts = [r.arrival_s for r in self.records] + [
-            f.arrival_s for f in self.failures
-        ]
-        span = max(ends) - min(starts)
+        cols = self._columns()
+        end = float(cols["finish"].max())
+        start = float(cols["arrival"].min())
+        if self.failures:
+            end = max(end, max(f.failed_s for f in self.failures))
+            start = min(start, min(f.arrival_s for f in self.failures))
+        span = end - start
         if span <= 0:
-            return 0.0
+            raise ZeroLengthWindowError(
+                f"{len(self.records)} completed queries span a zero-length "
+                "window (first arrival coincides with last resolution); "
+                "goodput is undefined"
+            )
         return len(self.records) / span
 
     def fault_summary(self) -> str:
         """One-line digest of the run's failure/mitigation activity."""
         c = self.counters
+        try:
+            goodput = f"{self.goodput_qps():.1f} QPS"
+        except ZeroLengthWindowError:
+            goodput = "n/a (zero-length window)"
         return (
             f"availability {self.availability:.2%}, "
-            f"goodput {self.goodput_qps():.1f} QPS, "
+            f"goodput {goodput}, "
             f"{c.retries} retries, {c.failed} failed, {c.shed} shed "
             f"({c.crashes} crashes, {c.timeouts} timeouts, "
             f"{c.edmm_denied} EDMM denials, {c.poisoned} poisoned, "
@@ -289,11 +393,17 @@ class WorkloadMetrics:
                 f"0 queries completed ({self.setting_label}, "
                 f"policy {self.policy})"
             )
+        try:
+            achieved = f"{self.achieved_qps():.1f} QPS achieved"
+        except ZeroLengthWindowError:
+            # A single instantaneous record has latencies but no rateable
+            # window; the digest must survive it, not crash the report.
+            achieved = "QPS n/a (zero-length window)"
         return (
             f"{self.counters.completed} queries, "
             f"p50 {self.latency_percentile_s(50) * 1e3:.1f} ms, "
             f"p99 {self.latency_percentile_s(99) * 1e3:.1f} ms, "
-            f"{self.achieved_qps():.1f} QPS achieved, "
+            f"{achieved}, "
             f"EPC high water {self.epc_high_water_bytes / 1e9:.2f} GB"
         )
 
@@ -333,14 +443,35 @@ class MetricsRegistry:
     def merged(
         self, setting_label: str = "", policy: str = ""
     ) -> WorkloadMetrics:
-        """One cluster-wide :class:`WorkloadMetrics` over every shard."""
+        """One cluster-wide :class:`WorkloadMetrics` over every shard.
+
+        The merged view's ``setting_label``/``policy`` default to the
+        shards' shared values; if the shards *disagree*, the merge
+        refuses rather than silently stamping shard[0]'s labels onto
+        everyone's records — pass an explicit non-empty override to
+        merge heterogeneous shards under a label of your choosing.
+        """
         if not self._shards:
             raise BenchmarkError("no shard metrics registered")
         shards = [self._shards[label] for label in self.labels]
         if not setting_label:
-            setting_label = shards[0].setting_label
+            settings = sorted({m.setting_label for m in shards})
+            if len(settings) > 1:
+                raise BenchmarkError(
+                    "shards disagree on setting_label "
+                    f"({', '.join(repr(s) for s in settings)}); pass an "
+                    "explicit setting_label to merge them anyway"
+                )
+            setting_label = settings[0]
         if not policy:
-            policy = shards[0].policy
+            policies = sorted({m.policy for m in shards})
+            if len(policies) > 1:
+                raise BenchmarkError(
+                    "shards disagree on policy "
+                    f"({', '.join(repr(s) for s in policies)}); pass an "
+                    "explicit policy to merge them anyway"
+                )
+            policy = policies[0]
         counters = SchedulerCounters()
         for m in shards:
             for name in vars(counters):

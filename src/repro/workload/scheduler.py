@@ -302,20 +302,32 @@ class SchedulerLoop:
         # finishing query releases its cores before a new arrival is seen.
         self._events: List[Tuple[float, int, int, object]] = []
 
+        # Batch-seed the initial event set: append everything, heapify
+        # once — O(n) instead of n heappushes, and pop order is unchanged
+        # because (time, kind, seq) totally orders events (payloads are
+        # never compared), so any heap over the same set drains
+        # identically.
+        events = self._events
+        seq = self._seq
         for stream in open_streams:
             for arrival in stream.arrivals(duration_s):
-                self._push(arrival.time_s, _ARRIVAL, arrival)
+                events.append((arrival.time_s, _ARRIVAL, seq, arrival))
+                seq += 1
         for stream in closed_streams:
             for arrival in stream.initial_arrivals(
                 self._closed_rngs[stream.name]
             ):
-                self._push(arrival.time_s, _ARRIVAL, arrival)
+                events.append((arrival.time_s, _ARRIVAL, seq, arrival))
+                seq += 1
         if self._faulting:
             # Fault-window edges that change admission state (a squeeze
             # ending frees budget) must re-run dispatch even if no other
             # event lands on that instant.
             for wake_s in self._injector.wake_times(duration_s):
-                self._push(wake_s, _WAKE, None)
+                events.append((wake_s, _WAKE, seq, None))
+                seq += 1
+        self._seq = seq
+        heapq.heapify(events)
 
     # -- multiplexing surface ---------------------------------------------
 

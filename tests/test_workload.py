@@ -5,7 +5,11 @@ import random
 import pytest
 
 from repro.enclave.runtime import ExecutionSetting
-from repro.errors import BenchmarkError, ConfigurationError
+from repro.errors import (
+    BenchmarkError,
+    ConfigurationError,
+    ZeroLengthWindowError,
+)
 from repro.workload import (
     ClosedLoopStream,
     EpcAwarePolicy,
@@ -68,6 +72,21 @@ class TestPercentile:
             percentile([1.0], 101)
         with pytest.raises(BenchmarkError):
             percentile([1.0], -0.1)
+
+    def test_nan_rejected(self):
+        # NaN is unordered: sorted([nan, ...]) leaves it wherever it
+        # started, so a nearest-rank percentile would silently depend on
+        # input order.  The poisoned sample must be an error, not a value.
+        with pytest.raises(BenchmarkError, match="NaN"):
+            percentile([1.0, float("nan"), 3.0], 50)
+        with pytest.raises(BenchmarkError, match="NaN"):
+            percentile([float("nan")], 99)
+
+    def test_numpy_arrays_accepted(self):
+        import numpy as np
+
+        assert percentile(np.array([10.0, 20.0, 30.0, 40.0]), 50) == 20.0
+        assert isinstance(percentile(np.array([7.5]), 99), float)
 
 
 class TestQueryMix:
@@ -564,6 +583,108 @@ class TestMetricsRegistry:
     def test_unknown_shard_lookup_rejected(self):
         with pytest.raises(BenchmarkError):
             MetricsRegistry().shard("ghost")
+
+
+class TestZeroLengthWindows:
+    """A run whose records exist but span zero time: rates are undefined,
+    digests must survive."""
+
+    def metrics(self, *, failures=()):
+        counters = SchedulerCounters()
+        counters.completed = 1
+        return WorkloadMetrics(
+            setting_label="test",
+            policy="fifo",
+            records=[_record(1, 5.0, 5.0)],  # instantaneous completion
+            counters=counters,
+            failures=list(failures),
+        )
+
+    def test_achieved_qps_raises_distinct_error(self):
+        with pytest.raises(ZeroLengthWindowError):
+            self.metrics().achieved_qps()
+        # ...which is still a BenchmarkError, so existing handlers hold.
+        with pytest.raises(BenchmarkError):
+            self.metrics().achieved_qps()
+
+    def test_goodput_qps_raises_distinct_error(self):
+        with pytest.raises(ZeroLengthWindowError):
+            self.metrics().goodput_qps()
+
+    def test_goodput_failures_can_widen_the_window(self):
+        # A failure resolving later than the instantaneous record gives
+        # goodput a real window again: no error, rated over the failure's
+        # span.
+        metrics = self.metrics(failures=[_failure(2, 5.0)])  # fails at 6.0
+        assert metrics.goodput_qps() == pytest.approx(1.0)
+
+    def test_summary_survives(self):
+        digest = self.metrics().summary()
+        assert "zero-length window" in digest
+        assert "1 queries" in digest
+
+    def test_fault_summary_survives(self):
+        digest = self.metrics().fault_summary()
+        assert "zero-length window" in digest
+
+    def test_empty_still_plain_benchmark_error(self):
+        # No records at all stays the historical BenchmarkError, not the
+        # zero-length-window flavor: nothing happened vs. rate undefined.
+        try:
+            WorkloadMetrics(
+                setting_label="test", policy="fifo", records=[]
+            ).achieved_qps()
+        except ZeroLengthWindowError:  # pragma: no cover - regression trap
+            pytest.fail("empty metrics must not raise ZeroLengthWindowError")
+        except BenchmarkError:
+            pass
+
+
+class TestMergedLabelGuards:
+    """merged() must not silently stamp one shard's labels onto another."""
+
+    def shard(self, base, *, setting_label="sgx", policy="fifo"):
+        counters = SchedulerCounters()
+        counters.arrivals = counters.completed = 2
+        return WorkloadMetrics(
+            setting_label=setting_label,
+            policy=policy,
+            records=[
+                _record(base + i, 0.01 * i, 0.01 * i + 0.005)
+                for i in range(2)
+            ],
+            counters=counters,
+        )
+
+    def test_mixed_setting_labels_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard(0, setting_label="sgx"))
+        registry.register("s1", self.shard(100, setting_label="native"))
+        with pytest.raises(BenchmarkError, match="setting_label"):
+            registry.merged()
+
+    def test_mixed_policies_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard(0, policy="fifo"))
+        registry.register("s1", self.shard(100, policy="epc-aware"))
+        with pytest.raises(BenchmarkError, match="policy"):
+            registry.merged()
+
+    def test_explicit_override_merges_anyway(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard(0, setting_label="sgx"))
+        registry.register("s1", self.shard(100, setting_label="native"))
+        merged = registry.merged(setting_label="mixed")
+        assert merged.setting_label == "mixed"
+        assert len(merged.records) == 4
+
+    def test_agreeing_shards_merge_without_override(self):
+        registry = MetricsRegistry()
+        registry.register("s0", self.shard(0))
+        registry.register("s1", self.shard(100))
+        merged = registry.merged()
+        assert merged.setting_label == "sgx"
+        assert merged.policy == "fifo"
 
 
 class TestEngineClusterChannel:
