@@ -25,6 +25,8 @@ CLUSTER_SCOREBOARD = RESULTS_DIR / "BENCH_cluster.json"
 
 ENGINE_SCOREBOARD = RESULTS_DIR / "BENCH_engine.json"
 
+STORAGE_SCOREBOARD = RESULTS_DIR / "BENCH_storage.json"
+
 FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
@@ -109,6 +111,39 @@ def cluster_scoreboard(results_dir):
             kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
         )
         CLUSTER_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
+        return merged
+
+    return _update
+
+
+@pytest.fixture
+def storage_scoreboard(results_dir):
+    """Read-modify-write ``BENCH_storage.json``, the spill-path trajectory.
+
+    Same contract as ``cluster_scoreboard``: each entry is
+    ``{experiment, arm, ...metrics}`` with ``None`` where a metric does
+    not apply (here the extra metrics are ``spills``, ``spilled_gb``,
+    ``seal_s``, ``unseal_s``), a bench replaces only its own experiment's
+    entries, and the merged file stays sorted so reruns are byte-stable.
+    """
+
+    def _update(experiment_id: str, entries):
+        existing = []
+        if STORAGE_SCOREBOARD.exists():
+            existing = json.loads(STORAGE_SCOREBOARD.read_text())
+        kept = [e for e in existing if e["experiment"] != experiment_id]
+        for entry in entries:
+            entry.setdefault("p50", None)
+            entry.setdefault("p99", None)
+            entry.setdefault("goodput", None)
+            entry.setdefault("spills", None)
+            entry.setdefault("spilled_gb", None)
+            entry.setdefault("seal_s", None)
+            entry.setdefault("unseal_s", None)
+        merged = sorted(
+            kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
+        )
+        STORAGE_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
         return merged
 
     return _update

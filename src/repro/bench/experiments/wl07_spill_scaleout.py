@@ -1,0 +1,283 @@
+"""wl07: larger-than-EPC serving — sealed spill vs EDMM thrash.
+
+The paper stops where the working set exceeds the EPC: Fig. 11 shows the
+EDMM/paging collapse and Sec. 6 leaves larger-than-EPC operators to
+"mitigations at the application level".  This experiment *is* that
+mitigation, priced on the same calibrated testbed: a join-heavy mix is
+served under budgets squeezed well below its natural high water, and each
+squeeze point runs twice —
+
+* **edmm** — the overflow pays the Fig. 11 thrash model (the pre-storage
+  behaviour): service inflates by ``EDMM_OVERFLOW_SLOWDOWN`` times the
+  overflowing fraction of the working set;
+* **spill** — the same budget as a ``--storage`` sealed-spill ceiling:
+  the overflowing share is grace-partitioned to sealed untrusted runs
+  instead, paying the calibrated AES-GCM seal/unseal cycles plus block
+  I/O (:class:`~repro.storage.SealedStore`), every sealed byte visible
+  in the trace's ``storage.*`` events.
+
+Expected shape: the crossover.  At mild squeezes the two are close (small
+overflow, both penalties shallow); as the budget shrinks the EDMM arm's
+p99 blows up ~linearly in the overflow fraction while the spill arm pays
+the (much flatter) seal/unseal bandwidth, so goodput holds.  Two more
+arms probe the rest of the subsystem: a **faulted** spill run (a
+STORAGE_STALL window plus torn-block unseal failures, both drawn by
+decision identity) and a **sharded** run (a ``2x2`` cluster where every
+shard spills locally — the ``shard`` attribute on the spill events keeps
+shard-local sealing distinct from the router's re-shard shuffle).
+
+The reference arm and every spill arm complete the same query bag — the
+spill path changes *when and where* bytes live, never results; the
+property suite (`tests/test_storage.py`) asserts the operator-level bag
+identity directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import common, workload_common
+from repro.bench.report import ExperimentReport
+from repro.cluster import ClusterConfig, ClusterSpec
+from repro.faults import NO_FAULTS, FaultKind, FaultPlan, FaultSpec
+from repro.machine import SimMachine
+from repro.storage import StorageConfig
+from repro.trace import (
+    Tracer,
+    current_tracer,
+    storage_breakdown,
+    tee,
+    use_tracer,
+)
+from repro.workload import (
+    JobCatalog,
+    OpenLoopStream,
+    QueryMix,
+    ServingEngine,
+    WorkloadConfig,
+)
+
+EXPERIMENT_ID = "wl07"
+TITLE = "Larger-than-EPC serving: sealed spill vs EDMM thrash"
+PAPER_REFERENCE = "larger-than-EPC extension of Fig. 11 / Sec. 6"
+
+#: Join-heavy mix: the big join's build side is what overflows first.
+MIX_WEIGHTS = {"join-big": 0.35, "join-medium": 0.45, "scan-small": 0.20}
+
+#: Offered load as a fraction of the mix's serving capacity — low enough
+#: that queueing never masks the spill/thrash penalty being measured.
+LOAD_FRACTION = 0.55
+
+#: The squeeze sweep: serving budgets as fractions of the reference
+#: arm's unconstrained EPC high water.  0.5 barely overflows the big
+#: join; 0.125 forces most of its working set out.
+BUDGET_FRACTIONS = (0.5, 0.25, 0.125)
+
+#: The faulted and sharded arms run at this squeeze point.
+DEEP_FRACTION = 0.25
+
+#: The faulted arm's plan: a mid-window device stall plus torn blocks.
+PLAN_SEED = 37
+STALL_MAGNITUDE = 4.0
+TORN_PROBABILITY = 0.03
+
+#: The sharded arm's shard map: 2 enclaves on each of 2 sockets.
+SHARD_SPEC = "2x2"
+
+#: Client streams splitting the offered load (the router hashes by
+#: stream, so a single stream would pin every spill to one shard).
+N_CLIENTS = 8
+
+
+def _storm_plan(duration_s: float) -> FaultPlan:
+    """Storage hazards scaled to the run window."""
+    return FaultPlan(
+        name="wl07-storage-storm",
+        seed=PLAN_SEED,
+        specs=(
+            FaultSpec(
+                FaultKind.STORAGE_STALL,
+                start_s=0.30 * duration_s,
+                end_s=0.70 * duration_s,
+                magnitude=STALL_MAGNITUDE,
+            ),
+            FaultSpec(FaultKind.TORN_BLOCK, probability=TORN_PROBABILITY),
+        ),
+    )
+
+
+def run(
+    machine: Optional[SimMachine] = None, *, quick: bool = True
+) -> ExperimentReport:
+    """p99/goodput of the edmm-vs-spill sweep plus fault/shard arms."""
+    report = ExperimentReport(EXPERIMENT_ID, TITLE, PAPER_REFERENCE)
+    catalog = JobCatalog(machine, quick=quick)
+    engine = ServingEngine(catalog)
+    mix = QueryMix.of(MIX_WEIGHTS)
+    queries = workload_common.target_queries(quick)
+
+    costs = {
+        name: catalog.cost(engine.templates[name], common.SETTING_SGX_IN)
+        for name in MIX_WEIGHTS
+    }
+    capacity = workload_common.capacity_qps(costs, MIX_WEIGHTS, cores=16)
+    qps = LOAD_FRACTION * capacity
+    duration = queries / qps
+
+    def scenario(**overrides) -> WorkloadConfig:
+        base = dict(
+            setting=common.SETTING_SGX_IN,
+            open_streams=tuple(
+                OpenLoopStream(
+                    f"clients-{i}",
+                    qps=qps / N_CLIENTS,
+                    mix=mix,
+                    seed=workload_common.stream_seed(i),
+                )
+                for i in range(N_CLIENTS)
+            ),
+            duration_s=duration,
+            cores=16,
+            policy="fifo",
+            faults=NO_FAULTS,
+            planner="static",
+        )
+        base.update(overrides)
+        return WorkloadConfig(**base)
+
+    def serve(label, config, *, cluster=False):
+        run_tracer = Tracer(label=f"wl07-{label}")
+        with use_tracer(tee(current_tracer(), run_tracer)):
+            if cluster:
+                metrics = engine.run_cluster(config).metrics
+            else:
+                metrics = engine.run(config)
+        return metrics, run_tracer
+
+    # --- reference: unconstrained, in-memory, no storage ---------------
+    reference, _ = serve("reference", scenario())
+    high_water = reference.epc_high_water_bytes
+    for p in workload_common.PERCENTILES:
+        report.add(
+            "reference latency",
+            p,
+            reference.latency_percentile_s(p) * 1e3,
+            "ms",
+        )
+    report.add("reference goodput", "ref", reference.goodput_qps(), "QPS")
+    report.notes.append(
+        workload_common.counters_note("reference", reference)
+    )
+
+    # --- the sweep: EDMM thrash vs sealed spill at each squeeze --------
+    spill_configs = {}
+    for fraction in BUDGET_FRACTIONS:
+        budget = fraction * high_water
+        storage = StorageConfig(budget_bytes=int(budget))
+        spill_configs[fraction] = storage
+
+        edmm, _ = serve(
+            f"edmm-{fraction}", scenario(epc_budget_bytes=budget)
+        )
+        spill, spill_tracer = serve(
+            f"spill-{fraction}", scenario(storage=storage)
+        )
+        down = storage_breakdown(spill_tracer)
+
+        report.add(
+            "edmm p99",
+            fraction,
+            edmm.latency_percentile_s(99) * 1e3,
+            "ms",
+        )
+        report.add(
+            "spill p99",
+            fraction,
+            spill.latency_percentile_s(99) * 1e3,
+            "ms",
+        )
+        report.add("edmm goodput", fraction, edmm.goodput_qps(), "QPS")
+        report.add("spill goodput", fraction, spill.goodput_qps(), "QPS")
+        report.add("spills", fraction, down.spills, "queries")
+        report.add(
+            "spilled volume", fraction, down.spilled_bytes / 1e9, "GB"
+        )
+        report.add("seal time", fraction, down.seal_s, "s")
+        report.add("unseal time", fraction, down.unseal_s, "s")
+        report.notes.append(
+            f"budget {fraction:g}x high water "
+            f"({budget / 1e9:.2f} GB): {down.describe()}"
+        )
+        if spill.counters.completed != reference.counters.completed:
+            report.notes.append(
+                f"WARNING: spill arm at {fraction:g}x completed "
+                f"{spill.counters.completed} != reference "
+                f"{reference.counters.completed}"
+            )
+
+    # --- faulted spill: stall window + torn blocks ---------------------
+    deep = spill_configs[DEEP_FRACTION]
+    faulted, fault_tracer = serve(
+        "spill-faulted",
+        scenario(storage=deep, faults=_storm_plan(duration)),
+    )
+    fault_down = storage_breakdown(fault_tracer)
+    report.add(
+        "faulted p99",
+        "spill-faulted",
+        faulted.latency_percentile_s(99) * 1e3,
+        "ms",
+    )
+    report.add("stalled spills", "spill-faulted", fault_down.stalled, "spills")
+    report.add("torn blocks", "spill-faulted", fault_down.torn, "aborts")
+    report.notes.append(
+        f"spill-faulted ({STALL_MAGNITUDE:g}x stall over the middle 40%, "
+        f"torn p={TORN_PROBABILITY:g}): {fault_down.describe()}; "
+        f"availability {faulted.availability:.3f}"
+    )
+
+    # --- sharded spill: every shard seals locally ----------------------
+    spec = ClusterSpec.parse(SHARD_SPEC)
+    sharded, shard_tracer = serve(
+        "spill-sharded",
+        scenario(storage=deep, cluster=ClusterConfig(spec=spec)),
+        cluster=True,
+    )
+    shard_down = storage_breakdown(shard_tracer)
+    report.add(
+        "sharded p99",
+        SHARD_SPEC,
+        sharded.latency_percentile_s(99) * 1e3,
+        "ms",
+    )
+    report.add("sharded spills", SHARD_SPEC, shard_down.spills, "queries")
+    per_shard = {
+        shard_id: storage_breakdown(shard_tracer, shard=shard_id).spills
+        for shard_id in sorted(
+            {
+                str(r.attrs.get("shard"))
+                for r in shard_tracer.records
+                if getattr(r, "attrs", None) and "shard" in r.attrs
+            }
+        )
+    }
+    active = {s: n for s, n in per_shard.items() if n}
+    report.notes.append(
+        f"spill-sharded ({SHARD_SPEC}): {shard_down.describe()}; "
+        f"shard-local spills " + ", ".join(
+            f"{shard_id}: {count}" for shard_id, count in active.items()
+        )
+    )
+
+    # --- headline summary ----------------------------------------------
+    tight = BUDGET_FRACTIONS[-1]
+    report.notes.append(
+        f"at {tight:g}x high water ({tight * high_water / 1e9:.2f} GB) the "
+        f"sealed spill path serves p99 "
+        f"{report.value('spill p99', tight):.0f} ms vs the EDMM thrash "
+        f"path's {report.value('edmm p99', tight):.0f} ms "
+        f"(reference {report.value('reference latency', 99):.0f} ms); "
+        f"goodput {report.value('spill goodput', tight):.1f} vs "
+        f"{report.value('edmm goodput', tight):.1f} QPS"
+    )
+    return report

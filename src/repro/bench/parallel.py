@@ -50,12 +50,13 @@ from repro.machine import SimMachine
 from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
-#: repetition_jobs, fault_plan, planner, cluster, memo_enabled,
-#: memo_dir).  The plan, the planner mode, the cluster config, and the
-#: memo switches ride into spawned workers as pickled values — spawn
-#: inherits no ambient ``use_fault_plan``/``use_planner_mode``/
-#: ``use_cluster``/``use_profile_memo`` state, so the explicit slots are
-#: the only channel.
+#: repetition_jobs, fault_plan, planner, cluster, storage, memo_enabled,
+#: memo_dir).  The plan, the planner mode, the cluster config, the
+#: storage config, and the memo switches ride into spawned workers as
+#: pickled values — spawn inherits no ambient ``use_fault_plan``/
+#: ``use_planner_mode``/``use_cluster``/``use_storage``/
+#: ``use_profile_memo`` state, so the explicit slots are the only
+#: channel.
 _Task = Tuple[
     str,
     bool,
@@ -64,6 +65,7 @@ _Task = Tuple[
     int,
     Optional[FaultPlan],
     Optional[str],
+    object,
     object,
     bool,
     Optional[str],
@@ -135,6 +137,7 @@ def _execute(
     fault_plan: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -149,6 +152,7 @@ def _execute(
             fault_plan=fault_plan,
             planner=planner,
             cluster=cluster,
+            storage=storage,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -212,6 +216,7 @@ def _worker(task: _Task) -> Dict:
         fault_plan,
         planner,
         cluster,
+        storage,
         memo_enabled,
         memo_dir,
     ) = task
@@ -226,6 +231,7 @@ def _worker(task: _Task) -> Dict:
         fault_plan=fault_plan,
         planner=planner,
         cluster=cluster,
+        storage=storage,
     )
 
 
@@ -254,6 +260,7 @@ def run_session(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
     memo: bool = True,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
@@ -272,7 +279,9 @@ def run_session(
     session planner mode through the same three channels (in-process
     scope, worker task slot, cache key) with the same guarantee, and
     ``cluster`` (a :class:`~repro.cluster.ClusterConfig`) a session
-    cluster topology likewise.  ``memo=False`` disables the per-query
+    cluster topology likewise, and ``storage`` (a
+    :class:`~repro.storage.StorageConfig`) a session sealed-storage
+    budget likewise.  ``memo=False`` disables the per-query
     profile memo for every run (the ``--no-memo`` channel); memoized and
     unmemoized runs are byte-identical, so the flag is never keyed.
     """
@@ -311,6 +320,7 @@ def run_session(
                 faults=faults,
                 planner=planner,
                 cluster=cluster,
+                storage=storage,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -359,6 +369,7 @@ def run_session(
                     fault_plan=faults,
                     planner=planner,
                     cluster=cluster,
+                    storage=storage,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -382,6 +393,7 @@ def run_session(
                             faults,
                             planner,
                             cluster,
+                            storage,
                             memo,
                             memo_dir,
                         ),

@@ -39,6 +39,7 @@ from repro.bench.experiments import (
     wl04_fault_resilience,
     wl05_adaptive_planner,
     wl06_cluster_scaleout,
+    wl07_spill_scaleout,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -77,6 +78,7 @@ EXPERIMENTS: Dict[str, object] = {
         wl04_fault_resilience,
         wl05_adaptive_planner,
         wl06_cluster_scaleout,
+        wl07_spill_scaleout,
     )
 }
 
@@ -102,6 +104,7 @@ def run_experiment(
     fault_plan=None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -122,7 +125,10 @@ def run_experiment(
     topology (a :class:`~repro.cluster.ClusterConfig` or a spec string
     like ``"2x4"``) — serving configs with ``cluster=None`` shard over
     it; experiments that pin explicit clusters (wl06's arms) are
-    unaffected.
+    unaffected.  ``storage`` installs a session sealed-storage budget (a
+    :class:`~repro.storage.StorageConfig` or a spec string like ``"2G"``)
+    the same way — serving configs with ``storage=None`` spill against
+    it.
     """
     module = get_experiment(experiment_id)
     import contextlib
@@ -131,6 +137,7 @@ def run_experiment(
     from repro.cluster import ClusterConfig, use_cluster
     from repro.faults import use_fault_plan
     from repro.planner import use_planner_mode
+    from repro.storage import StorageConfig, use_storage
 
     plan_scope = (
         use_fault_plan(fault_plan)
@@ -139,8 +146,10 @@ def run_experiment(
     )
     if isinstance(cluster, str):
         cluster = ClusterConfig.parse(cluster)
+    if isinstance(storage, str):
+        storage = StorageConfig.parse(storage)
     with plan_scope, use_planner_mode(planner), use_base_seed(base_seed), \
-            use_cluster(cluster):
+            use_cluster(cluster), use_storage(storage):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

@@ -63,6 +63,7 @@ def build_report(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
     memo: bool = True,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
@@ -78,7 +79,8 @@ def build_report(
     combination.  ``faults`` applies a session fault plan to every run
     (the ``--faults`` channel); ``planner`` a session planner mode (the
     ``--planner`` channel); ``cluster`` a session cluster topology (the
-    ``--cluster`` channel); ``memo=False`` disables the per-query profile
+    ``--cluster`` channel); ``storage`` a session sealed-storage budget
+    (the ``--storage`` channel); ``memo=False`` disables the per-query profile
     memo (the ``--no-memo`` channel) — output bytes are identical either
     way, only wall-clock changes.
     """
@@ -123,6 +125,7 @@ def build_report(
         faults=faults,
         planner=planner,
         cluster=cluster,
+        storage=storage,
         memo=memo,
     )
     for run in session.runs:
@@ -157,6 +160,7 @@ def write_report(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
     memo: bool = True,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
@@ -175,6 +179,7 @@ def write_report(
             faults=faults,
             planner=planner,
             cluster=cluster,
+            storage=storage,
             memo=memo,
         )
     )

@@ -30,7 +30,10 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #: 5: per-query profile-memo entries joined the store (catalog pricing and
 #:    planner candidate estimates are memoized below the experiment level;
 #:    experiment keys are unchanged in shape but rotate with the format).
-CACHE_FORMAT = 5
+#: 6: keys gained a sealed-storage component (``--storage`` budgets spill
+#:    overflow to sealed untrusted storage; calibrations also grew the
+#:    seal/unseal/IO constants, so pre-storage entries price differently).
+CACHE_FORMAT = 6
 
 
 def canonical(value: Any) -> Any:
@@ -99,6 +102,7 @@ def experiment_key(
     faults: Optional[FaultPlan] = None,
     planner: Optional[str] = None,
     cluster=None,
+    storage=None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
@@ -113,8 +117,12 @@ def experiment_key(
     the session cluster topology (a
     :class:`~repro.cluster.ClusterConfig`; every shard-map, routing,
     shard-fault, and elastic field hashes into the key, so a sharded run
-    never replays a single-enclave entry or vice versa), and ``extra``
-    any additional operator parameters a caller wants keyed (e.g. an
+    never replays a single-enclave entry or vice versa), ``storage`` the
+    session sealed-storage config (a
+    :class:`~repro.storage.StorageConfig`; the budget and block size both
+    hash in, so a spilling run never replays an in-EPC entry or vice
+    versa), and ``extra`` any additional operator parameters a caller
+    wants keyed (e.g. an
     :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
     return fingerprint(
@@ -127,6 +135,7 @@ def experiment_key(
         faults=faults,
         planner=planner if planner not in (None, "static") else "static",
         cluster=cluster,
+        storage=storage,
         extra=extra or {},
     )
 
@@ -142,6 +151,7 @@ def query_profile_key(
     sf_cap: float,
     params: Optional[CostParameters] = None,
     spec: Optional[HardwareSpec] = None,
+    storage=None,
 ) -> str:
     """The memo key of one priced query profile or candidate estimate.
 
@@ -165,4 +175,5 @@ def query_profile_key(
         row_cap=int(row_cap),
         sf_cap=float(sf_cap),
         calibration=calibration_digest(params, spec),
+        storage=storage,
     )

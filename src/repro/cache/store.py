@@ -7,6 +7,10 @@ one ``<key>.json`` file per entry under the cache directory — persists
 across processes and survives restarts.  Disk writes are atomic (write to
 a temp file, then rename), so a crashed run never leaves a half-written
 entry behind; an unreadable entry is treated as a miss, never an error.
+The disk tier is bounded too: at most ``disk_entries`` files are kept
+(default :data:`DEFAULT_DISK_ENTRIES`), evicting oldest-first by
+modification time so a long-lived shared cache directory cannot grow
+without limit across sessions.
 """
 
 from __future__ import annotations
@@ -21,6 +25,15 @@ from repro.errors import CacheError
 
 #: Default number of entries the in-memory tier keeps resident.
 DEFAULT_MEMORY_ENTRIES = 64
+
+#: Default number of entries the disk tier may hold.  Long ``--cache DIR``
+#: sessions (sweeps over many seeds, scale factors, and calibrations) used
+#: to grow the directory without bound; when the cap is exceeded the
+#: oldest files — by modification time, name as the deterministic
+#: tie-break — are deleted first.  4096 JSON memo entries is a few tens of
+#: MB, far more than any one session touches, while still bounding a
+#: months-old shared cache directory.
+DEFAULT_DISK_ENTRIES = 4096
 
 
 class MemoStore:
@@ -40,13 +53,17 @@ class MemoStore:
         directory: Optional[Union[str, pathlib.Path]] = None,
         *,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        disk_entries: int = DEFAULT_DISK_ENTRIES,
     ) -> None:
         if memory_entries < 1:
             raise CacheError("memory_entries must be at least 1")
+        if disk_entries < 1:
+            raise CacheError("disk_entries must be at least 1")
         self.directory = pathlib.Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.memory_entries = memory_entries
+        self.disk_entries = disk_entries
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -114,7 +131,38 @@ class MemoStore:
             tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             tmp.write_text(text)
             os.replace(tmp, path)
+            self._evict_disk(keep=path)
         self._remember(key, value)
+
+    def _evict_disk(self, *, keep: pathlib.Path) -> None:
+        """Hold the disk tier at ``disk_entries`` files, oldest out first.
+
+        Ordered by (mtime, name) so eviction is deterministic even when a
+        burst of writes lands within one timestamp granule.  The entry just
+        written is never the victim, and a file another worker deleted
+        first is simply skipped.
+        """
+        if self.directory is None:
+            return
+        entries = []
+        for candidate in self.directory.glob("*.json"):
+            if candidate == keep:
+                continue
+            try:
+                mtime = candidate.stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, candidate.name, candidate))
+        excess = len(entries) + 1 - self.disk_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _, _, victim in entries[:excess]:
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+            self._memory.pop(victim.name[: -len(".json")], None)
 
     def _remember(self, key: str, value: Dict[str, Any]) -> None:
         self._memory[key] = value

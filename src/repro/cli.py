@@ -142,6 +142,17 @@ def build_parser() -> argparse.ArgumentParser:
             "explicit clusters (wl06) are unaffected"
         ),
     )
+    parser.add_argument(
+        "--storage",
+        metavar="BUDGET",
+        help=(
+            "spill working sets beyond BUDGET to sealed untrusted storage "
+            "instead of EDMM-growing/paging the enclave: BUDGET is a size "
+            "('2G', '512M'), optionally followed by ':BLOCK' for the "
+            "sealed block size (default 1MiB); every sealed byte is "
+            "priced through the calibrated seal/unseal/IO constants"
+        ),
+    )
     return parser
 
 
@@ -186,6 +197,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             cluster = ClusterConfig.parse(args.cluster)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    storage = None
+    if args.storage is not None:
+        # Same fail-fast contract: a malformed budget exits before any
+        # output dirs exist.
+        from repro.errors import ConfigurationError
+        from repro.storage import StorageConfig
+
+        try:
+            storage = StorageConfig.parse(args.storage)
         except ConfigurationError as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -252,6 +275,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=fault_plan,
             planner=args.planner,
             cluster=cluster,
+            storage=storage,
             memo=not args.no_memo,
         )
         print(f"wrote {path}")
@@ -275,6 +299,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=fault_plan,
         planner=args.planner,
         cluster=cluster,
+        storage=storage,
         memo=not args.no_memo,
     )
     for run in session.runs:

@@ -66,11 +66,28 @@ class ClusterSpec:
         ``2x4`` = 2 sockets × 4 enclaves each (8 shards, one machine);
         ``2x2x4`` = 2 machines × 2 sockets × 4 enclaves (16 shards).
         """
-        parts = text.strip().lower().split("x")
-        try:
-            numbers = [int(part) for part in parts]
-        except ValueError:
-            numbers = []
+        if text != text.strip():
+            raise ConfigurationError(
+                f"bad cluster spec {text!r}: no surrounding whitespace "
+                f"allowed"
+            )
+        parts = text.lower().split("x")
+        numbers = []
+        for part in parts:
+            # ``int`` would happily accept whitespace-padded parts like
+            # ``"2 "`` (so ``"2 x4"`` parsed as 2x4) and signed counts
+            # like ``"-1"``; require pure digits and at least 1 of
+            # everything so malformed shapes fail loudly at parse time.
+            if not part.isdigit():
+                numbers = []
+                break
+            value = int(part)
+            if value < 1:
+                raise ConfigurationError(
+                    f"bad cluster spec {text!r}: every count must be at "
+                    f"least 1, got {part!r}"
+                )
+            numbers.append(value)
         if len(numbers) == 2:
             return cls(machines=1, sockets=numbers[0], enclaves_per_socket=numbers[1])
         if len(numbers) == 3:

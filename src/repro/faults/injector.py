@@ -61,6 +61,12 @@ class NullInjector:
     def poisoned(self, now: float, template: str) -> bool:
         return False
 
+    def storage_stall_multiplier(self, now: float) -> float:
+        return 1.0
+
+    def torn_block(self, now: float, query_id: int, attempt: int) -> bool:
+        return False
+
     def wake_times(self, duration_s: float) -> Tuple[float, ...]:
         return ()
 
@@ -76,6 +82,8 @@ class PlanInjector(NullInjector):
         self._crashes = plan.of_kind(FaultKind.ENCLAVE_CRASH)
         self._squeezes = plan.of_kind(FaultKind.EPC_SQUEEZE)
         self._poisons = plan.of_kind(FaultKind.POISON_JOB)
+        self._stalls = plan.of_kind(FaultKind.STORAGE_STALL)
+        self._torn = plan.of_kind(FaultKind.TORN_BLOCK)
 
     # -- deterministic variates -------------------------------------------
 
@@ -141,6 +149,23 @@ class PlanInjector(NullInjector):
             spec.active(now) and spec.template == template
             for spec in self._poisons
         )
+
+    def storage_stall_multiplier(self, now: float) -> float:
+        """Spill-penalty inflation at ``now`` (overlapping stalls multiply)."""
+        factor = 1.0
+        for spec in self._stalls:
+            if spec.active(now):
+                factor *= spec.magnitude
+        return factor
+
+    def torn_block(self, now: float, query_id: int, attempt: int) -> bool:
+        """Whether this attempt's unseal hits a torn block (per-attempt)."""
+        for spec in self._torn:
+            if spec.active(now) and (
+                self._draw("torn", query_id, attempt) < spec.probability
+            ):
+                return True
+        return False
 
     def wake_times(self, duration_s: float) -> Tuple[float, ...]:
         return self.plan.window_edges(duration_s)

@@ -21,6 +21,13 @@ hardware actually exhibits under load:
 * **POISON_JOB** — one template deterministically fails every attempt (a
   miscompiled kernel, a plan that faults in-enclave); the breaker is the
   only mitigation that helps.
+* **STORAGE_STALL** — the untrusted block layer degrades for a window (a
+  co-tenant saturating the device, a firmware hiccup): every sealed
+  spill/re-scan dispatched inside the window takes ``magnitude`` times
+  longer.  Only queries on the spill path feel it.
+* **TORN_BLOCK** — a sealed block fails its AES-GCM tag check on unseal
+  (torn write, bit rot): the attempt aborts and must retry; drawn
+  per-attempt by decision identity like crashes and EDMM denials.
 
 Plans are *data*: frozen dataclasses of primitives, hashable by
 :func:`repro.cache.keys.canonical`, picklable into worker processes, and
@@ -47,6 +54,8 @@ class FaultKind(enum.Enum):
     ENCLAVE_CRASH = "enclave_crash"
     EPC_SQUEEZE = "epc_squeeze"
     POISON_JOB = "poison_job"
+    STORAGE_STALL = "storage_stall"
+    TORN_BLOCK = "torn_block"
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,10 @@ class FaultSpec:
             raise ConfigurationError("a poison fault needs a template name")
         if self.kind is FaultKind.ENCLAVE_CRASH and self.reinit_s < 0:
             raise ConfigurationError("re-init cost must be non-negative")
+        if self.kind is FaultKind.STORAGE_STALL and self.magnitude < 1.0:
+            raise ConfigurationError(
+                "a storage stall cannot speed the spill path up"
+            )
 
     def active(self, now: float) -> bool:
         return self.start_s <= now < self.end_s
@@ -150,6 +163,10 @@ def fault_plans() -> Dict[str, FaultPlan]:
         FaultKind.EPC_SQUEEZE, start_s=1.0, end_s=8.0, magnitude=0.5
     )
     poison = FaultSpec(FaultKind.POISON_JOB, template="q3")
+    stall = FaultSpec(
+        FaultKind.STORAGE_STALL, start_s=2.0, end_s=8.0, magnitude=4.0
+    )
+    torn = FaultSpec(FaultKind.TORN_BLOCK, probability=0.05)
     return {
         NO_FAULTS.name: NO_FAULTS,
         "aex-storm": FaultPlan(name="aex-storm", specs=(aex,)),
@@ -157,8 +174,16 @@ def fault_plans() -> Dict[str, FaultPlan]:
         "enclave-crash": FaultPlan(name="enclave-crash", specs=(crash,)),
         "epc-squeeze": FaultPlan(name="epc-squeeze", specs=(squeeze,)),
         "poison": FaultPlan(name="poison", specs=(poison,)),
+        "storage-stall": FaultPlan(name="storage-stall", specs=(stall,)),
+        "torn-block": FaultPlan(name="torn-block", specs=(torn,)),
         "chaos": FaultPlan(
             name="chaos", specs=(aex, edmm, crash, squeeze, poison)
+        ),
+        # Storage hazards only bite runs with a --storage budget; a
+        # separate composite keeps the classic chaos plan's results
+        # byte-stable for existing experiments.
+        "storage-chaos": FaultPlan(
+            name="storage-chaos", specs=(stall, torn)
         ),
     }
 

@@ -104,6 +104,23 @@ class CostParameters:
     epc_effective_bytes: float = 0.0
     epc_page_fault_cycles: float = 0.0
 
+    # ---- sealed storage path (spill/scan) ------------------------------
+    # Per-byte cycles for sealing (AES-GCM encrypt + MAC) and unsealing
+    # (decrypt + tag verify) a spilled block on its way to untrusted
+    # storage, following the per-block cost model of "Securing the
+    # Storage Data Path with SGX Enclaves".  With AES-NI pipelining,
+    # SGXv2 sustains a couple of cycles per byte; SGXv1's sealing path is
+    # an order of magnitude heavier (software GCM + integrity tree).
+    # Per-block fixed costs (the OCALL out of the enclave) are charged
+    # separately via ``transition_cycles``.  0.0 disables the sealed
+    # storage path entirely (spill-aware variants refuse to price).
+    seal_cycles_per_byte: float = 0.0
+    unseal_cycles_per_byte: float = 0.0
+    # Per-byte cycles for moving a sealed block through the untrusted
+    # storage stack (memcpy + kernel block layer against a warm page
+    # cache, not a spinning disk).
+    storage_io_cycles_per_byte: float = 0.0
+
     def __post_init__(self) -> None:
         for name in (
             "random_read_penalty_max",
@@ -142,11 +159,27 @@ class CostParameters:
             raise ConfigurationError(
                 "EPC paging needs both a capacity and a per-fault cost"
             )
+        for name in (
+            "seal_cycles_per_byte",
+            "unseal_cycles_per_byte",
+            "storage_io_cycles_per_byte",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if (self.seal_cycles_per_byte > 0) != (self.unseal_cycles_per_byte > 0):
+            raise ConfigurationError(
+                "sealed storage needs both a seal and an unseal cost"
+            )
 
     @property
     def epc_paging_enabled(self) -> bool:
         """True on legacy (SGXv1-style) platforms with a tiny EPC."""
         return self.epc_effective_bytes > 0
+
+    @property
+    def sealing_enabled(self) -> bool:
+        """True when the calibration prices the sealed storage path."""
+        return self.seal_cycles_per_byte > 0
 
 
 def paper_calibration() -> CostParameters:
@@ -199,4 +232,11 @@ def paper_calibration() -> CostParameters:
         # AES-XTS decrypt of one cache line adds ~26 cycles when exposed.
         mee_cacheline_decrypt_cycles=26.0,
         mee_cacheline_encrypt_cycles=30.0,
+        # Sealed storage path: AES-NI GCM sustains ~2 cycles/B for
+        # encrypt+MAC; unseal adds the tag verify.  Storage I/O models a
+        # warm-page-cache block layer (~0.5 cycles/B at the testbed's
+        # clock, several GB/s).
+        seal_cycles_per_byte=2.0,
+        unseal_cycles_per_byte=2.2,
+        storage_io_cycles_per_byte=0.5,
     )

@@ -78,6 +78,13 @@ def sgxv1_calibration() -> CostParameters:
         # EPC paging: ~12 us per evict+load pair at 3.7 GHz.
         epc_effective_bytes=93.0 * MiB,
         epc_page_fault_cycles=45_000.0,
+        # SGXv1 sealing runs software GCM behind the integrity tree — an
+        # order of magnitude more cycles per sealed byte than SGXv2's
+        # AES-NI pipeline — and its storage data path crosses a slower
+        # kernel boundary.
+        seal_cycles_per_byte=20.0,
+        unseal_cycles_per_byte=22.0,
+        storage_io_cycles_per_byte=1.5,
     )
 
 

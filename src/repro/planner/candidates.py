@@ -63,6 +63,7 @@ class PlanHints:
     threads: Optional[int] = None
     sizing: Optional[str] = None
     fanout: Optional[int] = None
+    spill: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.algorithm is not None and self.algorithm not in (
@@ -87,6 +88,7 @@ class PlanHints:
             and (self.threads is None or candidate.threads == self.threads)
             and (self.sizing is None or candidate.sizing == self.sizing)
             and (self.fanout is None or candidate.fanout == self.fanout)
+            and (self.spill is None or candidate.spill == self.spill)
         )
 
 
@@ -99,6 +101,10 @@ class PlanCandidate:
     threads: int = 1
     sizing: str = "static"
     fanout: Optional[int] = None  # None: the algorithm's auto fan-out
+    #: Serve through the sealed spill path (grace-partitioned execution
+    #: against a storage budget) instead of holding the working set in
+    #: EPC.  Only enumerated when a ``--storage`` budget is in play.
+    spill: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in JOIN_ALGORITHMS and self.algorithm not in (
@@ -132,17 +138,39 @@ class PlanCandidate:
             parts.append(f"/f{self.fanout}")
         if self.sizing != "static":
             parts.append(f"+{self.sizing}")
+        if self.spill:
+            parts.append("+spill")
         return "".join(parts)
 
 
 def build_join(
-    candidate: PlanCandidate, *, queue_kind: LockKind = LockKind.LOCK_FREE
+    candidate: PlanCandidate,
+    *,
+    queue_kind: LockKind = LockKind.LOCK_FREE,
+    store=None,
+    budget_bytes: Optional[float] = None,
 ) -> JoinAlgorithm:
-    """Instantiate the join operator a candidate describes."""
+    """Instantiate the join operator a candidate describes.
+
+    A spill candidate becomes a grace-partitioned join against the given
+    :class:`~repro.storage.SealedStore` and budget — both are required,
+    since a spill plan without a storage budget has nothing to spill to.
+    """
     cls = JOIN_ALGORITHMS.get(candidate.algorithm)
     if cls is None:
         raise ConfigurationError(
             f"candidate {candidate.label()!r} is not a join plan"
+        )
+    if candidate.spill:
+        if store is None or budget_bytes is None:
+            raise ConfigurationError(
+                f"spill candidate {candidate.label()!r} needs a sealed "
+                "store and a storage budget"
+            )
+        from repro.storage.spill import GraceHashJoin
+
+        return GraceHashJoin(
+            candidate.variant, store=store, budget_bytes=budget_bytes
         )
     if cls is RadixJoin:
         return RadixJoin(
@@ -191,6 +219,7 @@ def enumerate_candidates(
     thread_options: Tuple[int, ...] = (),
     fanouts: Tuple[Optional[int], ...] = (None,),
     sizings: Tuple[str, ...] = ("static",),
+    spills: Tuple[bool, ...] = (False,),
 ) -> Tuple[PlanCandidate, ...]:
     """All candidates for ``template``, after applying its ``plan_hints``.
 
@@ -200,6 +229,10 @@ def enumerate_candidates(
     ``sizings`` widens the enclave sizing dimension.  Scans and TPC-H
     plans enumerate the dimensions that apply to them (scans have a single
     kernel; TPC-H plans vary the join algorithm of their join steps).
+    ``spills=(False, True)`` adds a sealed-spill twin of each hash-join
+    arm (PHT only: the grace-partitioned spill operator is a hash join,
+    so spilling other algorithms would change their identity); the
+    default ``(False,)`` keeps the space identical to pre-storage builds.
     """
     kind = template.kind.value
     hints: Optional[PlanHints] = getattr(template, "plan_hints", None)
@@ -221,18 +254,21 @@ def enumerate_candidates(
     else:
         for algorithm, variant in _DEFAULT_JOIN_ARMS:
             partitioned = algorithm in ("RHO", "CrkJoin")
+            spill_options = spills if algorithm == "PHT" else (False,)
             for threads in thread_counts:
                 for sizing in sizings:
                     for fanout in fanouts if partitioned else (None,):
-                        candidates.append(
-                            PlanCandidate(
-                                algorithm,
-                                variant,
-                                threads=threads,
-                                sizing=sizing,
-                                fanout=fanout,
+                        for spill in spill_options:
+                            candidates.append(
+                                PlanCandidate(
+                                    algorithm,
+                                    variant,
+                                    threads=threads,
+                                    sizing=sizing,
+                                    fanout=fanout,
+                                    spill=spill,
+                                )
                             )
-                        )
     if hints is not None:
         admitted = tuple(c for c in candidates if hints.admits(c))
         if not admitted:

@@ -112,12 +112,18 @@ class Planner:
         epc_budget_bytes: Optional[float] = None,
         cores: Optional[int] = None,
         pricing_seed: int = PRICING_SEED,
+        storage=None,
     ) -> None:
         self.machine = machine
         self.setting = setting
         self.epc_budget_bytes = epc_budget_bytes
         self.cores = cores
         self.pricing_seed = pricing_seed
+        #: Sealed-storage config (``--storage``): with one set, every
+        #: hash-join arm gains a grace-partitioned spill twin whose
+        #: estimate prices the seal/unseal traffic — the in-EPC vs spill
+        #: crossover falls out of ranking those twins side by side.
+        self.storage = storage
         self._estimates: Dict[str, Tuple[CandidateEstimate, ...]] = {}
 
     # -- pricing ----------------------------------------------------------
@@ -127,7 +133,10 @@ class Planner:
         cached = self._estimates.get(template.name)
         if cached is not None:
             return cached
-        candidates = enumerate_candidates(template, cores=self.cores)
+        spills = (False,) if self.storage is None else (False, True)
+        candidates = enumerate_candidates(
+            template, cores=self.cores, spills=spills
+        )
         estimates = tuple(
             estimate_candidate(
                 self.machine,
@@ -135,6 +144,7 @@ class Planner:
                 template,
                 candidate,
                 pricing_seed=self.pricing_seed,
+                storage=self.storage,
             )
             for candidate in candidates
         )

@@ -98,6 +98,7 @@ def estimate_candidate(
     candidate: PlanCandidate,
     *,
     pricing_seed: int = PRICING_SEED,
+    storage=None,
 ) -> CandidateEstimate:
     """Price ``candidate`` for ``template`` under ``setting``.
 
@@ -108,6 +109,11 @@ def estimate_candidate(
     (keyed on template, candidate, setting, stand-in caps, seed, and
     calibration digest), so a clustered run that builds one planner per
     shard enumerates the operator formulas once, not once per shard.
+
+    ``storage`` (a :class:`~repro.storage.StorageConfig`) is required to
+    price spill candidates: their cycles include the sealed seal/unseal
+    traffic against the storage budget, which is where the in-EPC vs
+    spill crossover comes from.
     """
     sim = SimMachine(machine.spec, machine.params)
     memo = profile_memo()
@@ -123,6 +129,7 @@ def estimate_candidate(
             sf_cap=PRICING_SF_CAP,
             params=machine.params,
             spec=machine.spec,
+            storage=storage if candidate.spill else None,
         )
         hit = memo.get(key)
         if hit is not None:
@@ -134,6 +141,18 @@ def estimate_candidate(
                 sizing_cycles=float(hit["sizing_cycles"]),
             )
     kind = template.kind.value
+    store = None
+    budget = None
+    if candidate.spill:
+        if storage is None:
+            raise ConfigurationError(
+                f"spill candidate {candidate.label()!r} cannot be priced "
+                "without a storage config"
+            )
+        from repro.storage.sealed import SealedStore
+
+        store = SealedStore(sim.params, block_bytes=storage.block_bytes)
+        budget = float(storage.budget_bytes)
     with use_tracer(NullTracer()):
         with sim.context(setting, threads=candidate.threads) as ctx:
             if kind == "join":
@@ -143,7 +162,9 @@ def estimate_candidate(
                     seed=pricing_seed,
                     physical_row_cap=PRICING_ROW_CAP,
                 )
-                join = build_join(candidate)
+                join = build_join(
+                    candidate, store=store, budget_bytes=budget
+                )
                 result = join.run(ctx, build, probe)
                 cycles = result.cycles
             elif kind == "scan":
@@ -175,7 +196,9 @@ def estimate_candidate(
                 plan = TPCH_QUERIES[template.query]()
                 executor = QueryExecutor(
                     candidate.variant,
-                    join_factory=lambda: build_join(candidate),
+                    join_factory=lambda: build_join(
+                        candidate, store=store, budget_bytes=budget
+                    ),
                 )
                 cycles = executor.run(ctx, plan, tables).cycles
             else:

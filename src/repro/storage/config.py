@@ -1,0 +1,136 @@
+"""Storage configuration and its ambient (session-scoped) channel.
+
+A :class:`StorageConfig` bundles the spill budget (the EPC/static-size
+ceiling an operator's working set must stay under before it partitions to
+sealed storage) and the sealed block size.  Like fault plans, planner
+modes, and cluster configs, it flows through an explicit ambient channel
+(:func:`use_storage` / :func:`current_storage`) so ``--storage 256m``
+reshapes every serving run in a session without threading a parameter
+through every experiment module — and ``--storage`` unset leaves every
+code path byte-identical to the pre-storage build.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.units import GB, GiB, KB, KiB, MB, MiB, PAGE_BYTES, format_bytes
+
+#: Default sealed block: 1 MiB amortizes the per-block enclave transition
+#: to well under a cycle per byte while keeping partition buffers far
+#: below any plausible budget.
+DEFAULT_BLOCK_BYTES = 1 * MiB
+
+_SUFFIXES = {
+    "k": KB,
+    "kb": KB,
+    "m": MB,
+    "mb": MB,
+    "g": GB,
+    "gb": GB,
+    "ki": KiB,
+    "kib": KiB,
+    "mi": MiB,
+    "mib": MiB,
+    "gi": GiB,
+    "gib": GiB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size like ``"256m"``, ``"1gib"``, or ``"1048576"``.
+
+    Decimal suffixes (``k``/``m``/``g``, optionally with ``b``) follow the
+    paper's table-size convention; ``ki``/``mi``/``gi`` are binary.  A bare
+    number is plain bytes.
+    """
+    raw = text.strip().lower()
+    number = raw
+    factor = 1
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            factor = _SUFFIXES[suffix]
+            break
+    if not number.isdigit():
+        raise ConfigurationError(
+            f"bad size {text!r}; expected BYTES or a k/m/g(-ib) suffixed "
+            f"count, e.g. 256m or 1gib"
+        )
+    return int(number) * factor
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """One sealed-storage setup: the spill budget and the block size."""
+
+    budget_bytes: int
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes < PAGE_BYTES:
+            raise ConfigurationError(
+                f"storage budget must be at least one page "
+                f"({PAGE_BYTES} B), got {self.budget_bytes}"
+            )
+        if self.block_bytes < PAGE_BYTES:
+            raise ConfigurationError(
+                f"sealed block must be at least one page "
+                f"({PAGE_BYTES} B), got {self.block_bytes}"
+            )
+        if self.block_bytes > self.budget_bytes:
+            raise ConfigurationError(
+                f"sealed block ({self.block_bytes} B) cannot exceed the "
+                f"storage budget ({self.budget_bytes} B)"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "StorageConfig":
+        """``--storage BUDGET[:BLOCK]``, e.g. ``256m`` or ``256m:4mi``."""
+        budget, _, block = text.partition(":")
+        if not block:
+            return cls(budget_bytes=parse_size(budget))
+        return cls(
+            budget_bytes=parse_size(budget), block_bytes=parse_size(block)
+        )
+
+    def canonical(self) -> str:
+        """A stable spec string (used in cache keys and notes)."""
+        if self.block_bytes == DEFAULT_BLOCK_BYTES:
+            return str(self.budget_bytes)
+        return f"{self.budget_bytes}:{self.block_bytes}"
+
+    def describe(self) -> str:
+        """One-line summary for notes and logs."""
+        text = f"spill over {format_bytes(self.budget_bytes)}"
+        if self.block_bytes != DEFAULT_BLOCK_BYTES:
+            text += f", {format_bytes(self.block_bytes)} blocks"
+        return text
+
+
+_ACTIVE: List[Optional[StorageConfig]] = [None]
+
+
+def current_storage() -> Optional[StorageConfig]:
+    """The ambient storage config (``None``: no sealed spill path)."""
+    return _ACTIVE[-1]
+
+
+@contextlib.contextmanager
+def use_storage(
+    config: Optional[StorageConfig],
+) -> Iterator[Optional[StorageConfig]]:
+    """Install ``config`` as the ambient storage for the ``with`` scope.
+
+    ``None`` is a no-op scope (the session default), mirroring
+    ``use_cluster``/``use_fault_plan``: a workload config whose
+    ``storage`` field is set explicitly is never overridden.
+    """
+    _ACTIVE.append(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE.pop()

@@ -19,11 +19,13 @@ from repro.trace.breakdown import (
     FaultBreakdown,
     PlanBreakdown,
     ServingBreakdown,
+    StorageBreakdown,
     cluster_breakdown,
     fault_breakdown,
     phase_breakdown,
     plan_breakdown,
     serving_breakdown,
+    storage_breakdown,
     serving_runs,
 )
 from repro.trace.exporters import (
@@ -60,6 +62,7 @@ __all__ = [
     "NullTracer",
     "PlanBreakdown",
     "ServingBreakdown",
+    "StorageBreakdown",
     "Span",
     "TeeTracer",
     "Tracer",
@@ -71,6 +74,7 @@ __all__ = [
     "read_jsonl",
     "record_from_dict",
     "serving_breakdown",
+    "storage_breakdown",
     "serving_runs",
     "tee",
     "to_csv",

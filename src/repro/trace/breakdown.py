@@ -55,6 +55,12 @@ ROUTE = "cluster.route"
 SCALE = "cluster.scale"
 FAILOVER = "cluster.failover"
 
+#: Storage event names (emitted only when a ``--storage`` budget installs
+#: the sealed spill path — never in a storage-less run's trace).
+SPILL = "storage.spill"
+FAULT_STORAGE_STALL = "fault.storage_stall"
+FAULT_TORN_BLOCK = "fault.torn_block"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -444,6 +450,84 @@ def cluster_breakdown(source) -> ClusterBreakdown:
         scale_downs=downs,
         shuffle_s=shuffle,
         per_shard=per_shard,
+    )
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """What the sealed spill path did during one serving run.
+
+    The storage analogue of :class:`FaultBreakdown`: every ``storage.spill``
+    event contributes its spilled bytes and the priced seal/unseal/re-scan
+    seconds; stalled/torn counts come from the storage fault events.  A run
+    without a ``--storage`` budget yields the all-zero breakdown.
+    """
+
+    spills: int  # queries that took the spill path
+    spilled_bytes: float  # summed bytes written to sealed runs
+    seal_s: float  # summed seal + write-out seconds
+    unseal_s: float  # summed read-back + unseal seconds
+    stalled: int  # spills inflated by a STORAGE_STALL window
+    torn: int  # attempts aborted by a torn sealed block
+
+    @property
+    def spill_s(self) -> float:
+        """Total priced spill seconds (seal + unseal + re-scan I/O)."""
+        return self.seal_s + self.unseal_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "spills": self.spills,
+            "spilled_bytes": self.spilled_bytes,
+            "seal_s": self.seal_s,
+            "unseal_s": self.unseal_s,
+            "stalled": self.stalled,
+            "torn": self.torn,
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: the spill path's priced activity."""
+        return (
+            f"{self.spills} spills, "
+            f"{self.spilled_bytes / 1e6:.1f} MB sealed "
+            f"(seal {self.seal_s:.2f} s, unseal {self.unseal_s:.2f} s), "
+            f"{self.stalled} stalled, {self.torn} torn blocks"
+        )
+
+
+def storage_breakdown(
+    source, *, shard: Optional[str] = None
+) -> StorageBreakdown:
+    """Aggregate a trace's ``storage.*`` events into a spill breakdown.
+
+    ``source`` is a tracer or record iterable; ``shard`` restricts the
+    aggregation to one cluster shard's spills (shard-local spill vs.
+    re-shard shuffle is exactly this filter against the route events'
+    ``shuffle_s``).  A storage-less trace yields the all-zero breakdown.
+    """
+    spills = stalled = torn = 0
+    spilled_bytes = seal_s = unseal_s = 0.0
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if shard is not None and record.attrs.get("shard") != shard:
+            continue
+        if record.name == SPILL:
+            spills += 1
+            spilled_bytes += record.attrs.get("spilled_bytes", 0.0)
+            seal_s += record.attrs.get("seal_s", 0.0)
+            unseal_s += record.attrs.get("unseal_s", 0.0)
+            if record.attrs.get("stalled"):
+                stalled += 1
+        elif record.name == FAULT_TORN_BLOCK:
+            torn += 1
+    return StorageBreakdown(
+        spills=spills,
+        spilled_bytes=spilled_bytes,
+        seal_s=seal_s,
+        unseal_s=unseal_s,
+        stalled=stalled,
+        torn=torn,
     )
 
 

@@ -88,6 +88,14 @@ class WorkloadConfig:
     #: ``cores``/``epc_budget_bytes`` (an explicit ``epc_budget_bytes``
     #: applies per shard).
     cluster: Optional[object] = None
+    #: Sealed-storage budget: a :class:`~repro.storage.StorageConfig`, a
+    #: spec string (``"2G"`` or ``"2G:1M"``), or ``None`` to defer to the
+    #: ambient storage config (``use_storage`` / ``--storage``).  With one
+    #: in effect the serving budget is clamped to the storage budget and
+    #: overflow admissions spill their overflowing share to sealed
+    #: untrusted storage (priced seal/unseal traffic) instead of paying
+    #: the EDMM/paging penalty.
+    storage: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.open_streams and not self.closed_streams:
@@ -160,31 +168,39 @@ class ServingEngine:
         measured service time and EPC working set a static profile would.
         Arms are handed to the selectors best-first.
         """
+        from repro.storage.config import use_storage
+
         budget = self.epc_budget(config)
+        storage = self.storage_of(config)
         planner = Planner(
             self.catalog.machine_prototype(),
             config.setting,
             epc_budget_bytes=None if math.isinf(budget) else budget,
             cores=config.cores,
             pricing_seed=self.catalog.pricing_seed,
+            storage=storage,
         )
         arms: Dict[str, Tuple[ArmCost, ...]] = {}
-        for name in config.template_names():
-            template = self.templates[name]
-            arm_list = []
-            for candidate in planner.top_k(template, config.plan_top_k):
-                cost = self.catalog.candidate_cost(
-                    template, config.setting, candidate
-                )
-                arm_list.append(
-                    ArmCost(
-                        candidate=candidate,
-                        label=candidate.label(template.threads),
-                        service_s=cost.service_s,
-                        working_set_bytes=cost.working_set_bytes,
+        # Pricing spill arms goes through the catalog, which resolves the
+        # storage budget ambiently — pin the config's own (possibly
+        # explicit) storage for the pricing scope.
+        with use_storage(storage):
+            for name in config.template_names():
+                template = self.templates[name]
+                arm_list = []
+                for candidate in planner.top_k(template, config.plan_top_k):
+                    cost = self.catalog.candidate_cost(
+                        template, config.setting, candidate
                     )
-                )
-            arms[name] = tuple(arm_list)
+                    arm_list.append(
+                        ArmCost(
+                            candidate=candidate,
+                            label=candidate.label(template.threads),
+                            service_s=cost.service_s,
+                            working_set_bytes=cost.working_set_bytes,
+                        )
+                    )
+                arms[name] = tuple(arm_list)
         return arms
 
     def _make_selector(self, config: WorkloadConfig) -> Optional[PlanSelector]:
@@ -221,6 +237,32 @@ class ServingEngine:
             )
         return raw
 
+    def storage_of(self, config: WorkloadConfig):
+        """The effective storage config (explicit, ambient, or ``None``)."""
+        from repro.storage.config import StorageConfig, current_storage
+
+        raw = config.storage if config.storage is not None else current_storage()
+        if raw is None:
+            return None
+        if isinstance(raw, str):
+            return StorageConfig.parse(raw)
+        if not isinstance(raw, StorageConfig):
+            raise ConfigurationError(
+                f"storage must be a StorageConfig or a spec string, "
+                f"got {type(raw).__name__}"
+            )
+        return raw
+
+    def _make_spill(self, storage):
+        """A :class:`~repro.storage.SpillModel` priced for this machine."""
+        if storage is None:
+            return None
+        from repro.storage.sealed import SealedStore, SpillModel
+
+        machine = self.catalog.machine_prototype()
+        store = SealedStore(machine.params, block_bytes=storage.block_bytes)
+        return SpillModel(store, machine.spec.base_frequency_hz)
+
     def run(self, config: WorkloadConfig) -> WorkloadMetrics:
         """Serve ``config`` to completion and return its metrics."""
         cluster = self.cluster_of(config)
@@ -228,15 +270,24 @@ class ServingEngine:
             return self.run_cluster(config, cluster).metrics
         policy = make_policy(config.policy, bypass_bytes=config.bypass_bytes)
         plan = config.faults if config.faults is not None else current_fault_plan()
+        storage = self.storage_of(config)
+        budget = self.epc_budget(config)
+        if storage is not None:
+            # The storage budget caps the in-enclave working-set share:
+            # anything beyond it takes the sealed spill path, which is
+            # what lets ``--storage 2G`` force the spill regime on a
+            # machine whose physical EPC would otherwise absorb it.
+            budget = min(budget, float(storage.budget_bytes))
         scheduler = WorkloadScheduler(
             self.costs_for(config),
             policy,
             cores=config.cores,
-            epc_budget_bytes=self.epc_budget(config),
+            epc_budget_bytes=budget,
             setting_label=config.setting.label,
             injector=make_injector(plan),
             resilience=config.resilience,
             selector=self._make_selector(config),
+            storage=self._make_spill(storage),
         )
         return scheduler.run(
             open_streams=config.open_streams,
@@ -264,6 +315,8 @@ class ServingEngine:
         shards = cluster.spec.shards(machine.spec)
         costs = self.costs_for(config)
         plan = config.faults if config.faults is not None else current_fault_plan()
+        storage = self.storage_of(config)
+        spill = self._make_spill(storage)
         schedulers = []
         for shard in shards:
             if config.epc_budget_bytes is not None:
@@ -272,6 +325,13 @@ class ServingEngine:
                 budget = math.inf
             else:
                 budget = shard.epc_budget_bytes
+            if storage is not None:
+                # Shard-local spill: each shard spills against its own
+                # slice of the storage budget; the ``shard`` attr on the
+                # resulting storage.* events is what keeps local spill
+                # traffic distinguishable from re-shard shuffles (which
+                # report through ``ClusterResult.shuffle_s``).
+                budget = min(budget, float(storage.budget_bytes))
             schedulers.append(
                 WorkloadScheduler(
                     costs,
@@ -284,6 +344,7 @@ class ServingEngine:
                     injector=make_injector(plan),
                     resilience=config.resilience,
                     selector=self._make_selector(config),
+                    storage=spill,
                     shard=shard.label,
                     query_id_base=shard.shard_id * QUERY_ID_STRIDE,
                 )

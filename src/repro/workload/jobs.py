@@ -260,6 +260,16 @@ class JobCatalog:
         """
         if candidate is None:
             candidate = static_candidate(template, self.variant)
+        storage = None
+        if candidate.spill:
+            from repro.storage.config import current_storage
+
+            storage = current_storage()
+            if storage is None:
+                raise ConfigurationError(
+                    f"spill candidate {candidate.label()!r} cannot be "
+                    "priced without a storage budget (--storage)"
+                )
         memo = profile_memo()
         key = ""
         if memo.enabled:
@@ -274,6 +284,7 @@ class JobCatalog:
                 sf_cap=self.sf_cap,
                 params=proto.params if proto is not None else None,
                 spec=proto.spec if proto is not None else None,
+                storage=storage,
             )
             hit = memo.get(key)
             if hit is not None:
@@ -283,6 +294,13 @@ class JobCatalog:
                     int(footprint) if footprint is not None else None,
                 )
         sim = self._fresh_machine()
+        store = None
+        budget = None
+        if storage is not None:
+            from repro.storage.sealed import SealedStore
+
+            store = SealedStore(sim.params, block_bytes=storage.block_bytes)
+            budget = float(storage.budget_bytes)
         with use_tracer(NullTracer()), sim.context(
             setting, threads=candidate.threads
         ) as ctx:
@@ -293,7 +311,9 @@ class JobCatalog:
                     seed=self.pricing_seed,
                     physical_row_cap=self.row_cap,
                 )
-                result = build_join(candidate).run(ctx, build, probe)
+                result = build_join(
+                    candidate, store=store, budget_bytes=budget
+                ).run(ctx, build, probe)
                 seconds = result.seconds(sim.frequency_hz)
             elif template.kind is JobKind.SCAN:
                 logical_rows = int(template.scan_bytes // 4)
@@ -324,7 +344,9 @@ class JobCatalog:
                 plan = TPCH_QUERIES[template.query]()
                 result = QueryExecutor(
                     candidate.variant,
-                    join_factory=lambda: build_join(candidate),
+                    join_factory=lambda: build_join(
+                        candidate, store=store, budget_bytes=budget
+                    ),
                 ).run(ctx, plan, tables)
                 seconds = result.seconds(sim.frequency_hz)
             else:  # pragma: no cover - enum is exhaustive

@@ -129,6 +129,11 @@ class SchedulerCounters:
     poisoned: int = 0  # attempts of a poisoned template (always fail)
     degraded: int = 0  # dispatches at a reduced EPC reservation
     aex_inflations: int = 0  # dispatches inflated by an AEX storm
+    # -- sealed-storage decisions (all zero without a --storage budget) ---
+    spills: int = 0  # dispatches served through the sealed spill path
+    spilled_bytes: float = 0.0  # working-set bytes sealed out to storage
+    storage_stalled: int = 0  # spills inflated by a STORAGE_STALL window
+    torn_blocks: int = 0  # attempts aborted by a torn-block unseal failure
 
     def as_dict(self) -> Dict[str, int]:
         """The steady-state counters (the pre-fault serving vocabulary).
@@ -160,6 +165,17 @@ class SchedulerCounters:
             "poisoned": self.poisoned,
             "degraded": self.degraded,
             "aex_inflations": self.aex_inflations,
+        }
+
+    def storage_dict(self) -> Dict[str, Union[int, float]]:
+        """The spill-path counters (mirrored into traces only when a
+        sealed-storage budget is installed, so storage-less runs keep
+        their pre-storage trace bytes)."""
+        return {
+            "spills": self.spills,
+            "spilled_bytes": self.spilled_bytes,
+            "storage_stalled": self.storage_stalled,
+            "torn_blocks": self.torn_blocks,
         }
 
 

@@ -45,7 +45,11 @@ class ResourceState:
 
     @property
     def epc_headroom_bytes(self) -> float:
-        return self.epc_budget_bytes - self.epc_used_bytes
+        # An EPC_SQUEEZE fault can shrink the budget below what running
+        # queries already hold; clamp so headroom never goes negative
+        # (a negative value would over-penalise FIFO overflow accounting
+        # and make EpcAware comparisons depend on sign conventions).
+        return max(0.0, self.epc_budget_bytes - self.epc_used_bytes)
 
 
 @dataclass

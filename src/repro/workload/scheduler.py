@@ -72,6 +72,8 @@ from repro.trace.breakdown import (
     FAULT_AEX,
     FAULT_CRASH,
     FAULT_EDMM_DENIED,
+    FAULT_STORAGE_STALL,
+    FAULT_TORN_BLOCK,
     FINISH,
     PLANNER_CHOICE,
     PLANNER_OBSERVE,
@@ -79,7 +81,9 @@ from repro.trace.breakdown import (
     RUN_END,
     RUN_START,
     SHED,
+    SPILL,
 )
+from repro.storage.sealed import SpillModel
 from repro.trace.tracer import current_tracer
 from repro.workload.generators import Arrival, ClosedLoopStream, OpenLoopStream
 from repro.workload.jobs import JobCost
@@ -139,6 +143,7 @@ class WorkloadScheduler:
         injector: Optional[NullInjector] = None,
         resilience: Optional[ResiliencePolicy] = None,
         selector: Optional[PlanSelector] = None,
+        storage: Optional[SpillModel] = None,
         shard: str = "",
         query_id_base: int = 0,
     ) -> None:
@@ -167,6 +172,12 @@ class WorkloadScheduler:
         #: branch hides behind ``selector is not None`` for the same
         #: byte-identity reason the fault branches hide behind _faulting.
         self._selector = selector
+        #: Sealed-storage spill model (``--storage BUDGET``).  With one
+        #: installed, overflow admissions spill their overflowing share to
+        #: sealed untrusted storage instead of paying the EDMM/paging
+        #: penalty; without one, every spill branch stays cold and runs
+        #: are byte-identical to the pre-storage build.
+        self._storage = storage
         #: Shard identity when multiplexed by a cluster scheduler; ""
         #: (un-sharded) suppresses every shard-related trace attr so solo
         #: runs stay byte-identical to the pre-cluster build.
@@ -262,6 +273,7 @@ class SchedulerLoop:
         self._resilience = scheduler._resilience
         self._faulting = scheduler._faulting
         self._selector = scheduler._selector
+        self._spill = scheduler._storage
         self._shard = scheduler._shard
         if self._tracer.enabled:
             self._emit(
@@ -700,8 +712,76 @@ class SchedulerLoop:
             service = pending.service_s + interference_s
             edmm_penalty_s = 0.0
             degraded_penalty_s = 0.0
+            spill_penalty_s = 0.0
             reserved_bytes = pending.working_set_bytes
-            if decision.overflow_bytes > 0:
+            if decision.overflow_bytes > 0 and self._spill is not None:
+                # Sealed spill path: the overflowing share of the
+                # working set is sealed out to untrusted storage at
+                # dispatch and streamed back (unsealed + re-scanned)
+                # during service, so only the fitting share is reserved
+                # in EPC — no EDMM growth, no Fig. 11 paging collapse,
+                # just priced seal/unseal traffic.
+                if faulting and injector.torn_block(
+                    now, pending.query_id, pending.attempt
+                ):
+                    # A sealed block failed its AES-GCM tag check on
+                    # the way back in: the attempt aborts before the
+                    # query held any resources.
+                    counters.torn_blocks += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            FAULT_TORN_BLOCK,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            attempt=pending.attempt,
+                            spilled_bytes=float(decision.overflow_bytes),
+                        )
+                    self._fail_attempt(pending, now, "torn_block")
+                    continue
+                reserved_bytes = max(
+                    0,
+                    pending.working_set_bytes - decision.overflow_bytes,
+                )
+                seal_s, unseal_s = self._spill.charge(
+                    decision.overflow_bytes
+                )
+                stall = 1.0
+                if faulting:
+                    stall = injector.storage_stall_multiplier(now)
+                stalled = stall > 1.0
+                if stalled:
+                    seal_s *= stall
+                    unseal_s *= stall
+                    counters.storage_stalled += 1
+                    if self._tracer.enabled:
+                        self._emit(
+                            FAULT_STORAGE_STALL,
+                            time_s=now,
+                            query_id=pending.query_id,
+                            stream=pending.stream,
+                            template=pending.template,
+                            inflation=stall,
+                        )
+                spill_penalty_s = seal_s + unseal_s
+                service += spill_penalty_s
+                counters.spills += 1
+                counters.spilled_bytes += float(decision.overflow_bytes)
+                if self._tracer.enabled:
+                    self._emit(
+                        SPILL,
+                        time_s=now,
+                        query_id=pending.query_id,
+                        stream=pending.stream,
+                        template=pending.template,
+                        spilled_bytes=float(decision.overflow_bytes),
+                        seal_s=seal_s,
+                        unseal_s=unseal_s,
+                        stalled=stalled,
+                        penalty_s=spill_penalty_s,
+                    )
+            elif decision.overflow_bytes > 0:
                 overflow_fraction = (
                     decision.overflow_bytes / pending.working_set_bytes
                 )
@@ -849,6 +929,8 @@ class SchedulerLoop:
                         aex_penalty_s=aex_penalty_s,
                         degraded_penalty_s=degraded_penalty_s,
                     )
+                if self._spill is not None:
+                    dispatch_attrs.update(spill_penalty_s=spill_penalty_s)
                 self._emit(DISPATCH, **dispatch_attrs)
                 gauge = "scheduler.epc_high_water_bytes"
                 if self._shard:
@@ -1092,6 +1174,9 @@ class SchedulerLoop:
             )
             if self._faulting:
                 for name, value in counters.fault_dict().items():
+                    self._tracer.count(f"scheduler.{name}", value)
+            if self._spill is not None:
+                for name, value in counters.storage_dict().items():
                     self._tracer.count(f"scheduler.{name}", value)
                 end_attrs.update(
                     failed=counters.failed,

@@ -192,7 +192,7 @@ class TestRegistry:
             {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07"}
         )  # extensions
         expected.update(
-            {"wl01", "wl02", "wl03", "wl04", "wl05", "wl06"}
+            {"wl01", "wl02", "wl03", "wl04", "wl05", "wl06", "wl07"}
         )  # serving workloads
         assert set(EXPERIMENTS) == expected
 

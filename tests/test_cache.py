@@ -149,3 +149,43 @@ class TestMemoStore:
     def test_zero_capacity_rejected(self, tmp_path):
         with pytest.raises(CacheError):
             MemoStore(tmp_path, memory_entries=0)
+        with pytest.raises(CacheError):
+            MemoStore(tmp_path, disk_entries=0)
+
+    def test_disk_tier_capped_oldest_out_first(self, tmp_path):
+        import os
+
+        store = MemoStore(tmp_path, disk_entries=3)
+        for i in range(5):
+            store.put(f"key{i}", {"i": i})
+            # Distinct mtimes so the eviction order is age, not name.
+            os.utime(store.path_for(f"key{i}"), (i, i))
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        assert store.path_for("key0").exists() is False
+        assert store.path_for("key1").exists() is False
+        assert store.path_for("key4").exists()
+
+    def test_disk_cap_holds_across_sessions(self, tmp_path):
+        import os
+
+        # Session one fills the directory to its cap...
+        first = MemoStore(tmp_path, disk_entries=2)
+        for i in range(2):
+            first.put(f"key{i}", {"i": i})
+            os.utime(first.path_for(f"key{i}"), (i, i))
+        # ...and a later session's writes evict the oldest survivors
+        # instead of growing the directory without bound.
+        second = MemoStore(tmp_path, disk_entries=2)
+        second.put("key9", {"i": 9})
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert second.get("key0") is None  # oldest, evicted
+        assert second.get("key9") == {"i": 9}  # just written, kept
+
+    def test_uncapped_default_is_generous(self, tmp_path):
+        from repro.cache.store import DEFAULT_DISK_ENTRIES
+
+        assert DEFAULT_DISK_ENTRIES >= 1024
+        store = MemoStore(tmp_path)
+        for i in range(8):
+            store.put(f"key{i}", {"i": i})
+        assert len(list(tmp_path.glob("*.json"))) == 8

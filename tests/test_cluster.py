@@ -97,6 +97,25 @@ class TestClusterSpec:
         with pytest.raises(ConfigurationError):
             ClusterSpec.parse(bad)
 
+    @pytest.mark.parametrize("bad", ["0x4", "2x0", "0x0", "2x2x0"])
+    def test_zero_shard_counts_rejected_at_parse(self, bad):
+        # Regression: int() accepted the zeros and the spec's own
+        # validation only fired later, with a worse message.
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.parse(bad)
+
+    @pytest.mark.parametrize("bad", ["-1x4", "2x-4", "+2x4"])
+    def test_signed_counts_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.parse(bad)
+
+    @pytest.mark.parametrize("bad", [" 2x4", "2x4 ", "2 x4", "2x 4", "\t2x4"])
+    def test_whitespace_padded_specs_rejected(self, bad):
+        # Regression: ``" 2x4"`` used to parse (str.strip + int's own
+        # whitespace tolerance) so typos silently produced a cluster.
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.parse(bad)
+
     def test_zero_counts_rejected(self):
         with pytest.raises(ConfigurationError):
             ClusterSpec(sockets=0)

@@ -153,6 +153,48 @@ class TestCliFaults:
             (chaos_dir / "wl01.csv").read_bytes()
 
 
+class TestCliClusterAndStorage:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["wl01", "--cluster", "2x4", "--storage", "256m"]
+        )
+        assert args.cluster == "2x4"
+        assert args.storage == "256m"
+        assert build_parser().parse_args(["wl01"]).storage is None
+
+    @pytest.mark.parametrize("bad", ["0x4", " 2x4", "2 x4", "axb"])
+    def test_malformed_cluster_exits_2(self, bad, capsys):
+        assert main(["wl01", "--cluster", bad]) == 2
+        assert "cluster spec" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["nope", "1.5g", "256m:999"])
+    def test_malformed_storage_exits_2(self, bad, capsys):
+        assert main(["wl01", "--storage", bad]) == 2
+        assert capsys.readouterr().err  # names the problem
+
+    def test_malformed_flags_leave_no_artifact_dirs_behind(
+        self, tmp_path, capsys
+    ):
+        for flag, bad in (("--cluster", "0x4"), ("--storage", "nope")):
+            csv_dir = tmp_path / f"csv{flag}"
+            assert main(
+                ["wl01", flag, bad, "--csv", str(csv_dir)]
+            ) == 2
+            capsys.readouterr()
+            assert not csv_dir.exists()
+
+    def test_storage_budget_changes_serving_results(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        spill_dir = tmp_path / "spill"
+        assert main(["wl01", "--csv", str(plain_dir)]) == 0
+        assert main(
+            ["wl01", "--storage", "200m", "--csv", str(spill_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert (plain_dir / "wl01.csv").read_bytes() != \
+            (spill_dir / "wl01.csv").read_bytes()
+
+
 class TestCsvRoundTrip:
     def test_cli_csv_parses_back(self, tmp_path, capsys):
         import csv

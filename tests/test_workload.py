@@ -193,6 +193,28 @@ class TestPolicies:
         with pytest.raises(ConfigurationError):
             make_policy("lifo")
 
+    def test_squeezed_budget_never_yields_negative_headroom(self):
+        from collections import deque
+
+        # Regression: an EPC_SQUEEZE can shrink the budget below what
+        # running queries already hold; headroom used to go negative,
+        # over-penalising FIFO overflow accounting and making EpcAware
+        # admission depend on sign conventions.
+        state = ResourceState(
+            free_cores=8,
+            total_cores=8,
+            epc_used_bytes=600 * MB,
+            epc_budget_bytes=500 * MB,
+        )
+        assert state.epc_headroom_bytes == 0.0
+        # FIFO overflow is capped at the query's whole demand.
+        decision = FifoPolicy().pick(deque([self.pending("big")]), state)
+        assert decision.overflow_bytes == self.pending("big").working_set_bytes
+        # EpcAware holds the query instead of admitting on a negative.
+        policy = EpcAwarePolicy()
+        assert policy.pick(deque([self.pending("big")]), state) is None
+        assert policy.last_block_reason == "epc"
+
     def test_bypass_threshold_validated_against_plausible_epc(self):
         from repro.workload.policies import MAX_BYPASS_BYTES
 
