@@ -27,6 +27,8 @@ ENGINE_SCOREBOARD = RESULTS_DIR / "BENCH_engine.json"
 
 STORAGE_SCOREBOARD = RESULTS_DIR / "BENCH_storage.json"
 
+BACKENDS_SCOREBOARD = RESULTS_DIR / "BENCH_backends.json"
+
 FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
@@ -144,6 +146,35 @@ def storage_scoreboard(results_dir):
             kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
         )
         STORAGE_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
+        return merged
+
+    return _update
+
+
+@pytest.fixture
+def backends_scoreboard(results_dir):
+    """Read-modify-write ``BENCH_backends.json``, the backend-arm trajectory.
+
+    Same contract as ``storage_scoreboard``: each entry is
+    ``{experiment, arm, ...metrics}`` with ``None`` where a metric does
+    not apply (here the metrics are per-template ``overhead`` ratios plus
+    the envelope's ``init_share``), a bench replaces only its own
+    experiment's entries, and the merged file stays sorted so reruns are
+    byte-stable.
+    """
+
+    def _update(experiment_id: str, entries):
+        existing = []
+        if BACKENDS_SCOREBOARD.exists():
+            existing = json.loads(BACKENDS_SCOREBOARD.read_text())
+        kept = [e for e in existing if e["experiment"] != experiment_id]
+        for entry in entries:
+            entry.setdefault("overhead", None)
+            entry.setdefault("init_share", None)
+        merged = sorted(
+            kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
+        )
+        BACKENDS_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
         return merged
 
     return _update

@@ -1,0 +1,119 @@
+"""The backend protocol: prepare a dataset, execute a query, return rows.
+
+A :class:`Backend` is one way of running a job template's logical query:
+the operator-level simulator (:class:`~repro.backends.sim.SimBackend`) or
+a real SQL engine (:mod:`repro.backends.engines`).  All implementations
+share one contract:
+
+* ``prepare(dataset) -> handle`` loads the template's materialized data
+  (same physical rows for every backend — see
+  :mod:`repro.backends.dataset`);
+* ``execute(handle, query) -> (rows, MeasuredProfile)`` runs one query
+  and returns the *result bag* (a list of tuples, the equivalence gate's
+  input) plus a measured profile.
+
+Profiles are explicit about their epistemic status: the simulator's
+seconds are **simulated** (byte-deterministic, reportable); an engine's
+seconds are **wall-clock** (nondeterministic, only ever consumed through
+the checked-in calibration artifact — see
+:mod:`repro.backends.calibrate`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.backends.dataset import Dataset, materialize
+from repro.backends.sqlgen import render_sql
+from repro.workload.jobs import JobTemplate
+
+#: One result bag: a list of row tuples (ints / floats / None).
+Rows = List[Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class BackendQuery:
+    """One executable query: the template plus its SQL rendering."""
+
+    template: JobTemplate
+    sql: str
+
+
+@dataclass(frozen=True)
+class MeasuredProfile:
+    """What one backend execution measured.
+
+    ``simulated`` distinguishes deterministic simulated seconds (the sim
+    backend) from wall-clock measurements (real engines).  Wall-clock
+    values must never reach a report or trace directly; they enter the
+    deterministic path only via the calibration artifact.
+    """
+
+    backend: str
+    template: str
+    prepare_s: float
+    execute_s: float
+    rows: int
+    physical_bytes: int
+    logical_bytes: float
+    working_set_bytes: int
+    simulated: bool
+
+
+@dataclass(frozen=True)
+class BackendHandle:
+    """An opaque prepared dataset (engines add their connection)."""
+
+    backend: str
+    dataset: Dataset
+    prepare_s: float = 0.0
+    state: Any = None
+
+
+class Backend(abc.ABC):
+    """One execution backend for job templates."""
+
+    #: Mode string (matches :data:`repro.backends.config.BACKEND_MODES`).
+    name: str = "backend"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return cls.missing_reason() is None
+
+    @classmethod
+    def missing_reason(cls) -> Optional[str]:
+        """Why the backend cannot run (``None``: it can)."""
+        return None
+
+    @abc.abstractmethod
+    def prepare(self, dataset: Dataset) -> BackendHandle:
+        """Load ``dataset`` and return a handle for :meth:`execute`."""
+
+    @abc.abstractmethod
+    def execute(
+        self, handle: BackendHandle, query: BackendQuery
+    ) -> Tuple[Rows, MeasuredProfile]:
+        """Run ``query`` against the prepared data; rows + profile."""
+
+    # -- convenience -----------------------------------------------------
+
+    def run_template(
+        self, template: JobTemplate, *, seed: int, row_cap: int, sf_cap: float
+    ) -> Tuple[Rows, MeasuredProfile]:
+        """Materialize, prepare, and execute ``template`` in one call."""
+        dataset = materialize(
+            template, seed=seed, row_cap=row_cap, sf_cap=sf_cap
+        )
+        handle = self.prepare(dataset)
+        query = BackendQuery(
+            template=template, sql=render_sql(template, dataset)
+        )
+        try:
+            return self.execute(handle, query)
+        finally:
+            close = getattr(handle.state, "close", None)
+            if close is not None:
+                close()

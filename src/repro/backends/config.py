@@ -1,0 +1,89 @@
+"""Backend selection and its ambient (session-scoped) channel.
+
+``--backend sqlite`` asks the serving layer to price engine-in-enclave
+arms from a real engine's calibrated profile instead of the operator
+simulator.  Like fault plans, planner modes, cluster topologies, and
+storage budgets, the choice flows through an explicit ambient channel
+(:func:`use_backend_mode` / :func:`current_backend_mode`) so one flag
+reshapes every serving run in a session — and ``--backend`` unset (or
+``sim``) leaves every code path byte-identical to the pre-backends build.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Every selectable backend.  ``sim`` is the operator-level simulator (the
+#: default and the only backend the figure experiments ever use); the
+#: engine modes execute the same logical queries on a real SQL engine.
+BACKEND_MODES = ("sim", "sqlite", "duckdb")
+
+#: The real-engine subset: modes whose serving costs come from the SGX
+#: cost envelope over a calibrated engine profile.
+ENGINE_MODES = ("sqlite", "duckdb")
+
+#: The pip extra that provides the optional engine wheels.
+BACKENDS_EXTRA = "repro[backends]"
+
+
+def validate_mode(mode: str) -> str:
+    """Return ``mode`` if known, else raise :class:`ConfigurationError`."""
+    if mode not in BACKEND_MODES:
+        raise ConfigurationError(
+            f"unknown backend {mode!r}; known: {', '.join(BACKEND_MODES)}"
+        )
+    return mode
+
+
+def missing_reason(mode: str) -> Optional[str]:
+    """Why ``mode`` cannot run here (``None``: it can).
+
+    The one-line message names the pip extra, so an unavailable engine
+    fails fast with an actionable hint instead of an ImportError traceback
+    from deep inside a serving run.
+    """
+    validate_mode(mode)
+    if mode == "duckdb" and importlib.util.find_spec("duckdb") is None:
+        return (
+            "backend 'duckdb' needs the duckdb wheel; "
+            f"pip install '{BACKENDS_EXTRA}'"
+        )
+    return None
+
+
+def require_available(mode: str) -> str:
+    """Validate ``mode`` and raise if its engine is not importable."""
+    reason = missing_reason(mode)
+    if reason is not None:
+        raise ConfigurationError(reason)
+    return mode
+
+
+_ACTIVE: List[Optional[str]] = [None]
+
+
+def current_backend_mode() -> Optional[str]:
+    """The ambient backend mode (``None``: the simulator, the default)."""
+    return _ACTIVE[-1]
+
+
+@contextlib.contextmanager
+def use_backend_mode(mode: Optional[str]) -> Iterator[Optional[str]]:
+    """Install ``mode`` as the ambient backend for the ``with`` scope.
+
+    ``None`` is a no-op scope (the session default), mirroring
+    ``use_storage``/``use_planner_mode``; ``"sim"`` is accepted and keys
+    identically to ``None`` everywhere (both serve the operator-simulator
+    path), so pre-backends cache entries stay valid for sim sessions.
+    """
+    if mode is not None:
+        validate_mode(mode)
+    _ACTIVE.append(mode)
+    try:
+        yield mode
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,99 @@
+"""Materialize one job template's physical data for every backend.
+
+All backends — the operator simulator and the real engines — must query
+*the same physical rows*, or bag equivalence would be vacuous.  This
+module is the single source of that data: it reproduces exactly the
+stand-in tables :meth:`repro.workload.jobs.JobCatalog._price` generates
+(same generators, same pricing seed, same physical caps), bundled with
+the logical sizes the cost envelope scales measured profiles up to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.tables import generate_join_relation_pair, generate_tpch
+from repro.tables.table import Column, Table
+from repro.workload.jobs import JobKind, JobTemplate
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One template's materialized tables plus its sizing metadata."""
+
+    template: JobTemplate
+    seed: int
+    row_cap: int
+    sf_cap: float
+    tables: Mapping[str, Table]
+    #: Query parameters derived during materialization (e.g. the scan
+    #: range bounds, which depend on the physical row count).
+    params: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Bytes actually materialized (what an engine holds in memory)."""
+        return int(sum(t.physical_bytes for t in self.tables.values()))
+
+    @property
+    def logical_bytes(self) -> float:
+        """The template's full logical size (what the cost model prices)."""
+        return float(sum(t.logical_bytes for t in self.tables.values()))
+
+    @property
+    def physical_rows(self) -> int:
+        return int(sum(t.num_rows for t in self.tables.values()))
+
+
+def materialize(
+    template: JobTemplate, *, seed: int, row_cap: int, sf_cap: float
+) -> Dataset:
+    """The physical stand-in data of ``template`` at the given caps.
+
+    Matches the catalog's pricing runs field for field: join pairs come
+    from :func:`generate_join_relation_pair` at ``seed``/``row_cap``,
+    scans over ``arange(physical)`` with the ``[0, physical // 10]``
+    range, TPC-H from :func:`generate_tpch` at ``seed``/``sf_cap``.
+    """
+    if template.kind is JobKind.JOIN:
+        build, probe = generate_join_relation_pair(
+            template.build_bytes,
+            template.probe_bytes,
+            seed=seed,
+            physical_row_cap=row_cap,
+        )
+        tables: Dict[str, Table] = {"r": build, "s": probe}
+        params: Dict[str, int] = {}
+    elif template.kind is JobKind.SCAN:
+        logical_rows = int(template.scan_bytes // 4)
+        physical = max(1, min(row_cap, logical_rows))
+        tables = {
+            "scan_values": Table(
+                "scan_values",
+                [Column("v", np.arange(physical, dtype=np.int32))],
+                sim_scale=logical_rows / physical,
+            )
+        }
+        params = {"scan_lower": 0, "scan_upper": physical // 10}
+    else:  # TPCH (JobTemplate.__post_init__ rejects anything else)
+        data = generate_tpch(
+            template.scale_factor, seed=seed, physical_sf_cap=sf_cap
+        )
+        tables = {
+            "customer": data.customer,
+            "orders": data.orders,
+            "lineitem": data.lineitem,
+            "part": data.part,
+        }
+        params = {}
+    return Dataset(
+        template=template,
+        seed=seed,
+        row_cap=row_cap,
+        sf_cap=sf_cap,
+        tables=dict(tables),
+        params=params,
+    )

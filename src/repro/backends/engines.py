@@ -1,0 +1,144 @@
+"""Real SQL engines behind the backend protocol: SQLite and DuckDB.
+
+Both engines implement the DB-API surface this module needs (``execute``
+/ ``executemany`` / ``fetchall``), so one implementation covers both;
+only the connection factory differs.  SQLite ships with CPython and is
+therefore always available — it is the engine the CI equivalence gate
+runs against.  DuckDB is optional: :meth:`DuckDBBackend.missing_reason`
+names the ``repro[backends]`` extra when the wheel is absent, and every
+caller is expected to skip (not crash) in that case.
+
+Engine timings are **wall-clock** (``MeasuredProfile.simulated=False``).
+They never enter reports or traces directly; the deterministic path
+consumes them only through the checked-in calibration artifact
+(:mod:`repro.backends.calibrate`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.backends.base import (
+    Backend,
+    BackendHandle,
+    BackendQuery,
+    MeasuredProfile,
+    Rows,
+)
+from repro.backends.config import missing_reason as _config_missing_reason
+from repro.backends.dataset import Dataset
+from repro.errors import ConfigurationError
+
+
+class SqlEngineBackend(Backend):
+    """Shared DB-API implementation (subclasses provide the connection)."""
+
+    def _connect(self):  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    def prepare(self, dataset: Dataset) -> BackendHandle:
+        reason = self.missing_reason()
+        if reason is not None:
+            raise ConfigurationError(reason)
+        start = time.perf_counter()
+        conn = self._connect()
+        for name, table in dataset.tables.items():
+            columns = ", ".join(
+                f'"{column}" INTEGER' for column in table.column_names
+            )
+            conn.execute(f'CREATE TABLE "{name}" ({columns})')
+            placeholders = ", ".join("?" for _ in table.column_names)
+            arrays = [table[column].tolist() for column in table.column_names]
+            conn.executemany(
+                f'INSERT INTO "{name}" VALUES ({placeholders})',
+                zip(*arrays),
+            )
+        self._commit(conn)
+        return BackendHandle(
+            backend=self.name,
+            dataset=dataset,
+            prepare_s=time.perf_counter() - start,
+            state=conn,
+        )
+
+    @staticmethod
+    def _commit(conn) -> None:
+        commit = getattr(conn, "commit", None)
+        if commit is not None:
+            commit()
+
+    def execute(
+        self, handle: BackendHandle, query: BackendQuery
+    ) -> Tuple[Rows, MeasuredProfile]:
+        if handle.state is None:
+            raise ConfigurationError(
+                f"backend {self.name!r}: execute() needs a prepared handle"
+            )
+        start = time.perf_counter()
+        cursor = handle.state.execute(query.sql)
+        rows = [tuple(row) for row in cursor.fetchall()]
+        elapsed = time.perf_counter() - start
+        dataset = handle.dataset
+        profile = MeasuredProfile(
+            backend=self.name,
+            template=query.template.name,
+            prepare_s=handle.prepare_s,
+            execute_s=elapsed,
+            rows=len(rows),
+            physical_bytes=dataset.physical_bytes,
+            logical_bytes=dataset.logical_bytes,
+            working_set_bytes=0,  # engines do not expose EPC footprints
+            simulated=False,
+        )
+        return rows, profile
+
+
+class SQLiteBackend(SqlEngineBackend):
+    """CPython's bundled SQLite: the always-available reference engine."""
+
+    name = "sqlite"
+
+    def _connect(self):
+        import sqlite3
+
+        return sqlite3.connect(":memory:")
+
+
+class DuckDBBackend(SqlEngineBackend):
+    """DuckDB, when its wheel is installed (the ``backends`` extra)."""
+
+    name = "duckdb"
+
+    @classmethod
+    def missing_reason(cls) -> Optional[str]:
+        return _config_missing_reason("duckdb")
+
+    def _connect(self):
+        import duckdb
+
+        return duckdb.connect(":memory:")
+
+
+#: Backend classes by mode name (the sim backend registers in
+#: :mod:`repro.backends.__init__` to avoid importing operator modules
+#: from here).
+ENGINE_BACKENDS = {
+    SQLiteBackend.name: SQLiteBackend,
+    DuckDBBackend.name: DuckDBBackend,
+}
+
+
+def make_engine(mode: str) -> SqlEngineBackend:
+    """Instantiate the engine backend for ``mode`` (or raise)."""
+    try:
+        cls = ENGINE_BACKENDS[mode]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine backend {mode!r}; "
+            f"known: {', '.join(sorted(ENGINE_BACKENDS))}"
+        ) from None
+    reason = cls.missing_reason()
+    if reason is not None:
+        raise ConfigurationError(reason)
+    return cls()

@@ -1,0 +1,134 @@
+"""Cross-backend result-bag equivalence: canonicalize, digest, compare.
+
+The DAT300-style harness rule this package enforces: *no timing without
+matching results*.  Every backend executes the same logical query and the
+resulting row bags must be identical before any performance number is
+reported.  Bags are compared through a canonical form that is insensitive
+to everything SQL semantics does not fix:
+
+* **row order** — results are multisets, so rows are sorted;
+* **column order** — engines may project in different orders, so values
+  are sorted *within* each row as well;
+* **numeric representation** — floats are quantized (and integral floats
+  collapse to ints) so ``1`` from the simulator equals ``1.0`` from an
+  engine; ``-0.0``, NaN, and infinities normalize to stable sentinels;
+* **NULLs** — ``None`` sorts and digests deterministically;
+* **duplicates** — preserved (a bag, not a set): an engine returning one
+  copy of a doubled row fails the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import EquivalenceError
+
+#: Decimal digits floats are rounded to before digesting.  Far below any
+#: difference the simulator or an engine could legitimately produce for
+#: these integer-typed workloads; ties within half a quantum collapse.
+QUANT_DIGITS = 9
+
+
+def canonical_value(value: Any) -> Any:
+    """One scalar in canonical form (JSON-safe, backend-independent)."""
+    if value is None:
+        return None
+    # Numpy scalars (the simulator's native currency) reduce to Python.
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bytes)):
+        value = item()
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "Infinity" if value > 0 else "-Infinity"
+        value = round(value, QUANT_DIGITS) + 0.0  # +0.0 folds -0.0
+        if value.is_integer() and abs(value) < 2**53:
+            return int(value)
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    return str(value)
+
+
+def _value_key(value: Any) -> Tuple[int, Any]:
+    """A total order over canonical scalars (None < numbers < strings)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, value)
+
+
+def canonical_row(row: Sequence[Any]) -> Tuple[Any, ...]:
+    """One row in canonical form: values canonicalized, column order
+    erased by sorting within the row."""
+    return tuple(sorted((canonical_value(v) for v in row), key=_value_key))
+
+
+def canonical_bag(rows: Iterable[Sequence[Any]]) -> List[Tuple[Any, ...]]:
+    """The sorted-multiset form of a result: duplicates preserved."""
+    return sorted(
+        (canonical_row(row) for row in rows),
+        key=lambda row: json.dumps(row, separators=(",", ":")),
+    )
+
+
+def bag_digest(rows: Iterable[Sequence[Any]]) -> str:
+    """SHA-256 hex digest of the canonical bag (the gate's currency)."""
+    payload = json.dumps(
+        canonical_bag(rows), separators=(",", ":"), sort_keys=False
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _first_difference(
+    reference: List[Tuple[Any, ...]], other: List[Tuple[Any, ...]]
+) -> str:
+    """One human-readable line about where two canonical bags diverge."""
+    if len(reference) != len(other):
+        return f"row counts differ: {len(reference)} vs {len(other)}"
+    for index, (left, right) in enumerate(zip(reference, other)):
+        if left != right:
+            return f"first differing row #{index}: {left} vs {right}"
+    return "bags are permutations with equal length (digest collision?)"
+
+
+def assert_equivalent(
+    bags: Mapping[str, Iterable[Sequence[Any]]], *, context: str = ""
+) -> str:
+    """Require every named bag to be identical; return the shared digest.
+
+    ``bags`` maps backend names to row iterables.  The first entry (in
+    insertion order) is the reference; any disagreement raises
+    :class:`~repro.errors.EquivalenceError` naming both backends, both
+    digests, and the first differing row.
+    """
+    if not bags:
+        raise EquivalenceError("equivalence gate needs at least one bag")
+    names = list(bags)
+    canon = {name: canonical_bag(bags[name]) for name in names}
+    digests = {
+        name: hashlib.sha256(
+            json.dumps(canon[name], separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        for name in names
+    }
+    reference = names[0]
+    for name in names[1:]:
+        if digests[name] != digests[reference]:
+            where = f" for {context}" if context else ""
+            raise EquivalenceError(
+                f"result bags differ{where}: {reference} "
+                f"({digests[reference][:16]}..., {len(canon[reference])} "
+                f"rows) vs {name} ({digests[name][:16]}..., "
+                f"{len(canon[name])} rows); "
+                + _first_difference(canon[reference], canon[name])
+            )
+    return digests[reference]

@@ -1,0 +1,76 @@
+"""The standalone cross-backend equivalence gate.
+
+``python -m repro.backends.gate`` executes every serving template through
+the operator simulator and each requested engine, canonicalizes the
+result bags, and fails (exit 1) on any disagreement.  CI runs it as a
+merge gate: no timing of an engine arm is trustworthy unless the engine
+and the simulator answer every query identically, and bag comparison is
+deterministic even where engine timings are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.backends.config import ENGINE_MODES, missing_reason
+from repro.backends.serving import gate_template
+from repro.errors import EquivalenceError
+from repro.workload.jobs import JobCatalog, serving_templates
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.backends.gate",
+        description="cross-backend result-bag equivalence gate",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=ENGINE_MODES,
+        help="engine(s) to gate against (default: every available engine)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="gate at the full (non-quick) pricing caps",
+    )
+    args = parser.parse_args(argv)
+
+    modes = args.backend
+    if not modes:
+        modes = []
+        for mode in ENGINE_MODES:
+            reason = missing_reason(mode)
+            if reason is None:
+                modes.append(mode)
+            else:
+                print(f"skip {mode}: {reason}")
+    else:
+        for mode in modes:
+            reason = missing_reason(mode)
+            if reason is not None:
+                print(reason, file=sys.stderr)
+                return 2
+
+    catalog = JobCatalog(quick=not args.full)
+    failures = 0
+    for name in sorted(serving_templates()):
+        template = serving_templates()[name]
+        for mode in modes:
+            try:
+                digest = gate_template(catalog, template, mode)
+            except EquivalenceError as exc:
+                failures += 1
+                print(f"FAIL sim vs {mode} on {name}: {exc}")
+            else:
+                print(f"ok   sim vs {mode} on {name}: {digest[:12]}")
+    if failures:
+        print(f"{failures} equivalence failure(s)", file=sys.stderr)
+        return 1
+    print(f"all templates equivalent across sim + {', '.join(modes)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

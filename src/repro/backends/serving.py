@@ -1,0 +1,181 @@
+"""Bridge engine backends into the serving catalog's pricing path.
+
+When an engine backend mode is active (``--backend sqlite|duckdb``),
+:meth:`repro.workload.jobs.JobCatalog.profile` delegates here instead of
+running the operator simulator: the template's service seconds come from
+the engine's *calibrated* profile (the checked-in artifact), priced
+through the :class:`~repro.backends.envelope.SgxCostEnvelope` —
+
+* ``Plain CPU``      → the envelope's ``plain_s`` (engine, no enclave);
+* ``SGX (Data in Enclave)`` → ``in_enclave_s`` (init + penalized
+  execution + EPC paging).
+
+Before any engine-priced profile is handed out, the **equivalence gate**
+runs once per catalog and template: the operator simulator and the live
+engine execute the same query over the same materialized rows, and their
+result bags must canonicalize to one digest (which must also match the
+digest the calibration artifact recorded).  Result *bags* are
+deterministic even though engine *timings* are not, so the gate keeps
+engine-priced arms byte-deterministic while proving the two renderings
+of the query agree.
+
+Both steps announce themselves on the ambient tracer (``backend.envelope``
+and ``backend.equivalence`` events) so the backend breakdown reporter can
+attribute an engine arm's seconds; neither event appears unless an engine
+mode is active, preserving the default path's trace bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.backends.engines import make_engine
+from repro.backends.envelope import (
+    EngineProfile,
+    SgxCostEnvelope,
+    get_profile,
+    load_profiles,
+)
+from repro.backends.dataset import materialize
+from repro.backends.equivalence import assert_equivalent
+from repro.backends.sim import SimBackend
+from repro.errors import ConfigurationError
+from repro.trace.breakdown import BACKEND_ENVELOPE, BACKEND_EQUIVALENCE
+from repro.trace.tracer import current_tracer
+from repro.workload.jobs import JobCatalog, JobProfile, JobTemplate
+
+#: Module-level artifact cache: the checked-in file never changes within
+#: a process, and loading it once keeps repeated catalog builds cheap.
+_PROFILES_CACHE: Dict[str, Dict[Tuple[str, str], EngineProfile]] = {}
+
+
+def _artifact_profiles() -> Dict[Tuple[str, str], EngineProfile]:
+    cached = _PROFILES_CACHE.get("default")
+    if cached is None:
+        cached = load_profiles()
+        _PROFILES_CACHE["default"] = cached
+    return cached
+
+
+def _gate_memo(catalog: JobCatalog) -> Set[Tuple[str, str]]:
+    """The catalog's per-experiment gate memo (lazily attached).
+
+    Per *catalog*, not per process: one catalog serves one experiment, so
+    the gate (and its trace event) fires exactly once per experiment and
+    template regardless of whether experiments share a process (serial
+    sessions) or not (``--jobs N`` workers) — trace bytes stay identical
+    across session compositions.
+    """
+    memo = getattr(catalog, "_backend_gated", None)
+    if memo is None:
+        memo = set()
+        catalog._backend_gated = memo
+    return memo
+
+
+def _check_calibration(
+    catalog: JobCatalog, artifact: EngineProfile
+) -> None:
+    """The artifact must have been captured at the catalog's pricing caps."""
+    mismatches = []
+    if artifact.row_cap != catalog.row_cap:
+        mismatches.append(
+            f"row_cap {artifact.row_cap} != {catalog.row_cap}"
+        )
+    if artifact.sf_cap != catalog.sf_cap:
+        mismatches.append(f"sf_cap {artifact.sf_cap} != {catalog.sf_cap}")
+    if artifact.pricing_seed != catalog.pricing_seed:
+        mismatches.append(
+            f"pricing_seed {artifact.pricing_seed} != {catalog.pricing_seed}"
+        )
+    if mismatches:
+        raise ConfigurationError(
+            f"calibrated profile {artifact.backend}/{artifact.template} "
+            f"does not match the catalog's pricing caps "
+            f"({'; '.join(mismatches)}); re-capture with "
+            "'python -m repro.backends.calibrate'"
+        )
+
+
+def gate_template(
+    catalog: JobCatalog, template: JobTemplate, mode: str
+) -> str:
+    """Run the cross-backend equivalence gate; return the shared digest.
+
+    Executes the template through the operator simulator *and* the live
+    engine over identically materialized rows, then requires both bags to
+    canonicalize to one digest.  Raises
+    :class:`~repro.errors.EquivalenceError` on disagreement — an engine
+    arm must never report a timing for a query the engine answers
+    differently.
+    """
+    dataset = materialize(
+        template,
+        seed=catalog.pricing_seed,
+        row_cap=catalog.row_cap,
+        sf_cap=catalog.sf_cap,
+    )
+    # Rows only, no pricing: the gate compares result bags, and pricing
+    # the sim arm here would re-enter the catalog mid-delegation.
+    sim_rows = SimBackend(catalog).compute_rows(dataset)
+    engine_rows, _ = make_engine(mode).run_template(
+        template,
+        seed=catalog.pricing_seed,
+        row_cap=catalog.row_cap,
+        sf_cap=catalog.sf_cap,
+    )
+    return assert_equivalent(
+        {"sim": sim_rows, mode: engine_rows},
+        context=f"template {template.name!r}",
+    )
+
+
+def engine_profile(
+    catalog: JobCatalog, template: JobTemplate, mode: str
+) -> JobProfile:
+    """Price ``template`` from ``mode``'s calibrated engine profile.
+
+    The equivalence gate runs first (once per catalog and template); the
+    returned :class:`~repro.workload.jobs.JobProfile` carries the
+    envelope's plain/in-enclave seconds under the catalog's two standard
+    setting labels, so schedulers and reporters consume engine-priced
+    arms exactly like simulated ones.
+    """
+    artifact = get_profile(mode, template, _artifact_profiles())
+    _check_calibration(catalog, artifact)
+    tracer = current_tracer()
+
+    memo = _gate_memo(catalog)
+    gate_key = (template.name, mode)
+    if gate_key not in memo:
+        digest = gate_template(catalog, template, mode)
+        if artifact.bag_digest != digest:
+            raise ConfigurationError(
+                f"calibrated profile {mode}/{template.name} recorded bag "
+                f"digest {artifact.bag_digest[:12]} but the live engines "
+                f"now agree on {digest[:12]}; the data generators and the "
+                "artifact are out of sync — re-capture with "
+                "'python -m repro.backends.calibrate'"
+            )
+        memo.add(gate_key)
+        tracer.event(
+            BACKEND_EQUIVALENCE,
+            backend=mode,
+            template=template.name,
+            digest=digest,
+            rows=artifact.rows,
+        )
+
+    envelope = SgxCostEnvelope(catalog.machine_prototype())
+    cost = envelope.price(artifact, template)
+    tracer.event(BACKEND_ENVELOPE, **cost.as_event_attrs())
+    plain, enclave = JobCatalog.SETTINGS
+    return JobProfile(
+        name=template.name,
+        threads=template.threads,
+        working_set_bytes=cost.working_set_bytes,
+        service_seconds_by_setting={
+            plain.label: cost.plain_s,
+            enclave.label: cost.in_enclave_s,
+        },
+    )

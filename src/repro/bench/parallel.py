@@ -50,13 +50,13 @@ from repro.machine import SimMachine
 from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
-#: repetition_jobs, fault_plan, planner, cluster, storage, memo_enabled,
-#: memo_dir).  The plan, the planner mode, the cluster config, the
-#: storage config, and the memo switches ride into spawned workers as
-#: pickled values — spawn inherits no ambient ``use_fault_plan``/
-#: ``use_planner_mode``/``use_cluster``/``use_storage``/
-#: ``use_profile_memo`` state, so the explicit slots are the only
-#: channel.
+#: repetition_jobs, fault_plan, planner, cluster, storage, backend,
+#: memo_enabled, memo_dir).  The plan, the planner mode, the cluster
+#: config, the storage config, the backend mode, and the memo switches
+#: ride into spawned workers as pickled values — spawn inherits no
+#: ambient ``use_fault_plan``/``use_planner_mode``/``use_cluster``/
+#: ``use_storage``/``use_backend_mode``/``use_profile_memo`` state, so
+#: the explicit slots are the only channel.
 _Task = Tuple[
     str,
     bool,
@@ -67,6 +67,7 @@ _Task = Tuple[
     Optional[str],
     object,
     object,
+    Optional[str],
     bool,
     Optional[str],
 ]
@@ -138,6 +139,7 @@ def _execute(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -153,6 +155,7 @@ def _execute(
             planner=planner,
             cluster=cluster,
             storage=storage,
+            backend=backend,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -217,6 +220,7 @@ def _worker(task: _Task) -> Dict:
         planner,
         cluster,
         storage,
+        backend,
         memo_enabled,
         memo_dir,
     ) = task
@@ -232,6 +236,7 @@ def _worker(task: _Task) -> Dict:
         planner=planner,
         cluster=cluster,
         storage=storage,
+        backend=backend,
     )
 
 
@@ -261,6 +266,7 @@ def run_session(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
     memo: bool = True,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
@@ -281,7 +287,9 @@ def run_session(
     ``cluster`` (a :class:`~repro.cluster.ClusterConfig`) a session
     cluster topology likewise, and ``storage`` (a
     :class:`~repro.storage.StorageConfig`) a session sealed-storage
-    budget likewise.  ``memo=False`` disables the per-query
+    budget likewise, and ``backend`` a session backend mode likewise
+    (``None``/``"sim"`` key identically — both serve the operator
+    simulator).  ``memo=False`` disables the per-query
     profile memo for every run (the ``--no-memo`` channel); memoized and
     unmemoized runs are byte-identical, so the flag is never keyed.
     """
@@ -321,6 +329,7 @@ def run_session(
                 planner=planner,
                 cluster=cluster,
                 storage=storage,
+                backend=backend,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -370,6 +379,7 @@ def run_session(
                     planner=planner,
                     cluster=cluster,
                     storage=storage,
+                    backend=backend,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -394,6 +404,7 @@ def run_session(
                             planner,
                             cluster,
                             storage,
+                            backend,
                             memo,
                             memo_dir,
                         ),

@@ -33,6 +33,7 @@ from repro.bench.experiments import (
     ext05_pipelining,
     ext06_epc_crossover,
     ext07_planner_ablation,
+    ext08_engine_vs_operator,
     wl01_latency_throughput,
     wl02_admission_policies,
     wl03_tenant_interference,
@@ -72,6 +73,7 @@ EXPERIMENTS: Dict[str, object] = {
         ext05_pipelining,
         ext06_epc_crossover,
         ext07_planner_ablation,
+        ext08_engine_vs_operator,
         wl01_latency_throughput,
         wl02_admission_policies,
         wl03_tenant_interference,
@@ -105,6 +107,7 @@ def run_experiment(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -128,11 +131,15 @@ def run_experiment(
     unaffected.  ``storage`` installs a session sealed-storage budget (a
     :class:`~repro.storage.StorageConfig` or a spec string like ``"2G"``)
     the same way — serving configs with ``storage=None`` spill against
-    it.
+    it.  ``backend`` installs a session backend mode (``--backend``):
+    engine modes price serving templates from calibrated engine profiles
+    through the SGX cost envelope; ``None``/``"sim"`` leave the operator
+    simulator in charge (byte-identical to the pre-backends path).
     """
     module = get_experiment(experiment_id)
     import contextlib
 
+    from repro.backends.config import use_backend_mode
     from repro.bench.runner import use_base_seed
     from repro.cluster import ClusterConfig, use_cluster
     from repro.faults import use_fault_plan
@@ -149,7 +156,8 @@ def run_experiment(
     if isinstance(storage, str):
         storage = StorageConfig.parse(storage)
     with plan_scope, use_planner_mode(planner), use_base_seed(base_seed), \
-            use_cluster(cluster), use_storage(storage):
+            use_cluster(cluster), use_storage(storage), \
+            use_backend_mode(backend):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

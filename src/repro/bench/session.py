@@ -64,6 +64,7 @@ def build_report(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
     memo: bool = True,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
@@ -80,7 +81,8 @@ def build_report(
     (the ``--faults`` channel); ``planner`` a session planner mode (the
     ``--planner`` channel); ``cluster`` a session cluster topology (the
     ``--cluster`` channel); ``storage`` a session sealed-storage budget
-    (the ``--storage`` channel); ``memo=False`` disables the per-query profile
+    (the ``--storage`` channel); ``backend`` a session backend mode (the
+    ``--backend`` channel); ``memo=False`` disables the per-query profile
     memo (the ``--no-memo`` channel) — output bytes are identical either
     way, only wall-clock changes.
     """
@@ -126,6 +128,7 @@ def build_report(
         planner=planner,
         cluster=cluster,
         storage=storage,
+        backend=backend,
         memo=memo,
     )
     for run in session.runs:
@@ -161,6 +164,7 @@ def write_report(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
     memo: bool = True,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
@@ -180,6 +184,7 @@ def write_report(
             planner=planner,
             cluster=cluster,
             storage=storage,
+            backend=backend,
             memo=memo,
         )
     )

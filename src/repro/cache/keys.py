@@ -33,7 +33,11 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #: 6: keys gained a sealed-storage component (``--storage`` budgets spill
 #:    overflow to sealed untrusted storage; calibrations also grew the
 #:    seal/unseal/IO constants, so pre-storage entries price differently).
-CACHE_FORMAT = 6
+#: 7: keys gained a backend component (``--backend sqlite|duckdb`` prices
+#:    serving arms from calibrated engine profiles through the SGX cost
+#:    envelope; ``None`` and ``"sim"`` key identically, so sim sessions
+#:    share entries with default ones).
+CACHE_FORMAT = 7
 
 
 def canonical(value: Any) -> Any:
@@ -103,6 +107,7 @@ def experiment_key(
     planner: Optional[str] = None,
     cluster=None,
     storage=None,
+    backend: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
@@ -121,8 +126,11 @@ def experiment_key(
     session sealed-storage config (a
     :class:`~repro.storage.StorageConfig`; the budget and block size both
     hash in, so a spilling run never replays an in-EPC entry or vice
-    versa), and ``extra`` any additional operator parameters a caller
-    wants keyed (e.g. an
+    versa), ``backend`` the session backend mode (``None`` and ``"sim"``
+    key identically: both serve the operator simulator, so pre-backends
+    entries stay valid for sim sessions, while engine-priced runs never
+    alias simulated ones), and ``extra`` any additional operator
+    parameters a caller wants keyed (e.g. an
     :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
     return fingerprint(
@@ -136,6 +144,7 @@ def experiment_key(
         planner=planner if planner not in (None, "static") else "static",
         cluster=cluster,
         storage=storage,
+        backend=backend if backend not in (None, "sim") else "sim",
         extra=extra or {},
     )
 

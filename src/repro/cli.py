@@ -153,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
             "priced through the calibrated seal/unseal/IO constants"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        metavar="MODE",
+        help=(
+            "price serving arms with MODE: 'sim' (the operator-level "
+            "simulator; the default), 'sqlite' or 'duckdb' (a real SQL "
+            "engine's calibrated profile priced through the SGX cost "
+            "envelope; result bags are equivalence-gated against the "
+            "simulator first); 'duckdb' needs the repro[backends] extra"
+        ),
+    )
     return parser
 
 
@@ -211,6 +222,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             storage = StorageConfig.parse(args.storage)
         except ConfigurationError as exc:
             print(str(exc), file=sys.stderr)
+            return 2
+    if args.backend is not None:
+        # Same fail-fast contract: an unknown or unavailable backend
+        # exits 2 (one line naming the pip extra) before any output dirs
+        # exist — never an ImportError traceback mid-session.
+        from repro.backends import missing_reason, validate_mode
+        from repro.errors import ConfigurationError
+
+        try:
+            validate_mode(args.backend)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        reason = missing_reason(args.backend)
+        if reason is not None:
+            print(reason, file=sys.stderr)
+            return 2
+        if args.backend != "sim" and args.planner not in (None, "static"):
+            print(
+                f"--backend {args.backend} prices templates from calibrated "
+                "engine profiles, which cover only the static plans; it "
+                f"cannot be combined with --planner {args.planner}",
+                file=sys.stderr,
+            )
             return 2
     if args.seed is not None:
         from repro.bench import runner
@@ -276,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             planner=args.planner,
             cluster=cluster,
             storage=storage,
+            backend=args.backend,
             memo=not args.no_memo,
         )
         print(f"wrote {path}")
@@ -300,6 +336,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         planner=args.planner,
         cluster=cluster,
         storage=storage,
+        backend=args.backend,
         memo=not args.no_memo,
     )
     for run in session.runs:

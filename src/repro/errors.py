@@ -63,3 +63,11 @@ class ZeroLengthWindowError(BenchmarkError):
 
 class CacheError(ReproError):
     """A result-cache key could not be built or an entry is malformed."""
+
+
+class EquivalenceError(BenchmarkError):
+    """Two backends disagreed on a query's result bag.
+
+    Raised by the cross-backend equivalence gate *before* any timing is
+    reported: a backend whose rows differ from the reference bag must not
+    contribute performance numbers, because it did not run the same query."""

@@ -15,11 +15,13 @@ so traced and untraced runs produce bit-identical experiment results.
 """
 
 from repro.trace.breakdown import (
+    BackendBreakdown,
     ClusterBreakdown,
     FaultBreakdown,
     PlanBreakdown,
     ServingBreakdown,
     StorageBreakdown,
+    backend_breakdown,
     cluster_breakdown,
     fault_breakdown,
     phase_breakdown,
@@ -53,6 +55,7 @@ from repro.trace.tracer import (
 )
 
 __all__ = [
+    "BackendBreakdown",
     "ClusterBreakdown",
     "Counter",
     "Event",
@@ -66,6 +69,7 @@ __all__ = [
     "Span",
     "TeeTracer",
     "Tracer",
+    "backend_breakdown",
     "cluster_breakdown",
     "current_tracer",
     "fault_breakdown",

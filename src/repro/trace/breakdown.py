@@ -61,6 +61,11 @@ SPILL = "storage.spill"
 FAULT_STORAGE_STALL = "fault.storage_stall"
 FAULT_TORN_BLOCK = "fault.torn_block"
 
+#: Backend event names (emitted only when an engine backend is active —
+#: never in a ``--backend sim``/default run's trace).
+BACKEND_ENVELOPE = "backend.envelope"
+BACKEND_EQUIVALENCE = "backend.equivalence"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -528,6 +533,88 @@ def storage_breakdown(
         unseal_s=unseal_s,
         stalled=stalled,
         torn=torn,
+    )
+
+
+@dataclass(frozen=True)
+class BackendBreakdown:
+    """What the engine-backend bridge did during one run.
+
+    Aggregates the ``backend.*`` events: how many templates passed the
+    cross-backend equivalence gate (and over how many result rows), and
+    where the envelope put each engine-priced template's in-enclave
+    seconds (init vs. penalized execution vs. EPC paging).  A default or
+    ``--backend sim`` trace yields the all-zero breakdown.
+    """
+
+    gates_passed: int  # templates whose result bags matched the sim's
+    gated_rows: int  # summed result rows the gates compared
+    priced: int  # envelope pricings (one per engine-priced template)
+    plain_s: float  # summed engine-at-logical-scale seconds
+    init_s: float  # summed enclave heap pre-touch seconds
+    execute_s: float  # summed penalized in-enclave execution seconds
+    paging_s: float  # summed EPC overflow fault seconds
+
+    @property
+    def in_enclave_s(self) -> float:
+        """Total engine-in-enclave seconds across priced templates."""
+        return self.init_s + self.execute_s + self.paging_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "gates_passed": self.gates_passed,
+            "gated_rows": self.gated_rows,
+            "priced": self.priced,
+            "plain_s": self.plain_s,
+            "init_s": self.init_s,
+            "execute_s": self.execute_s,
+            "paging_s": self.paging_s,
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: the backend bridge's activity."""
+        return (
+            f"{self.gates_passed} equivalence gates over "
+            f"{self.gated_rows} rows; {self.priced} envelope pricings "
+            f"(init {self.init_s:.3f} s, exec {self.execute_s:.3f} s, "
+            f"paging {self.paging_s:.3f} s)"
+        )
+
+
+def backend_breakdown(
+    source, *, backend: Optional[str] = None
+) -> BackendBreakdown:
+    """Aggregate a trace's ``backend.*`` events into a bridge breakdown.
+
+    ``source`` is a tracer or record iterable; ``backend`` restricts the
+    aggregation to one engine mode's events (a multi-arm experiment can
+    price sqlite and duckdb in one trace).  An engine-less trace yields
+    the all-zero breakdown.
+    """
+    gates = rows = priced = 0
+    plain_s = init_s = execute_s = paging_s = 0.0
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if backend is not None and record.attrs.get("backend") != backend:
+            continue
+        if record.name == BACKEND_EQUIVALENCE:
+            gates += 1
+            rows += int(record.attrs.get("rows", 0))
+        elif record.name == BACKEND_ENVELOPE:
+            priced += 1
+            plain_s += record.attrs.get("plain_s", 0.0)
+            init_s += record.attrs.get("init_s", 0.0)
+            execute_s += record.attrs.get("execute_s", 0.0)
+            paging_s += record.attrs.get("paging_s", 0.0)
+    return BackendBreakdown(
+        gates_passed=gates,
+        gated_rows=rows,
+        priced=priced,
+        plain_s=plain_s,
+        init_s=init_s,
+        execute_s=execute_s,
+        paging_s=paging_s,
     )
 
 

@@ -158,10 +158,21 @@ class JobCatalog:
         #: regardless).  UNROLLED is the paper's optimized engine; NAIVE
         #: models a lift-and-shift port (Fig. 17: +42 % average overhead).
         self.variant = variant
-        self._profiles: Dict[str, JobProfile] = {}
+        #: Priced profiles by (template name, backend group): the sim
+        #: path and each engine mode price differently, so they must not
+        #: share cache entries.
+        self._profiles: Dict[Tuple[str, str], JobProfile] = {}
         self._candidate_costs: Dict[
             Tuple[str, str, PlanCandidate], JobCost
         ] = {}
+        #: Templates seen so far, by name.  Profiles and candidate costs
+        #: are cached by template *name*, so two distinct templates
+        #: sharing a name would silently reuse the first one's pricing;
+        #: :meth:`_register` rejects that instead.
+        self._templates: Dict[str, JobTemplate] = {}
+        #: (template, mode) pairs the cross-backend equivalence gate has
+        #: passed for this catalog (see :mod:`repro.backends.serving`).
+        self._backend_gated: set = set()
 
     @property
     def row_cap(self) -> int:
@@ -180,13 +191,52 @@ class JobCatalog:
         """A machine carrying the catalog's spec (for EPC capacities)."""
         return self._fresh_machine()
 
+    def _register(self, template: JobTemplate) -> None:
+        """Reject a second template reusing a cached template's name.
+
+        Every cache in the catalog is keyed by ``template.name``; handing
+        back another template's pricing because the names collide would be
+        a silent correctness bug, so a name may only ever map to one set
+        of template fields per catalog.
+        """
+        known = self._templates.get(template.name)
+        if known is None:
+            self._templates[template.name] = template
+        elif known != template:
+            raise ConfigurationError(
+                f"job template name {template.name!r} is already registered "
+                "with different fields; the catalog caches pricing by name, "
+                "so distinct templates need distinct names"
+            )
+
     # -- pricing ---------------------------------------------------------
 
     def profile(self, template: JobTemplate) -> JobProfile:
-        """The (cached) priced profile of ``template``."""
-        cached = self._profiles.get(template.name)
+        """The (cached) priced profile of ``template``.
+
+        Under an ambient engine backend mode (``--backend sqlite|duckdb``)
+        the profile comes from the engine's calibrated measurement priced
+        through the SGX cost envelope; otherwise (default / ``sim``) from
+        pricing runs of the operator simulator.  Both paths cache here,
+        so each template is priced (and, for engines, equivalence-gated)
+        once per catalog.
+        """
+        self._register(template)
+        # Late imports: repro.backends imports this module for the
+        # simulator backend, so the bridge cannot be a top-level import.
+        from repro.backends.config import ENGINE_MODES, current_backend_mode
+
+        mode = current_backend_mode()
+        group = mode if mode in ENGINE_MODES else "sim"
+        cached = self._profiles.get((template.name, group))
         if cached is not None:
             return cached
+        if group != "sim":
+            from repro.backends.serving import engine_profile
+
+            profile = engine_profile(self, template, mode)
+            self._profiles[(template.name, group)] = profile
+            return profile
         service: Dict[str, float] = {}
         working_set = 0
         for setting in self.SETTINGS:
@@ -200,7 +250,7 @@ class JobCatalog:
             working_set_bytes=working_set,
             service_seconds_by_setting=service,
         )
-        self._profiles[template.name] = profile
+        self._profiles[(template.name, group)] = profile
         return profile
 
     def cost(self, template: JobTemplate, setting: ExecutionSetting) -> JobCost:
@@ -226,6 +276,7 @@ class JobCatalog:
         planner arms acquire the service time and EPC working set the
         serving scheduler charges.
         """
+        self._register(template)
         key = (template.name, setting.label, candidate)
         cached = self._candidate_costs.get(key)
         if cached is not None:

@@ -1,0 +1,308 @@
+"""repro.backends: equivalence gate, SGX cost envelope, backend wiring."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+
+import pytest
+
+from repro.backends import (
+    BACKENDS_EXTRA,
+    SQLiteBackend,
+    SimBackend,
+    assert_equivalent,
+    bag_digest,
+    canonical_bag,
+    current_backend_mode,
+    make_engine,
+    materialize,
+    missing_reason,
+    use_backend_mode,
+    validate_mode,
+)
+from repro.backends.envelope import (
+    SgxCostEnvelope,
+    get_profile,
+    load_profiles,
+)
+from repro.backends.serving import engine_profile, gate_template
+from repro.cache.keys import experiment_key
+from repro.cli import main as cli_main
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import ConfigurationError, EquivalenceError
+from repro.hardware.platforms import sgxv1_calibration, sgxv1_testbed
+from repro.machine import SimMachine
+from repro.trace import Tracer, backend_breakdown, use_tracer
+from repro.workload.jobs import (
+    JobCatalog,
+    JobKind,
+    JobTemplate,
+    serving_templates,
+)
+
+HAVE_DUCKDB = importlib.util.find_spec("duckdb") is not None
+
+
+class TestEquivalence:
+    def test_empty_bags_agree(self):
+        assert assert_equivalent({"a": [], "b": []}) == bag_digest([])
+
+    def test_empty_vs_nonempty_fails(self):
+        with pytest.raises(EquivalenceError, match="row counts differ"):
+            assert_equivalent({"a": [], "b": [(1,)]})
+
+    def test_all_null_columns(self):
+        rows = [(None, None), (None, None)]
+        assert assert_equivalent({"a": rows, "b": list(rows)})
+        with pytest.raises(EquivalenceError):
+            assert_equivalent({"a": rows, "b": [(None, None), (None, 0)]})
+
+    def test_duplicate_rows_are_a_bag_not_a_set(self):
+        with pytest.raises(EquivalenceError):
+            assert_equivalent({"a": [(1,), (1,)], "b": [(1,)]})
+        assert assert_equivalent({"a": [(1,), (1,)], "b": [(1,), (1,)]})
+
+    def test_float_ties_at_quantization_boundary(self):
+        # Differences far below the quantum collapse to one digest...
+        assert bag_digest([(0.1 + 0.2,)]) == bag_digest([(0.3,)])
+        assert bag_digest([(1.0000000000004,)]) == bag_digest([(1,)])
+        # ...but real differences above it stay distinct.
+        assert bag_digest([(1.00001,)]) != bag_digest([(1,)])
+
+    def test_int_float_unify(self):
+        assert bag_digest([(1,)]) == bag_digest([(1.0,)])
+        assert bag_digest([(-0.0,)]) == bag_digest([(0,)])
+        assert bag_digest([(True,)]) == bag_digest([(1,)])
+
+    def test_nan_and_infinities_are_stable(self):
+        weird = [(float("nan"), float("inf"), float("-inf"))]
+        assert bag_digest(weird) == bag_digest(list(weird))
+
+    def test_column_order_insensitivity(self):
+        assert bag_digest([(1, 2), (3, 4)]) == bag_digest([(2, 1), (4, 3)])
+
+    def test_column_order_insensitivity_for_large_ints(self):
+        # Regression guard: value ordering must be exact, not via a lossy
+        # float rendering (2**60 and 2**60 + 1 format identically there).
+        a, b = 2**60, 2**60 + 1
+        assert bag_digest([(a, b)]) == bag_digest([(b, a)])
+
+    def test_row_order_insensitivity(self):
+        assert bag_digest([(1,), (2,)]) == bag_digest([(2,), (1,)])
+
+    def test_canonical_bag_is_json_stable(self):
+        bag = canonical_bag([(2, None), (1.5, "x")])
+        json.dumps(bag)  # must be serializable as-is
+
+    def test_error_names_backends_and_first_difference(self):
+        with pytest.raises(EquivalenceError, match="sim.*other"):
+            assert_equivalent(
+                {"sim": [(1,)], "other": [(2,)]}, context="t"
+            )
+
+
+class TestBackendsAgree:
+    """Sim and SQLite must produce identical bags on every template."""
+
+    @pytest.mark.parametrize("name", sorted(serving_templates()))
+    def test_serving_template_bags_match(self, name):
+        catalog = JobCatalog()
+        digest = gate_template(catalog, serving_templates()[name], "sqlite")
+        assert len(digest) == 64
+
+    def test_sqlite_rows_match_sim_rows_directly(self):
+        template = serving_templates()["scan-small"]
+        catalog = JobCatalog()
+        dataset = materialize(
+            template, seed=13, row_cap=catalog.row_cap, sf_cap=catalog.sf_cap
+        )
+        sim_rows = SimBackend(catalog).compute_rows(dataset)
+        engine_rows, profile = SQLiteBackend().run_template(
+            template, seed=13, row_cap=catalog.row_cap, sf_cap=catalog.sf_cap
+        )
+        assert canonical_bag(sim_rows) == canonical_bag(engine_rows)
+        assert profile.simulated is False
+        assert profile.rows == len(engine_rows)
+
+
+class TestEnvelope:
+    def test_artifact_loads_and_prices(self):
+        profiles = load_profiles()
+        template = serving_templates()["q12"]
+        cost = SgxCostEnvelope().price(
+            get_profile("sqlite", template, profiles), template
+        )
+        assert cost.plain_s > 0
+        assert cost.init_s > 0
+        assert cost.in_enclave_s > cost.plain_s
+        assert cost.overhead > 1.0
+        assert cost.paging_s == 0.0  # SGXv2: no EPC paging
+
+    def test_sgxv1_pays_paging_beyond_the_epc(self):
+        profiles = load_profiles()
+        template = serving_templates()["join-medium"]
+        profile = get_profile("sqlite", template, profiles)
+        v2 = SgxCostEnvelope().price(profile, template)
+        v1 = SgxCostEnvelope(
+            SimMachine(sgxv1_testbed(), sgxv1_calibration())
+        ).price(profile, template)
+        assert v1.paging_s > 0.0
+        assert v1.in_enclave_s > v2.in_enclave_s
+
+    def test_unknown_profile_names_the_calibrate_command(self):
+        template = JobTemplate(
+            name="nowhere", kind=JobKind.SCAN, scan_bytes=1e6
+        )
+        with pytest.raises(ConfigurationError, match="calibrate"):
+            get_profile("sqlite", template, load_profiles())
+
+
+class TestConfig:
+    def test_validate_mode(self):
+        assert validate_mode("sim") == "sim"
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            validate_mode("postgres")
+
+    def test_ambient_channel_nests_and_restores(self):
+        assert current_backend_mode() is None
+        with use_backend_mode("sqlite"):
+            assert current_backend_mode() == "sqlite"
+            with use_backend_mode("sim"):
+                assert current_backend_mode() == "sim"
+            assert current_backend_mode() == "sqlite"
+        assert current_backend_mode() is None
+
+    def test_missing_reason_names_the_extra(self):
+        assert missing_reason("sim") is None
+        assert missing_reason("sqlite") is None
+        if not HAVE_DUCKDB:
+            assert BACKENDS_EXTRA in missing_reason("duckdb")
+
+    @pytest.mark.skipif(HAVE_DUCKDB, reason="duckdb wheel installed")
+    def test_unavailable_engine_raises_one_configuration_error(self):
+        with pytest.raises(ConfigurationError, match=re.escape(BACKENDS_EXTRA)):
+            make_engine("duckdb")
+
+
+class TestCatalogRegression:
+    def test_duplicate_template_name_rejected(self):
+        catalog = JobCatalog()
+        first = JobTemplate(
+            name="dup", kind=JobKind.SCAN, threads=1, scan_bytes=1e6
+        )
+        catalog.profile(first)
+        # Same name, same fields: fine (the cache answers).
+        catalog.profile(
+            JobTemplate(name="dup", kind=JobKind.SCAN, threads=1,
+                        scan_bytes=1e6)
+        )
+        with pytest.raises(ConfigurationError, match="already registered"):
+            catalog.profile(
+                JobTemplate(name="dup", kind=JobKind.SCAN, threads=1,
+                            scan_bytes=2e6)
+            )
+        with pytest.raises(ConfigurationError, match="already registered"):
+            catalog.cost(
+                JobTemplate(name="dup", kind=JobKind.SCAN, threads=2,
+                            scan_bytes=1e6),
+                ExecutionSetting.plain_cpu(),
+            )
+
+    def test_engine_and_sim_profiles_do_not_share_cache_entries(self):
+        catalog = JobCatalog()
+        template = serving_templates()["scan-small"]
+        sim_cost = catalog.cost(template, ExecutionSetting.plain_cpu())
+        with use_backend_mode("sqlite"):
+            engine_cost = catalog.cost(template, ExecutionSetting.plain_cpu())
+        assert engine_cost.service_s != sim_cost.service_s
+        # And the sim entry is still intact afterwards.
+        again = catalog.cost(template, ExecutionSetting.plain_cpu())
+        assert again.service_s == sim_cost.service_s
+
+
+class TestServingBridge:
+    def test_engine_profile_prices_both_settings_and_traces(self):
+        catalog = JobCatalog()
+        template = serving_templates()["q12"]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            profile = engine_profile(catalog, template, "sqlite")
+        plain, enclave = JobCatalog.SETTINGS
+        assert (
+            profile.service_seconds_by_setting[enclave.label]
+            > profile.service_seconds_by_setting[plain.label]
+        )
+        assert profile.working_set_bytes > 0
+        names = [r.name for r in tracer.records]
+        assert names.count("backend.equivalence") == 1
+        assert names.count("backend.envelope") == 1
+        breakdown = backend_breakdown(tracer)
+        assert breakdown.gates_passed == 1
+        assert breakdown.priced == 1
+        assert breakdown.in_enclave_s > breakdown.plain_s * 0  # well-formed
+        assert breakdown.gated_rows > 0
+
+    def test_gate_runs_once_per_catalog_and_template(self):
+        catalog = JobCatalog()
+        template = serving_templates()["scan-small"]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine_profile(catalog, template, "sqlite")
+            engine_profile(catalog, template, "sqlite")
+        names = [r.name for r in tracer.records]
+        assert names.count("backend.equivalence") == 1
+
+
+class TestCacheKeys:
+    def test_backend_none_and_sim_key_identically(self):
+        base = experiment_key("wl01", quick=True, base_seed=42)
+        assert base == experiment_key(
+            "wl01", quick=True, base_seed=42, backend=None
+        )
+        assert base == experiment_key(
+            "wl01", quick=True, base_seed=42, backend="sim"
+        )
+
+    def test_engine_backends_never_alias_sim(self):
+        base = experiment_key("wl01", quick=True, base_seed=42)
+        sqlite = experiment_key(
+            "wl01", quick=True, base_seed=42, backend="sqlite"
+        )
+        duckdb = experiment_key(
+            "wl01", quick=True, base_seed=42, backend="duckdb"
+        )
+        assert len({base, sqlite, duckdb}) == 3
+
+
+class TestCli:
+    def test_unknown_backend_exits_2(self, capsys):
+        assert cli_main(["wl01", "--backend", "postgres"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    @pytest.mark.skipif(HAVE_DUCKDB, reason="duckdb wheel installed")
+    def test_unavailable_backend_exits_2_naming_the_extra(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "csv"
+        assert cli_main(
+            ["wl01", "--backend", "duckdb", "--csv", str(out)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert BACKENDS_EXTRA in err
+        assert "Traceback" not in err
+        assert not out.exists()  # fail-fast: no dirs created
+
+    def test_engine_backend_rejects_nonstatic_planner(self, capsys):
+        assert cli_main(
+            ["wl01", "--backend", "sqlite", "--planner", "cost"]
+        ) == 2
+        assert "static" in capsys.readouterr().err
+
+    def test_sim_backend_allows_planners(self, capsys):
+        # 'sim' + a planner is fine; unknown experiment keeps it cheap.
+        assert cli_main(
+            ["nope", "--backend", "sim", "--planner", "cost"]
+        ) == 2
+        assert "unknown experiment" in capsys.readouterr().err

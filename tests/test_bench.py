@@ -189,7 +189,8 @@ class TestRegistry:
                                             12, 13, 14, 15, 16, 17)}
         expected.add("tab01")
         expected.update(
-            {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07"}
+            {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07",
+             "ext08"}
         )  # extensions
         expected.update(
             {"wl01", "wl02", "wl03", "wl04", "wl05", "wl06", "wl07"}
