@@ -29,6 +29,8 @@ STORAGE_SCOREBOARD = RESULTS_DIR / "BENCH_storage.json"
 
 BACKENDS_SCOREBOARD = RESULTS_DIR / "BENCH_backends.json"
 
+REWRITE_SCOREBOARD = RESULTS_DIR / "BENCH_rewrite.json"
+
 FULL_FIDELITY = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
@@ -175,6 +177,45 @@ def backends_scoreboard(results_dir):
             kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
         )
         BACKENDS_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
+        return merged
+
+    return _update
+
+
+@pytest.fixture
+def rewrite_scoreboard(results_dir):
+    """Read-modify-write ``BENCH_rewrite.json``, the rewrite trajectory.
+
+    Same contract as ``backends_scoreboard``: each entry is
+    ``{experiment, arm, ...metrics}`` with ``None`` where a metric does
+    not apply (here the metrics are the ablation's priced times and
+    ``speedup``/``proved``/``rejected``/Q-error columns plus the serving
+    tails and ``gap_recovered``), a bench replaces only its own
+    experiment's entries, and the merged file stays sorted so reruns are
+    byte-stable.
+    """
+
+    def _update(experiment_id: str, entries):
+        existing = []
+        if REWRITE_SCOREBOARD.exists():
+            existing = json.loads(REWRITE_SCOREBOARD.read_text())
+        kept = [e for e in existing if e["experiment"] != experiment_id]
+        for entry in entries:
+            entry.setdefault("p50", None)
+            entry.setdefault("p99", None)
+            entry.setdefault("goodput", None)
+            entry.setdefault("off_ms", None)
+            entry.setdefault("learned_ms", None)
+            entry.setdefault("speedup", None)
+            entry.setdefault("proved", None)
+            entry.setdefault("rejected", None)
+            entry.setdefault("q_error_raw", None)
+            entry.setdefault("q_error_corrected", None)
+            entry.setdefault("gap_recovered", None)
+        merged = sorted(
+            kept + list(entries), key=lambda e: (e["experiment"], e["arm"])
+        )
+        REWRITE_SCOREBOARD.write_text(json.dumps(merged, indent=2) + "\n")
         return merged
 
     return _update

@@ -51,12 +51,14 @@ from repro.trace import Tracer
 
 #: Worker payload: (experiment_id, quick, base_seed, traced,
 #: repetition_jobs, fault_plan, planner, cluster, storage, backend,
-#: memo_enabled, memo_dir).  The plan, the planner mode, the cluster
-#: config, the storage config, the backend mode, and the memo switches
-#: ride into spawned workers as pickled values — spawn inherits no
-#: ambient ``use_fault_plan``/``use_planner_mode``/``use_cluster``/
-#: ``use_storage``/``use_backend_mode``/``use_profile_memo`` state, so
-#: the explicit slots are the only channel.
+#: rewrite, memo_enabled, memo_dir).  The plan, the planner mode, the
+#: cluster config, the storage config, the backend mode, the rewrite
+#: mode, and the memo switches ride into spawned workers as pickled
+#: values — spawn inherits no ambient
+#: ``use_fault_plan``/``use_planner_mode``/``use_cluster``/
+#: ``use_storage``/``use_backend_mode``/``use_rewrite``/
+#: ``use_profile_memo`` state, so the explicit slots are the only
+#: channel.
 _Task = Tuple[
     str,
     bool,
@@ -67,6 +69,7 @@ _Task = Tuple[
     Optional[str],
     object,
     object,
+    Optional[str],
     Optional[str],
     bool,
     Optional[str],
@@ -140,6 +143,7 @@ def _execute(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
 ) -> Dict:
     """Run one experiment and return its JSON-safe result payload."""
     start = time.perf_counter()
@@ -156,6 +160,7 @@ def _execute(
             cluster=cluster,
             storage=storage,
             backend=backend,
+            rewrite=rewrite,
         )
     payload: Dict = {
         "report": report.as_dict(),
@@ -221,6 +226,7 @@ def _worker(task: _Task) -> Dict:
         cluster,
         storage,
         backend,
+        rewrite,
         memo_enabled,
         memo_dir,
     ) = task
@@ -237,6 +243,7 @@ def _worker(task: _Task) -> Dict:
         cluster=cluster,
         storage=storage,
         backend=backend,
+        rewrite=rewrite,
     )
 
 
@@ -267,6 +274,7 @@ def run_session(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
     memo: bool = True,
 ) -> SessionResult:
     """Run ``experiment_ids`` (possibly in parallel, possibly cached).
@@ -289,7 +297,9 @@ def run_session(
     :class:`~repro.storage.StorageConfig`) a session sealed-storage
     budget likewise, and ``backend`` a session backend mode likewise
     (``None``/``"sim"`` key identically — both serve the operator
-    simulator).  ``memo=False`` disables the per-query
+    simulator), and ``rewrite`` a session rewrite mode likewise
+    (``None``/``"off"`` key identically — both serve the reference
+    logical plans).  ``memo=False`` disables the per-query
     profile memo for every run (the ``--no-memo`` channel); memoized and
     unmemoized runs are byte-identical, so the flag is never keyed.
     """
@@ -330,6 +340,7 @@ def run_session(
                 cluster=cluster,
                 storage=storage,
                 backend=backend,
+                rewrite=rewrite,
             )
             payload = store.get(keys[experiment_id])
             run: Optional[ExperimentRun] = None
@@ -380,6 +391,7 @@ def run_session(
                     cluster=cluster,
                     storage=storage,
                     backend=backend,
+                    rewrite=rewrite,
                 )
                 _absorb(session, results, store, keys, digest, experiment_id, payload)
         else:
@@ -405,6 +417,7 @@ def run_session(
                             cluster,
                             storage,
                             backend,
+                            rewrite,
                             memo,
                             memo_dir,
                         ),

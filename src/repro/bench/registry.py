@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     ext06_epc_crossover,
     ext07_planner_ablation,
     ext08_engine_vs_operator,
+    ext09_rewrite_ablation,
     wl01_latency_throughput,
     wl02_admission_policies,
     wl03_tenant_interference,
@@ -41,6 +42,7 @@ from repro.bench.experiments import (
     wl05_adaptive_planner,
     wl06_cluster_scaleout,
     wl07_spill_scaleout,
+    wl08_rewrite_serving,
 )
 from repro.bench.report import ExperimentReport
 from repro.errors import BenchmarkError
@@ -74,6 +76,7 @@ EXPERIMENTS: Dict[str, object] = {
         ext06_epc_crossover,
         ext07_planner_ablation,
         ext08_engine_vs_operator,
+        ext09_rewrite_ablation,
         wl01_latency_throughput,
         wl02_admission_policies,
         wl03_tenant_interference,
@@ -81,6 +84,7 @@ EXPERIMENTS: Dict[str, object] = {
         wl05_adaptive_planner,
         wl06_cluster_scaleout,
         wl07_spill_scaleout,
+        wl08_rewrite_serving,
     )
 }
 
@@ -108,6 +112,7 @@ def run_experiment(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
 ) -> ExperimentReport:
     """Run one experiment and return its report.
 
@@ -135,12 +140,18 @@ def run_experiment(
     engine modes price serving templates from calibrated engine profiles
     through the SGX cost envelope; ``None``/``"sim"`` leave the operator
     simulator in charge (byte-identical to the pre-backends path).
+    ``rewrite`` installs a session rewrite mode (``--rewrite``): active
+    modes prove (and race) logical rewrite candidates while serving runs
+    plan their arms, and ``"learned"`` adds winning rewrites to the
+    adaptive planner's arm set; ``None``/``"off"`` leave the reference
+    logical plans in charge (byte-identical to the pre-rewrite path).
     """
     module = get_experiment(experiment_id)
     import contextlib
 
     from repro.backends.config import use_backend_mode
     from repro.bench.runner import use_base_seed
+    from repro.rewrite.config import use_rewrite
     from repro.cluster import ClusterConfig, use_cluster
     from repro.faults import use_fault_plan
     from repro.planner import use_planner_mode
@@ -157,7 +168,7 @@ def run_experiment(
         storage = StorageConfig.parse(storage)
     with plan_scope, use_planner_mode(planner), use_base_seed(base_seed), \
             use_cluster(cluster), use_storage(storage), \
-            use_backend_mode(backend):
+            use_backend_mode(backend), use_rewrite(rewrite):
         if tracer is None:
             return module.run(machine, quick=quick)
         from repro.trace import use_tracer

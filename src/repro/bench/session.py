@@ -65,6 +65,7 @@ def build_report(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
     memo: bool = True,
 ) -> str:
     """Render the full Markdown report for ``experiment_ids`` (default all).
@@ -82,7 +83,8 @@ def build_report(
     ``--planner`` channel); ``cluster`` a session cluster topology (the
     ``--cluster`` channel); ``storage`` a session sealed-storage budget
     (the ``--storage`` channel); ``backend`` a session backend mode (the
-    ``--backend`` channel); ``memo=False`` disables the per-query profile
+    ``--backend`` channel); ``rewrite`` a session rewrite mode (the
+    ``--rewrite`` channel); ``memo=False`` disables the per-query profile
     memo (the ``--no-memo`` channel) — output bytes are identical either
     way, only wall-clock changes.
     """
@@ -129,6 +131,7 @@ def build_report(
         cluster=cluster,
         storage=storage,
         backend=backend,
+        rewrite=rewrite,
         memo=memo,
     )
     for run in session.runs:
@@ -165,6 +168,7 @@ def write_report(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
     memo: bool = True,
 ) -> pathlib.Path:
     """Build the report and write it to ``path``; returns the path."""
@@ -185,6 +189,7 @@ def write_report(
             cluster=cluster,
             storage=storage,
             backend=backend,
+            rewrite=rewrite,
             memo=memo,
         )
     )

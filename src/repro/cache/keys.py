@@ -37,7 +37,11 @@ from repro.hardware.spec import HardwareSpec, paper_testbed
 #:    serving arms from calibrated engine profiles through the SGX cost
 #:    envelope; ``None`` and ``"sim"`` key identically, so sim sessions
 #:    share entries with default ones).
-CACHE_FORMAT = 7
+#: 8: keys gained a rewrite component (``--rewrite prove|race|learned``
+#:    runs the logical-rewrite layer before physical planning; ``None``
+#:    and ``"off"`` key identically, so pre-rewrite entries stay valid
+#:    for default sessions while rewriting runs never alias them).
+CACHE_FORMAT = 8
 
 
 def canonical(value: Any) -> Any:
@@ -108,6 +112,7 @@ def experiment_key(
     cluster=None,
     storage=None,
     backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The cache key of one experiment run.
@@ -129,7 +134,10 @@ def experiment_key(
     versa), ``backend`` the session backend mode (``None`` and ``"sim"``
     key identically: both serve the operator simulator, so pre-backends
     entries stay valid for sim sessions, while engine-priced runs never
-    alias simulated ones), and ``extra`` any additional operator
+    alias simulated ones), ``rewrite`` the session rewrite mode (``None``
+    and ``"off"`` key identically: both serve the static logical plans,
+    so pre-rewrite entries stay valid for default sessions, while
+    rewriting runs never alias them), and ``extra`` any additional operator
     parameters a caller wants keyed (e.g. an
     :class:`~repro.enclave.runtime.ExecutionSetting`).
     """
@@ -145,6 +153,7 @@ def experiment_key(
         cluster=cluster,
         storage=storage,
         backend=backend if backend not in (None, "sim") else "sim",
+        rewrite=rewrite if rewrite not in (None, "off") else "off",
         extra=extra or {},
     )
 

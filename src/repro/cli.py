@@ -164,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
             "simulator first); 'duckdb' needs the repro[backends] extra"
         ),
     )
+    parser.add_argument(
+        "--rewrite",
+        metavar="MODE",
+        help=(
+            "rewrite TPC-H serving templates logically with MODE: 'off' "
+            "(the reference plans; the default), 'prove' (generate rewrite "
+            "candidates and run the exact bag-equivalence proofs), 'race' "
+            "(additionally price the proof survivors through the real "
+            "operators), or 'learned' (additionally add each template's "
+            "winning rewrite to the adaptive planner's arm set; needs a "
+            "non-static --planner to be served)"
+        ),
+    )
     return parser
 
 
@@ -247,6 +260,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.rewrite is not None:
+        # Same fail-fast contract: an unknown rewrite mode exits 2 before
+        # any output dirs exist.
+        from repro.errors import ConfigurationError
+        from repro.rewrite import validate_mode as validate_rewrite_mode
+
+        try:
+            validate_rewrite_mode(args.rewrite)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.rewrite != "off" and args.backend not in (None, "sim"):
+            print(
+                f"--rewrite {args.rewrite} races logical rewrites through "
+                "the operator simulator's costing; it cannot be combined "
+                f"with --backend {args.backend} (engine profiles cover "
+                "only the reference plans)",
+                file=sys.stderr,
+            )
+            return 2
     if args.seed is not None:
         from repro.bench import runner
 
@@ -264,7 +297,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id:8s} {module.TITLE}")
         return 0
     if args.experiments and args.experiments[0] == "explain":
-        return _explain(args.experiments[1:], quick=not args.full)
+        return _explain(
+            args.experiments[1:],
+            quick=not args.full,
+            cluster=cluster,
+            storage=storage,
+            backend=args.backend,
+            rewrite=args.rewrite,
+        )
     requested = args.experiments or ["all"]
     if "all" in requested:
         requested = sorted(EXPERIMENTS)
@@ -312,6 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cluster=cluster,
             storage=storage,
             backend=args.backend,
+            rewrite=args.rewrite,
             memo=not args.no_memo,
         )
         print(f"wrote {path}")
@@ -337,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cluster=cluster,
         storage=storage,
         backend=args.backend,
+        rewrite=args.rewrite,
         memo=not args.no_memo,
     )
     for run in session.runs:
@@ -365,19 +407,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def _explain(names: List[str], *, quick: bool) -> int:
+def _explain(
+    names: List[str],
+    *,
+    quick: bool,
+    cluster=None,
+    storage=None,
+    backend: Optional[str] = None,
+    rewrite: Optional[str] = None,
+) -> int:
     """``sgxv2-bench explain JOB``: the planner's view of one template.
 
     Prints the ranked candidate plans (estimated cycles, EPC working set,
     chosen/rejected status) for each requested serving job template under
     the data-in-enclave setting, against the machine's real EPC budget.
-    Unknown job names exit 2 without touching the filesystem.
+    The ambient session flags apply: ``--cluster`` explains against one
+    shard's EPC slice, ``--storage`` ranks the spill twins alongside the
+    in-EPC arms, and an active ``--rewrite`` appends the ranked-rewrites
+    section; ``--backend`` engine modes exit 2 (engine profiles cover
+    only the reference plans, so there is nothing to rank).  Unknown job
+    names exit 2 without touching the filesystem.
     """
     from repro.bench.experiments.common import SETTING_SGX_IN
     from repro.machine import SimMachine
     from repro.planner import Planner
     from repro.workload.jobs import serving_templates
 
+    if backend not in (None, "sim"):
+        print(
+            f"explain ranks candidate plans through the operator "
+            f"simulator; --backend {backend} prices only the reference "
+            "plans and cannot be explained — drop the flag or use "
+            "--backend sim",
+            file=sys.stderr,
+        )
+        return 2
     templates = serving_templates()
     if not names:
         print(
@@ -398,16 +462,82 @@ def _explain(names: List[str], *, quick: bool) -> int:
         return 2
     del quick  # plan estimates price tiny stand-ins either way
     machine = SimMachine()
+    budget = float(machine.topology.node(0).epc_bytes)
+    budget_note = None
+    if cluster is not None:
+        # A sharded session plans per enclave: each shard sees its own
+        # EPC slice, so explain against the first shard's budget.
+        shard = cluster.spec.shards(machine.spec)[0]
+        budget = float(shard.epc_budget_bytes)
+        budget_note = (
+            f"cluster {cluster.spec.canonical()}: explaining against shard "
+            f"{shard.label}'s EPC slice ({budget / 1e6:.0f} MB)"
+        )
     planner = Planner(
         machine,
         SETTING_SGX_IN,
-        epc_budget_bytes=float(machine.topology.node(0).epc_bytes),
+        epc_budget_bytes=budget,
+        storage=storage,
     )
     for index, name in enumerate(names):
         if index:
             print()
+        if budget_note is not None:
+            print(budget_note)
         print(planner.explain(templates[name]))
+        if rewrite not in (None, "off"):
+            print(_explain_rewrites(templates[name], rewrite, machine))
     return 0
+
+
+def _explain_rewrites(template, mode: str, machine) -> str:
+    """The ranked-rewrites section of ``explain`` (active modes only)."""
+    from repro.bench.experiments.common import SETTING_SGX_IN
+    from repro.planner.stats import QErrorTracker
+    from repro.rewrite import plan_rewrites
+
+    decision = plan_rewrites(
+        template, mode, machine, SETTING_SGX_IN, tracker=QErrorTracker()
+    )
+    lines = [f"rewrites ({mode}):"]
+    if not decision.proofs:
+        lines.append("  (no rewrite candidates: not a TPC-H template)")
+        return "\n".join(lines)
+    for proof in decision.rejected:
+        lines.append(
+            f"  rejected {proof.candidate.label():<24} {proof.reason}"
+        )
+    if mode == "prove":
+        for proof in decision.proved:
+            lines.append(
+                f"  proved   {proof.candidate.label():<24} "
+                f"bag {proof.digest[:16]} ({proof.rows} witness rows)"
+            )
+        return "\n".join(lines)
+    lines.append(
+        f"  reference: {decision.reference.seconds * 1e3:.2f} ms priced "
+        f"service time"
+    )
+    for rank, est in enumerate(decision.ranked, start=1):
+        if (
+            decision.winner is not None
+            and est.candidate.name == decision.winner.candidate.name
+        ):
+            status = "winner"
+        elif est.seconds < decision.reference.seconds:
+            status = "faster, not best"
+        else:
+            status = "slower than reference"
+        lines.append(
+            f"  {rank}. {est.candidate.label():<24} "
+            f"{est.seconds * 1e3:>9.2f} ms  "
+            f"ws {est.working_set_bytes / 1e6:>8.1f} MB  [{status}]"
+        )
+    lines.append(
+        f"  q-error: {decision.q_error_raw:.2f} analytic -> "
+        f"{decision.q_error_corrected:.2f} after observed cardinalities"
+    )
+    return "\n".join(lines)
 
 
 def _print_cache_summary(store, cache_dir: Optional[str]) -> None:

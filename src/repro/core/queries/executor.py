@@ -85,8 +85,16 @@ class QueryExecutor:
         ctx: ExecutionContext,
         plan: QueryPlan,
         tables: Mapping[str, Table],
+        *,
+        namespace_out: Optional[Dict[str, Table]] = None,
     ) -> QueryResult:
-        """Execute ``plan`` against the base ``tables``."""
+        """Execute ``plan`` against the base ``tables``.
+
+        ``namespace_out``, when given, receives every (base and
+        intermediate) table of the finished run — the rewrite proof and
+        Q-error machinery read executed result bags and per-step
+        cardinalities from it.  Costing is unaffected either way.
+        """
         namespace: Dict[str, Table] = dict(tables)
         # Base tables are resident before the measured query begins (the
         # paper's methodology); in SGX-data-in settings this reserves their
@@ -126,6 +134,8 @@ class QueryExecutor:
             step_cycles[label] = cycles
             total += cycles
         assert count is not None  # guaranteed by QueryPlan validation
+        if namespace_out is not None:
+            namespace_out.update(namespace)
         return QueryResult(
             name=plan.name,
             setting=ctx.setting.label,

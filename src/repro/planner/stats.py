@@ -16,7 +16,8 @@ a 10 % range predicate); TPC-H statistics come from the plan's shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 from repro.tables.generator import JOIN_TUPLE_BYTES
@@ -26,6 +27,21 @@ SCAN_VALUE_BYTES = 4
 
 #: Selectivity of the serving scan template's range predicate.
 SCAN_SELECTIVITY = 0.1
+
+#: Textbook default selectivity charged per scanned predicate column of a
+#: TPC-H filter step.  Deliberately crude — the Q-error tracker exists to
+#: measure exactly how crude, and to replace estimates with executed
+#: cardinalities as they are observed.
+DEFAULT_FILTER_SELECTIVITY = 0.25
+
+#: TPC-H base-table rows per unit scale factor (the generator's shapes;
+#: lineitem averages 4 items per order).
+TPCH_BASE_ROWS = {
+    "customer": 150_000.0,
+    "orders": 1_500_000.0,
+    "lineitem": 6_000_000.0,
+    "part": 200_000.0,
+}
 
 
 @dataclass(frozen=True)
@@ -124,3 +140,145 @@ class WorkStats:
                 f"({SCAN_SELECTIVITY:.0%} range predicate)"
             )
         return f"tpch: {self.query} at SF {self.scale_factor:g}"
+
+
+# -- Q-error: cardinality-estimate accuracy ------------------------------
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The Q-error of one cardinality estimate: ``max(e/a, a/e)``.
+
+    Symmetric, multiplicative, >= 1.0 with equality iff exact — the
+    standard accuracy metric of the cardinality-estimation literature.
+    Zero cardinalities clamp to one row so an empty intermediate cannot
+    blow the metric up to infinity.
+    """
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+def tpch_base_rows(scale_factor: float) -> Dict[str, float]:
+    """Analytic base-table cardinalities at ``scale_factor``."""
+    return {
+        name: rows * float(scale_factor)
+        for name, rows in TPCH_BASE_ROWS.items()
+    }
+
+
+def estimate_plan_cardinalities(
+    plan, base_rows: Mapping[str, float]
+) -> Dict[str, float]:
+    """Estimated output rows per step of a TPC-H query plan.
+
+    The classic System-R recipe under independence and FK-integrity
+    assumptions: a filter keeps :data:`DEFAULT_FILTER_SELECTIVITY` per
+    scanned predicate column; a join keeps the fraction of probe rows
+    whose (unique-side) build key survived the build's filters.  Both
+    assumptions are knowingly wrong in places — correlated predicates,
+    non-uniform dates — which is precisely what the Q-error tracker
+    quantifies against executed cardinalities.
+    """
+    from repro.core.queries.plan import FilterStep, JoinStep
+
+    rows: Dict[str, float] = dict(base_rows)
+    # The unique-key *domain* a table descends from: filters shrink row
+    # counts but not key domains, and join outputs inherit the probe's.
+    domain: Dict[str, float] = dict(base_rows)
+    estimates: Dict[str, float] = {}
+    for step in plan.steps:
+        if isinstance(step, FilterStep):
+            source = rows[step.source]
+            selectivity = DEFAULT_FILTER_SELECTIVITY ** len(step.scan_columns)
+            rows[step.output] = source * selectivity
+            domain[step.output] = domain[step.source]
+            estimates[step.output] = rows[step.output]
+        elif isinstance(step, JoinStep):
+            build = rows[step.build]
+            probe = rows[step.probe]
+            fraction = min(1.0, build / max(domain[step.build], 1.0))
+            rows[step.output] = probe * fraction
+            domain[step.output] = domain[step.probe]
+            estimates[step.output] = rows[step.output]
+    return estimates
+
+
+@dataclass
+class QErrorTracker:
+    """Running cardinality-estimate accuracy, fed back into costing.
+
+    ``observe`` records executed (actual) cardinalities per query step;
+    ``corrected`` then serves actuals where observed and analytic
+    estimates elsewhere, so every consumer of cardinalities — the
+    rewrite race's scale factors, ``explain``'s ranked-rewrites section
+    — sharpens as real executions happen.  ``worst``/``median`` report
+    the Q-error of the *corrected* estimates, which is what visibly
+    shrinks over a serving run as templates get observed.
+    """
+
+    #: (query, step output) -> executed logical rows.
+    actuals: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: (query, step output) -> the analytic estimate it replaced.
+    estimates: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def register(
+        self, query: str, estimates: Mapping[str, float]
+    ) -> None:
+        """Declare the analytic estimates of one query's plan steps."""
+        for step, value in estimates.items():
+            self.estimates[(query, step)] = float(value)
+
+    def observe(
+        self, query: str, cardinalities: Iterable[Tuple[str, float]]
+    ) -> None:
+        """Record executed cardinalities for one query's plan steps."""
+        for step, value in cardinalities:
+            self.actuals[(query, step)] = float(value)
+
+    def corrected(self, query: str, step: str, estimate: float) -> float:
+        """``estimate`` corrected by observation, when one exists."""
+        return self.actuals.get((query, step), float(estimate))
+
+    def raw_q_errors(self, query: str = "") -> Dict[Tuple[str, str], float]:
+        """Per-step Q-error of the *analytic* estimates against executed
+        actuals (observed steps only) — what the baseline test pins.
+        ``query`` restricts to one query's steps; empty means all.
+        """
+        return {
+            key: q_error(self.estimates[key], actual)
+            for key, actual in self.actuals.items()
+            if key in self.estimates and (not query or key[0] == query)
+        }
+
+    def corrected_q_errors(
+        self, query: str = ""
+    ) -> Dict[Tuple[str, str], float]:
+        """Per-step Q-error of the *corrected* estimates — what the
+        planner actually prices with right now.  Exactly 1.0 for every
+        observed step, so this visibly shrinks as executions happen."""
+        return {
+            key: q_error(self.corrected(*key, self.estimates[key]), actual)
+            for key, actual in self.actuals.items()
+            if key in self.estimates and (not query or key[0] == query)
+        }
+
+    def raw_worst(self, query: str = "") -> float:
+        """Max raw analytic Q-error over every observed step."""
+        errors = self.raw_q_errors(query)
+        return max(errors.values()) if errors else 1.0
+
+    def raw_median(self, query: str = "") -> float:
+        """Median raw analytic Q-error over every observed step."""
+        errors = sorted(self.raw_q_errors(query).values())
+        if not errors:
+            return 1.0
+        middle = len(errors) // 2
+        if len(errors) % 2:
+            return errors[middle]
+        return 0.5 * (errors[middle - 1] + errors[middle])
+
+    def corrected_worst(self, query: str = "") -> float:
+        """Max corrected Q-error over every observed step (1.0 once a
+        query's cardinalities have been observed)."""
+        errors = self.corrected_q_errors(query)
+        return max(errors.values()) if errors else 1.0

@@ -1,0 +1,430 @@
+"""Logical rewrite candidates for the TPC-H-style templates.
+
+The planner (:mod:`repro.planner`) enumerates *physical* candidates —
+join algorithm, variant, threads, sizing, fan-out — for a fixed logical
+plan.  This module goes one level up: per TPC-H template it proposes
+alternative *logical* plans (join reordering, redundant-join
+elimination, predicate pushdown, materialization-strategy swaps, and
+SET-style knob hints mapped onto :class:`~repro.planner.PlanHints`).
+
+A candidate is a *claim*, not a fact: nothing here asserts equivalence.
+Every candidate carries a witness-widened ``proof_plan`` twin whose
+final table materializes enough columns to identify the surviving rows;
+:mod:`repro.rewrite.prove` executes reference and candidate proof plans
+for real and compares canonical result bags.  The generator may propose
+plausible-but-unsound rewrites (``build-on-orders`` below swaps a join
+onto a duplicate-key build side, silently collapsing multiplicity —
+a classic optimizer bug); the proof, not the generator, is the
+correctness boundary.
+
+The plan language has no correlated subqueries (the paper's Sec. 6
+queries are filter/join/count pipelines), so decorrelation proper has no
+material here; redundant-join elimination — the simplification
+decorrelation usually enables — stands in for that family.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.queries.plan import CountStep, FilterStep, JoinStep, QueryPlan
+from repro.core.queries.tpch_queries import (
+    TPCH_QUERIES,
+    q3_plan,
+    q10_plan,
+    q12_plan,
+    q19_plan,
+)
+from repro.planner.candidates import PlanHints
+
+#: Kinds of logical transformation the generator proposes.
+REWRITE_KINDS = ("reorder", "eliminate", "pushdown", "pipeline", "knob")
+
+
+@dataclasses.dataclass(frozen=True)
+class RewriteCandidate:
+    """One proposed logical rewrite of a TPC-H template's plan.
+
+    ``plan`` builds the plan the candidate would actually serve (and be
+    priced with); ``proof_plan`` builds the witness-widened twin the
+    equivalence proof executes (same filters and joins, wider ``keep``
+    lists so the final table identifies the surviving rows).
+    ``pipelined`` switches the executor to its fused pipeline
+    (materialization-strategy swap); ``hints`` pins physical knobs for
+    the racing stage (SET-style hints onto :class:`PlanHints`).
+    """
+
+    name: str
+    query: str
+    kind: str
+    description: str
+    plan: Callable[[], QueryPlan]
+    proof_plan: Callable[[], QueryPlan]
+    pipelined: bool = False
+    hints: Optional[PlanHints] = None
+
+    def signature(self) -> Dict[str, object]:
+        """Content identity for memo keys: the plan's rendered shape.
+
+        Hashing the rendered step list (not the factory object) keeps
+        memo entries stable across processes and sensitive to any edit
+        of the rewritten plan.
+        """
+        return {
+            "name": self.name,
+            "query": self.query,
+            "kind": self.kind,
+            "plan": list(self.plan().describe()),
+            "pipelined": bool(self.pipelined),
+            "hints": self.hints,
+        }
+
+    def label(self) -> str:
+        """The arm label a learned winner serves under (``rw:`` prefixed
+        so it can never collide with a physical candidate's label)."""
+        return f"rw:{self.query.lower()}/{self.name}"
+
+
+def _replace_step(plan: QueryPlan, output: str, **changes) -> QueryPlan:
+    """A copy of ``plan`` with the step producing ``output`` replaced."""
+    steps = tuple(
+        dataclasses.replace(step, **changes)
+        if getattr(step, "output", None) == output
+        else step
+        for step in plan.steps
+    )
+    return QueryPlan(plan.name, steps)
+
+
+def base_tables(plan: QueryPlan) -> Tuple[str, ...]:
+    """The base tables ``plan`` actually reads, in first-use order.
+
+    An eliminated join's table drops out of this list — which is the
+    point: a plan that never touches ``customer`` should not pay its
+    enclave residency either.
+    """
+    produced = set()
+    used = []
+    for step in plan.steps:
+        sources = ()
+        if isinstance(step, FilterStep):
+            sources = (step.source,)
+        elif isinstance(step, JoinStep):
+            sources = (step.build, step.probe)
+        elif isinstance(step, CountStep):
+            sources = (step.source,)
+        for source in sources:
+            if source not in produced and source not in used:
+                used.append(source)
+        output = getattr(step, "output", None)
+        if output is not None:
+            produced.add(output)
+    return tuple(used)
+
+
+# ---------------------------------------------------------------------------
+# Witness-widened reference proof plans.  The final table of every proof
+# plan materializes the query's witness columns, so two equivalent plans
+# produce literally comparable bags (the reference plans' final joins
+# keep nothing and fall back to probe row-ids, which are positions in
+# *that plan's* probe table — meaningless across differently shaped
+# plans).
+
+
+def _q3_reference_proof() -> QueryPlan:
+    return _replace_step(q3_plan(), "col", keep_probe=("l_orderkey",))
+
+
+def _q10_reference_proof() -> QueryPlan:
+    return _replace_step(q10_plan(), "col", keep_probe=("l_orderkey",))
+
+
+def _q12_reference_proof() -> QueryPlan:
+    return _replace_step(q12_plan(), "ol", keep_probe=("l_orderkey",))
+
+
+def _q19_reference_proof() -> QueryPlan:
+    plan = _replace_step(
+        q19_plan(), "pl", keep_probe=("l_quantity", "l_partkey")
+    )
+    return _replace_step(plan, "pl_f", keep=("l_partkey", "l_quantity"))
+
+
+_REFERENCE_PROOFS: Dict[str, Callable[[], QueryPlan]] = {
+    "Q3": _q3_reference_proof,
+    "Q10": _q10_reference_proof,
+    "Q12": _q12_reference_proof,
+    "Q19": _q19_reference_proof,
+}
+
+
+def reference_proof_plan(query: str) -> QueryPlan:
+    """The witness-widened twin of ``query``'s reference plan."""
+    return _REFERENCE_PROOFS[query]()
+
+
+# ---------------------------------------------------------------------------
+# Q3: customer ⋈ orders ⋈ lineitem.  The reference joins customer_f with
+# orders_f first; reordering joins orders_f with the (much larger)
+# filtered lineitem first, carrying o_custkey up to a final join against
+# the filtered customers.
+
+
+def _q3_reorder(proof: bool = False) -> QueryPlan:
+    base = q3_plan()
+    filters = base.steps[:3]
+    first_keep_probe = ("l_orderkey",) if proof else ()
+    final_keep_probe = ("l_orderkey",) if proof else ()
+    return QueryPlan(
+        "Q3",
+        (
+            *filters,
+            JoinStep(
+                build="orders_f",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="ol",
+                keep_build=("o_custkey",),
+                keep_probe=first_keep_probe,
+            ),
+            JoinStep(
+                build="customer_f",
+                probe="ol",
+                build_key="c_custkey",
+                probe_key="o_custkey",
+                output="col",
+                keep_probe=final_keep_probe,
+            ),
+            CountStep(source="col"),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q10: the reference builds the first join on the *unfiltered* customer
+# table, yet the count never reads a customer column and every order has
+# exactly one customer (FK integrity) — the join filters nothing, so it
+# can be eliminated outright.
+
+
+def _q10_eliminate(proof: bool = False) -> QueryPlan:
+    base = q10_plan()
+    filters = base.steps[:2]
+    keep_probe = ("l_orderkey",) if proof else ()
+    return QueryPlan(
+        "Q10",
+        (
+            *filters,
+            JoinStep(
+                build="orders_f",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="ol",
+                keep_probe=keep_probe,
+            ),
+            CountStep(source="ol"),
+        ),
+    )
+
+
+def _q10_build_swap(proof: bool = False) -> QueryPlan:
+    """Unsound on purpose: build the first join on the smaller orders_f.
+
+    Plausible — optimizers build on the smaller side — but orders_f is
+    keyed by ``o_custkey``, which is *not* unique (a customer places
+    many orders), and a build side with duplicate keys collapses the
+    join's multiplicity.  The equivalence proof must reject this.
+    """
+    base = q10_plan()
+    filters = base.steps[:2]
+    keep_probe = ("l_orderkey",) if proof else ()
+    return QueryPlan(
+        "Q10",
+        (
+            *filters,
+            JoinStep(
+                build="orders_f",
+                probe="customer",
+                build_key="o_custkey",
+                probe_key="c_custkey",
+                output="co",
+                keep_build=("o_orderkey",),
+            ),
+            JoinStep(
+                build="co",
+                probe="lineitem_f",
+                build_key="o_orderkey",
+                probe_key="l_orderkey",
+                output="col",
+                keep_probe=keep_probe,
+            ),
+            CountStep(source="col"),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Q19: the three brand/container/quantity disjuncts all bound
+# ``l_quantity`` inside [1, 30]; the union bound pushes below the join
+# (a superset filter — the exact disjuncts still run after the join), so
+# the part ⋈ lineitem join probes ~60 % of the rows.
+
+
+def _q19_pushdown(proof: bool = False) -> QueryPlan:
+    base = _q19_reference_proof() if proof else q19_plan()
+    lineitem_f = base.steps[0]
+    assert isinstance(lineitem_f, FilterStep)
+    original = lineitem_f.predicate
+
+    def pushed(t):
+        return original(t) & (t["l_quantity"] >= 1) & (t["l_quantity"] <= 30)
+
+    return _replace_step(
+        base,
+        "lineitem_f",
+        predicate=pushed,
+        scan_columns=(*lineitem_f.scan_columns, "l_quantity"),
+        description=(
+            lineitem_f.description + ", l_quantity in 1..30 (pushed bound)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generation.
+
+
+def _pipeline_candidate(query: str) -> RewriteCandidate:
+    return RewriteCandidate(
+        name="fuse-pipeline",
+        query=query,
+        kind="pipeline",
+        description=(
+            "fuse the materializing operator chain into a pipeline "
+            "(intermediates skip their write/read round-trip)"
+        ),
+        plan=TPCH_QUERIES[query],
+        proof_plan=_REFERENCE_PROOFS[query],
+        pipelined=True,
+    )
+
+
+def _partition_swap_candidate(query: str, algorithm: str) -> RewriteCandidate:
+    """Swap the partition strategy of every join in ``query``'s plan.
+
+    The static physical plan is the paper's Sec. 6 radix join, whose two
+    out-of-place partition passes stream both <key, row-id> pair tables
+    multiple times — ruinous on a legacy-EPC platform once the probe
+    pairs overflow the EPC.  This family hints a non-partitioning (or
+    enclave-native) join instead; the proof still executes the hinted
+    operator for real, so an algorithm that computed a different bag
+    would be rejected, not raced.
+    """
+    return RewriteCandidate(
+        name=f"swap-join-{algorithm.lower()}",
+        query=query,
+        kind="knob",
+        description=(
+            f"SET-style hint: run every join as {algorithm} instead of "
+            "the static radix join (skips the partition passes that "
+            "stream beyond-EPC pair tables)"
+        ),
+        plan=TPCH_QUERIES[query],
+        proof_plan=_REFERENCE_PROOFS[query],
+        hints=PlanHints(algorithm=algorithm),
+    )
+
+
+def _knob_candidate(query: str, fanout: int) -> RewriteCandidate:
+    return RewriteCandidate(
+        name=f"knob-fanout{fanout}",
+        query=query,
+        kind="knob",
+        description=(
+            f"SET-style hint: pin the partitioned joins' radix fan-out "
+            f"to {fanout} bits"
+        ),
+        plan=TPCH_QUERIES[query],
+        proof_plan=_REFERENCE_PROOFS[query],
+        hints=PlanHints(fanout=fanout),
+    )
+
+
+def generate_rewrites(template) -> Tuple[RewriteCandidate, ...]:
+    """All rewrite candidates for ``template`` (``()`` off TPC-H).
+
+    Join and scan templates have no logical plan to rewrite — their
+    physical space is already the planner's; rewriting operates strictly
+    one level above it, on the TPC-H-style plans.
+    """
+    if template.kind.value != "tpch" or template.query not in TPCH_QUERIES:
+        return ()
+    query = template.query
+    candidates = []
+    if query == "Q3":
+        candidates.append(
+            RewriteCandidate(
+                name="reorder-lineitem-first",
+                query=query,
+                kind="reorder",
+                description=(
+                    "join orders_f with lineitem_f first, carry o_custkey "
+                    "up to a final join against the filtered customers"
+                ),
+                plan=_q3_reorder,
+                proof_plan=lambda: _q3_reorder(proof=True),
+            )
+        )
+        candidates.append(_knob_candidate(query, 6))
+    elif query == "Q10":
+        candidates.append(
+            RewriteCandidate(
+                name="drop-customer-join",
+                query=query,
+                kind="eliminate",
+                description=(
+                    "eliminate the key-preserving customer join: the count "
+                    "reads no customer column and FK integrity guarantees "
+                    "one match per order"
+                ),
+                plan=_q10_eliminate,
+                proof_plan=lambda: _q10_eliminate(proof=True),
+            )
+        )
+        candidates.append(
+            RewriteCandidate(
+                name="build-on-orders",
+                query=query,
+                kind="reorder",
+                description=(
+                    "build the first join on the smaller orders_f side "
+                    "(unsound: o_custkey is not unique there)"
+                ),
+                plan=_q10_build_swap,
+                proof_plan=lambda: _q10_build_swap(proof=True),
+            )
+        )
+    elif query == "Q12":
+        candidates.append(_knob_candidate(query, 6))
+    elif query == "Q19":
+        candidates.append(
+            RewriteCandidate(
+                name="push-quantity-bound",
+                query=query,
+                kind="pushdown",
+                description=(
+                    "push the disjuncts' union quantity bound [1, 30] "
+                    "below the part join (superset filter; exact "
+                    "disjuncts still run after the join)"
+                ),
+                plan=_q19_pushdown,
+                proof_plan=lambda: _q19_pushdown(proof=True),
+            )
+        )
+    for algorithm in ("PHT", "CrkJoin"):
+        candidates.append(_partition_swap_candidate(query, algorithm))
+    candidates.append(_pipeline_candidate(query))
+    return tuple(candidates)

@@ -1,0 +1,228 @@
+"""Exact equivalence proofs: execute rewrites for real, compare bags.
+
+A rewrite candidate is admitted to the race only after this module has
+*executed* both the reference plan and the candidate plan — through the
+real :class:`~repro.core.queries.executor.QueryExecutor`, over the same
+physical stand-in rows the catalog's pricing runs use — and shown their
+witness bags identical under the canonical-digest machinery of
+:mod:`repro.backends.equivalence` (quantized values, row- and
+column-order insensitivity, duplicates preserved).  Nothing is assumed:
+a candidate whose bag differs, or whose plan fails to execute at all, is
+rejected with the first differing row (or the error) as the reason.
+
+The proof runs the *witness-widened* plan twins (see
+:mod:`repro.rewrite.candidates`): same filters and joins, wider ``keep``
+lists so the final table identifies surviving rows across differently
+shaped plans.  As a harness self-check, the executed reference count is
+also compared against the plain-numpy ground truth of
+:func:`~repro.core.queries.tpch_queries.reference_count`.
+
+Proof outcomes are pure functions of (query, candidate, seed, caps) and
+are memoized in-process; trace events are the caller's business (see
+:func:`repro.rewrite.race.plan_rewrites`), so memoization never changes
+what a traced run records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.backends.equivalence import assert_equivalent
+from repro.core.queries.executor import QueryExecutor
+from repro.core.queries.plan import QueryPlan
+from repro.core.queries.tpch_queries import reference_count
+from repro.enclave.runtime import ExecutionSetting
+from repro.errors import EquivalenceError, ReproError
+from repro.machine import SimMachine
+from repro.planner.candidates import PlanCandidate, build_join
+from repro.rewrite.candidates import (
+    RewriteCandidate,
+    base_tables,
+    reference_proof_plan,
+)
+from repro.tables import generate_tpch
+from repro.tables.table import Table
+from repro.trace import NullTracer, use_tracer
+
+#: The proof stand-in's seed and physical caps.  Same seed as every
+#: pricing stand-in (proofs are part of the plan, not of the measured
+#: run); the caps match the catalog's *quick* fidelity — a much larger
+#: sample than the pricing cap, because a proof wants collisions,
+#: duplicates, and all three Q19 disjuncts populated.
+PROOF_SEED = 13
+PROOF_SF_CAP = 0.01
+
+
+@dataclasses.dataclass(frozen=True)
+class ProofResult:
+    """The outcome of one candidate's equivalence proof."""
+
+    candidate: RewriteCandidate
+    accepted: bool
+    digest: str = ""  # shared canonical bag digest when accepted
+    reason: str = ""  # why the candidate was rejected otherwise
+    rows: int = 0  # witness rows compared (physical)
+    count: int = 0  # the candidate plan's executed count(*)
+    #: Executed output cardinalities (logical rows) per reference-plan
+    #: step, from the reference proof run — the Q-error machinery's
+    #: ground truth.
+    actual_cardinalities: Tuple[Tuple[str, float], ...] = ()
+
+
+_MEMO: Dict[Tuple[str, str, float, float], ProofResult] = {}
+
+
+def _witness_rows(namespace: Dict[str, Table], plan: QueryPlan) -> List[tuple]:
+    """The final pre-count table's rows, as plain tuples."""
+    final = namespace[plan.steps[-1].source]
+    arrays = [final[name] for name in final.column_names]
+    return list(zip(*arrays)) if arrays else []
+
+
+def _run_proof_plan(
+    plan: QueryPlan,
+    tables: Dict[str, Table],
+    candidate: RewriteCandidate,
+    threads: int,
+) -> Tuple[List[tuple], int, Dict[str, Table]]:
+    """Execute ``plan`` for real on the plain CPU; witness bag + count.
+
+    Proofs are about results, not cycles: the plain-CPU setting and
+    the silent tracer keep them fast and invisible to any enclave or
+    trace accounting.
+    """
+    sim = SimMachine()
+    used = {name: tables[name] for name in base_tables(plan)}
+    namespace: Dict[str, Table] = {}
+    physical = static_candidate_for(candidate, threads)
+    executor = QueryExecutor(
+        physical.variant,
+        pipelined=candidate.pipelined,
+        join_factory=lambda: build_join(physical),
+    )
+    with use_tracer(NullTracer()):
+        with sim.context(ExecutionSetting.plain_cpu(), threads=threads) as ctx:
+            result = executor.run(ctx, plan, used, namespace_out=namespace)
+    return _witness_rows(namespace, plan), result.count, namespace
+
+
+def static_candidate_for(candidate: RewriteCandidate, threads: int):
+    """The physical plan the proof executes under.
+
+    The proof honours the rewrite's own knob hints (a hinted fan-out or
+    join algorithm must be proven *at* that hint), and otherwise runs
+    the historical static physical plan — the proof is about the logical
+    shape, and any admissible physical plan computes the same bag.
+    """
+    from repro.memory.access import CodeVariant
+
+    algorithm = "RHO"
+    fanout = None
+    if candidate.hints is not None:
+        if candidate.hints.algorithm is not None:
+            algorithm = candidate.hints.algorithm
+        if candidate.hints.fanout is not None:
+            fanout = candidate.hints.fanout
+    return PlanCandidate(
+        algorithm, CodeVariant.UNROLLED, threads=threads, fanout=fanout
+    )
+
+
+def prove_candidate(
+    template, candidate: RewriteCandidate, *, sf_cap: float = PROOF_SF_CAP
+) -> ProofResult:
+    """Prove (or refute) ``candidate`` against ``template``'s reference.
+
+    Deterministic and silent; memoized on (query, candidate, scale,
+    caps) so serving runs that plan the same template repeatedly pay for
+    one proof execution.
+    """
+    key = (
+        template.query,
+        candidate.name,
+        float(template.scale_factor),
+        float(sf_cap),
+    )
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    data = generate_tpch(
+        template.scale_factor, seed=PROOF_SEED, physical_sf_cap=sf_cap
+    )
+    tables = {
+        "customer": data.customer,
+        "orders": data.orders,
+        "lineitem": data.lineitem,
+        "part": data.part,
+    }
+    threads = template.threads
+    reference_plan = reference_proof_plan(template.query)
+    ref_rows, ref_count, ref_namespace = _run_proof_plan(
+        reference_plan, tables, _reference_stub(template.query), threads
+    )
+    truth = reference_count(data, template.query)
+    if ref_count != truth:
+        raise EquivalenceError(
+            f"{template.query}: witness-widened reference counted "
+            f"{ref_count}, plain-numpy ground truth says {truth} — the "
+            "proof harness itself is broken"
+        )
+    actuals = tuple(
+        (name, float(table.logical_rows))
+        for name, table in ref_namespace.items()
+        if name not in tables
+    )
+    try:
+        cand_rows, cand_count, _ = _run_proof_plan(
+            candidate.proof_plan(), tables, candidate, threads
+        )
+        digest = assert_equivalent(
+            {"reference": ref_rows, candidate.name: cand_rows},
+            context=f"{template.query} rewrite {candidate.name!r}",
+        )
+    except ReproError as error:
+        result = ProofResult(
+            candidate=candidate,
+            accepted=False,
+            reason=str(error),
+            rows=len(ref_rows),
+            actual_cardinalities=actuals,
+        )
+        _MEMO[key] = result
+        return result
+    result = ProofResult(
+        candidate=candidate,
+        accepted=True,
+        digest=digest,
+        rows=len(ref_rows),
+        count=cand_count,
+        actual_cardinalities=actuals,
+    )
+    _MEMO[key] = result
+    return result
+
+
+def _reference_stub(query: str) -> RewriteCandidate:
+    """A no-op candidate shell so the reference runs through the same
+    executor wiring (static physical plan, materializing scheme)."""
+    return RewriteCandidate(
+        name="reference",
+        query=query,
+        kind="reference",
+        description="the template's own logical plan",
+        plan=lambda: reference_proof_plan(query),
+        proof_plan=lambda: reference_proof_plan(query),
+    )
+
+
+def actual_cardinalities(template) -> Tuple[Tuple[str, float], ...]:
+    """Executed per-step output cardinalities of ``template``'s plan.
+
+    Runs (or reuses) the reference proof execution; the returned pairs
+    are (step output name, logical rows) — the ground truth the Q-error
+    tracker compares estimates against.
+    """
+    stub = _reference_stub(template.query)
+    result = prove_candidate(template, stub)
+    return result.actual_cardinalities

@@ -19,6 +19,7 @@ from repro.trace.breakdown import (
     ClusterBreakdown,
     FaultBreakdown,
     PlanBreakdown,
+    RewriteBreakdown,
     ServingBreakdown,
     StorageBreakdown,
     backend_breakdown,
@@ -26,6 +27,7 @@ from repro.trace.breakdown import (
     fault_breakdown,
     phase_breakdown,
     plan_breakdown,
+    rewrite_breakdown,
     serving_breakdown,
     storage_breakdown,
     serving_runs,
@@ -64,6 +66,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PlanBreakdown",
+    "RewriteBreakdown",
     "ServingBreakdown",
     "StorageBreakdown",
     "Span",
@@ -77,6 +80,7 @@ __all__ = [
     "plan_breakdown",
     "read_jsonl",
     "record_from_dict",
+    "rewrite_breakdown",
     "serving_breakdown",
     "storage_breakdown",
     "serving_runs",

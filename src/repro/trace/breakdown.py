@@ -66,6 +66,14 @@ FAULT_TORN_BLOCK = "fault.torn_block"
 BACKEND_ENVELOPE = "backend.envelope"
 BACKEND_EQUIVALENCE = "backend.equivalence"
 
+#: Rewrite event names (emitted only when query rewriting is active —
+#: never in a ``--rewrite off``/default run's trace).
+REWRITE_PROVED = "rewrite.proved"
+REWRITE_REJECTED = "rewrite.rejected"
+REWRITE_RACE = "rewrite.race"
+REWRITE_WINNER = "rewrite.winner"
+REWRITE_QERROR = "rewrite.qerror"
+
 
 @dataclass(frozen=True)
 class ServingBreakdown:
@@ -615,6 +623,100 @@ def backend_breakdown(
         init_s=init_s,
         execute_s=execute_s,
         paging_s=paging_s,
+    )
+
+
+@dataclass(frozen=True)
+class RewriteBreakdown:
+    """What the logical-rewrite layer did during one run.
+
+    Aggregates the ``rewrite.*`` events: how many candidates survived the
+    exact equivalence proof (and over how many witness rows), how many
+    were rejected, how many priced races ran and how many produced a
+    winner faster than the static logical plan, plus the cardinality
+    Q-error before and after feedback.  A default or ``--rewrite off``
+    trace yields the all-zero breakdown.
+    """
+
+    proved: int  # candidates that passed the equivalence proof
+    rejected: int  # candidates the proof refuted (or that failed to run)
+    proof_rows: int  # summed witness rows the proofs compared
+    raced: int  # proven candidates priced against the reference
+    winners: int  # races whose best rewrite beat the static plan
+    best_speedup: float  # max reference/winner priced-seconds ratio
+    q_error_raw: float  # worst analytic Q-error across observed steps
+    q_error_corrected: float  # worst Q-error after observation feedback
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "proved": self.proved,
+            "rejected": self.rejected,
+            "proof_rows": self.proof_rows,
+            "raced": self.raced,
+            "winners": self.winners,
+            "best_speedup": self.best_speedup,
+            "q_error_raw": self.q_error_raw,
+            "q_error_corrected": self.q_error_corrected,
+        }
+
+    def describe(self) -> str:
+        """One line for report notes: the rewrite layer's activity."""
+        return (
+            f"{self.proved} proved / {self.rejected} rejected over "
+            f"{self.proof_rows} witness rows; {self.raced} raced, "
+            f"{self.winners} winners (best {self.best_speedup:.2f}x); "
+            f"q-error {self.q_error_raw:.1f} -> "
+            f"{self.q_error_corrected:.1f}"
+        )
+
+
+def rewrite_breakdown(
+    source, *, query: Optional[str] = None
+) -> RewriteBreakdown:
+    """Aggregate a trace's ``rewrite.*`` events into a rewrite breakdown.
+
+    ``source`` is a tracer or record iterable; ``query`` restricts the
+    aggregation to one TPC-H template's events (a serving run plans many
+    templates into one trace).  A rewrite-less trace yields the all-zero
+    breakdown.
+    """
+    proved = rejected = proof_rows = raced = winners = 0
+    best_speedup = 1.0
+    q_raw = q_corrected = 1.0
+    for record in _records(source):
+        if not isinstance(record, Event):
+            continue
+        if query is not None and record.attrs.get("query") != query:
+            continue
+        if record.name == REWRITE_PROVED:
+            proved += 1
+            proof_rows += int(record.attrs.get("rows", 0))
+        elif record.name == REWRITE_REJECTED:
+            rejected += 1
+        elif record.name == REWRITE_RACE:
+            raced += 1
+        elif record.name == REWRITE_WINNER:
+            winners += 1
+            best_speedup = max(
+                best_speedup, float(record.attrs.get("speedup", 1.0))
+            )
+        elif record.name == REWRITE_QERROR:
+            q_raw = max(
+                q_raw, float(record.attrs.get("max_q_error_raw", 1.0))
+            )
+            q_corrected = max(
+                q_corrected,
+                float(record.attrs.get("max_q_error_corrected", 1.0)),
+            )
+    return RewriteBreakdown(
+        proved=proved,
+        rejected=rejected,
+        proof_rows=proof_rows,
+        raced=raced,
+        winners=winners,
+        best_speedup=best_speedup,
+        q_error_raw=q_raw,
+        q_error_corrected=q_corrected,
     )
 
 

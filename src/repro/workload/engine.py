@@ -96,6 +96,14 @@ class WorkloadConfig:
     #: untrusted storage (priced seal/unseal traffic) instead of paying
     #: the EDMM/paging penalty.
     storage: Optional[object] = None
+    #: Logical rewrite mode: ``"off"``/``"prove"``/``"race"``/``"learned"``,
+    #: or ``None`` to defer to the ambient mode (``use_rewrite`` /
+    #: ``--rewrite``).  Active modes prove (and race) rewrite candidates
+    #: while the planner builds its arms; ``"learned"`` additionally adds
+    #: each TPC-H template's proven-and-priced winner to the bandit's arm
+    #: set.  Rewriting rides the planner's arm machinery, so it takes a
+    #: non-static ``planner`` mode to serve a learned rewrite.
+    rewrite: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.open_streams and not self.closed_streams:
@@ -105,6 +113,10 @@ class WorkloadConfig:
             raise ConfigurationError("stream names must be unique")
         if self.planner is not None:
             validate_mode(self.planner)
+        if self.rewrite is not None:
+            from repro.rewrite.config import validate_mode as validate_rewrite
+
+            validate_rewrite(self.rewrite)
         if self.plan_top_k < 1:
             raise ConfigurationError("plan_top_k must be >= 1")
 
@@ -126,8 +138,15 @@ class ServingEngine:
     ) -> None:
         from repro.workload.jobs import serving_templates
 
+        from repro.planner.stats import QErrorTracker
+
         self.catalog = catalog
         self.templates = dict(templates) if templates is not None else serving_templates()
+        #: Engine-lifetime cardinality feedback: proofs run while arms are
+        #: planned observe executed cardinalities here, so later runs (and
+        #: re-plans) of the same engine price rewrites with shrinking
+        #: Q-error.  Only ever touched under an active rewrite mode.
+        self.qerror = QErrorTracker()
 
     def costs_for(self, config: WorkloadConfig) -> Dict[str, JobCost]:
         """Priced costs of every template the config's streams reference."""
@@ -159,6 +178,15 @@ class ServingEngine:
             return validate_mode(config.planner)
         return current_planner_mode()
 
+    def rewrite_of(self, config: WorkloadConfig) -> Optional[str]:
+        """The effective rewrite mode (explicit, ambient, or ``None``)."""
+        from repro.rewrite.config import current_rewrite
+        from repro.rewrite.config import validate_mode as validate_rewrite
+
+        if config.rewrite is not None:
+            return validate_rewrite(config.rewrite)
+        return current_rewrite()
+
     def plan_arms(self, config: WorkloadConfig) -> Dict[str, Tuple[ArmCost, ...]]:
         """Per-template bandit/oracle arms: the top-k candidates, priced.
 
@@ -167,11 +195,20 @@ class ServingEngine:
         operators (one run each, cached), so every arm carries the same
         measured service time and EPC working set a static profile would.
         Arms are handed to the selectors best-first.
+
+        Under an active rewrite mode, each TPC-H template's logical
+        rewrite candidates are additionally proven (and, beyond
+        ``prove``, raced) right here — ``rewrite.*`` trace events land in
+        the caller's tracer — and ``learned`` appends the winning
+        rewrite, priced at the template's static physical plan with its
+        knob hints applied, as one more arm (labelled ``rw:...``, never
+        colliding with the physical arms' labels).
         """
         from repro.storage.config import use_storage
 
         budget = self.epc_budget(config)
         storage = self.storage_of(config)
+        rewrite_mode = self.rewrite_of(config)
         planner = Planner(
             self.catalog.machine_prototype(),
             config.setting,
@@ -200,6 +237,26 @@ class ServingEngine:
                             working_set_bytes=cost.working_set_bytes,
                         )
                     )
+                if rewrite_mode is not None and rewrite_mode != "off":
+                    from repro.rewrite.race import plan_rewrites
+
+                    decision = plan_rewrites(
+                        template,
+                        rewrite_mode,
+                        self.catalog.machine_prototype(),
+                        config.setting,
+                        tracker=self.qerror,
+                    )
+                    if rewrite_mode == "learned" and decision.winner is not None:
+                        winner = decision.winner
+                        arm_list.append(
+                            ArmCost(
+                                candidate=winner.physical,
+                                label=winner.candidate.label(),
+                                service_s=winner.seconds,
+                                working_set_bytes=winner.working_set_bytes,
+                            )
+                        )
                 arms[name] = tuple(arm_list)
         return arms
 

@@ -190,10 +190,10 @@ class TestRegistry:
         expected.add("tab01")
         expected.update(
             {"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07",
-             "ext08"}
+             "ext08", "ext09"}
         )  # extensions
         expected.update(
-            {"wl01", "wl02", "wl03", "wl04", "wl05", "wl06", "wl07"}
+            {"wl01", "wl02", "wl03", "wl04", "wl05", "wl06", "wl07", "wl08"}
         )  # serving workloads
         assert set(EXPERIMENTS) == expected
 
